@@ -1,0 +1,246 @@
+package dkf_test
+
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Each benchmark runs the corresponding
+// simulated experiment and reports the simulated latency as the custom
+// metric "sim-us/exchange" (wall-clock ns/op measures only the simulator
+// itself). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Mapping (see DESIGN.md §3 for the full index):
+//
+//	BenchmarkFig01_* — Fig. 1 launch-vs-kernel breakdown per GPU arch
+//	BenchmarkFig08_* — Fig. 8 fusion-threshold sweep
+//	BenchmarkFig09_* — Fig. 9 bulk sparse, Lassen
+//	BenchmarkFig10_* — Fig. 10 bulk dense, Lassen
+//	BenchmarkFig11_* — Fig. 11 time breakdown, ABCI
+//	BenchmarkFig12_* — Fig. 12 workload sweeps, Lassen
+//	BenchmarkFig13_* — Fig. 13 workload sweeps, ABCI
+//	BenchmarkFig14_* — Fig. 14 production libraries
+//	BenchmarkTab02_* — Table II systems (cluster build sanity)
+//	BenchmarkAblation_* — DESIGN.md §4 design-choice ablations
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// reportBulk runs one bulk measurement per b.N iteration and reports the
+// simulated exchange latency.
+func reportBulk(b *testing.B, opt bench.BulkOptions) {
+	b.Helper()
+	var last bench.BulkResult
+	for i := 0; i < b.N; i++ {
+		last = bench.RunBulk(opt)
+		if last.VerifyErr != nil {
+			b.Fatal(last.VerifyErr)
+		}
+	}
+	b.ReportMetric(float64(last.AvgNs)/1000, "sim-us/exchange")
+	b.ReportMetric(float64(last.MsgBytes), "msg-bytes")
+}
+
+func BenchmarkFig01_LaunchOverheadBreakdown(b *testing.B) {
+	for _, arch := range cluster.FigureOneArchs() {
+		arch := arch
+		b.Run(arch.Name, func(b *testing.B) {
+			var kernel, launch int64
+			for i := 0; i < b.N; i++ {
+				env := sim.NewEnv()
+				dev := gpu.NewDevice(env, arch, 0, 0)
+				l := workload.Specfem3DCM().Layout(32)
+				kernel = dev.EstimateKernelNs(l.SizeBytes, l.NumBlocks(), l.MaxBlockBytes)
+				launch = arch.LaunchOverheadNs
+			}
+			b.ReportMetric(float64(kernel)/1000, "sim-kernel-us")
+			b.ReportMetric(float64(launch)/1000, "sim-launch-us")
+		})
+	}
+}
+
+func BenchmarkFig08_ThresholdSweep(b *testing.B) {
+	for _, th := range []int64{16 << 10, 512 << 10, 4 << 20} {
+		th := th
+		b.Run(fmt.Sprintf("thr=%dKB", th>>10), func(b *testing.B) {
+			reportBulk(b, bench.BulkOptions{
+				System: cluster.Lassen(), Scheme: "Proposed",
+				Workload: workload.Specfem3DCM(), Dim: 32, Buffers: 16,
+				FusionThreshold: th,
+			})
+		})
+	}
+}
+
+func benchSchemes(b *testing.B, system cluster.Spec, wl workload.Workload, dim, buffers int) {
+	b.Helper()
+	for _, s := range []string{"GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed", "Proposed-Tuned"} {
+		s := s
+		b.Run(s, func(b *testing.B) {
+			reportBulk(b, bench.BulkOptions{
+				System: system, Scheme: s, Workload: wl, Dim: dim, Buffers: buffers,
+			})
+		})
+	}
+}
+
+func BenchmarkFig09_BulkSparseLassen(b *testing.B) {
+	for _, nbuf := range []int{1, 4, 16} {
+		nbuf := nbuf
+		b.Run(fmt.Sprintf("buffers=%d", nbuf), func(b *testing.B) {
+			benchSchemes(b, cluster.Lassen(), workload.Specfem3DCM(), 32, nbuf)
+		})
+	}
+}
+
+func BenchmarkFig10_BulkDenseLassen(b *testing.B) {
+	for _, nbuf := range []int{1, 4, 16} {
+		nbuf := nbuf
+		b.Run(fmt.Sprintf("buffers=%d", nbuf), func(b *testing.B) {
+			benchSchemes(b, cluster.Lassen(), workload.MILC(), 8, nbuf)
+		})
+	}
+}
+
+func BenchmarkFig11_TimeBreakdown(b *testing.B) {
+	for _, s := range []string{"GPU-Sync", "GPU-Async", "Proposed-Tuned"} {
+		s := s
+		b.Run(s, func(b *testing.B) {
+			var last bench.BulkResult
+			for i := 0; i < b.N; i++ {
+				last = bench.RunBulk(bench.BulkOptions{
+					System: cluster.ABCI(), Scheme: s,
+					Workload: workload.MILC(), Dim: 16, Buffers: 16, Iterations: 3,
+				})
+				if last.VerifyErr != nil {
+					b.Fatal(last.VerifyErr)
+				}
+			}
+			per := last.Breakdown.Scale(3)
+			b.ReportMetric(float64(last.AvgNs)/1000, "sim-us/exchange")
+			b.ReportMetric(float64(per.Total())/1000, "sim-us/breakdown-total")
+		})
+	}
+}
+
+func BenchmarkFig12_WorkloadsLassen(b *testing.B) {
+	for _, wl := range workload.All() {
+		wl := wl
+		dim := wl.Dims[len(wl.Dims)/2]
+		b.Run(wl.Name, func(b *testing.B) {
+			benchSchemes(b, cluster.Lassen(), wl, dim, 16)
+		})
+	}
+}
+
+func BenchmarkFig13_WorkloadsABCI(b *testing.B) {
+	for _, wl := range workload.All() {
+		wl := wl
+		dim := wl.Dims[len(wl.Dims)/2]
+		b.Run(wl.Name, func(b *testing.B) {
+			benchSchemes(b, cluster.ABCI(), wl, dim, 16)
+		})
+	}
+}
+
+func BenchmarkFig14_ProductionLibraries(b *testing.B) {
+	for _, lib := range []string{"SpectrumMPI", "OpenMPI", "MVAPICH2-GDR", "Proposed-Tuned"} {
+		lib := lib
+		b.Run(lib, func(b *testing.B) {
+			reportBulk(b, bench.BulkOptions{
+				System: cluster.Lassen(), Scheme: lib,
+				Workload: workload.MILC(), Dim: 8, Buffers: 4,
+				Iterations: 2, Warmup: 1,
+			})
+		})
+	}
+}
+
+func BenchmarkTab02_SystemBuild(b *testing.B) {
+	for _, spec := range []cluster.Spec{cluster.Lassen(), cluster.ABCI()} {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := sim.NewEnv()
+				c := cluster.Build(env, spec)
+				if c.TotalGPUs() != 8 {
+					b.Fatal("bad build")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblation_SyncVsStatusPoll(b *testing.B) {
+	var tab *bench.Table
+	for i := 0; i < b.N; i++ {
+		tab = bench.AblationSyncVsStatusPoll()
+	}
+	_ = tab
+}
+
+func BenchmarkAblation_FlushPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationFlushPolicy()
+	}
+}
+
+func BenchmarkAblation_Partitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AblationPartitioning()
+	}
+}
+
+func BenchmarkAblation_Rendezvous(b *testing.B) {
+	for _, m := range []mpi.RendezvousMode{mpi.RGET, mpi.RPUT} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			reportBulk(b, bench.BulkOptions{
+				System: cluster.Lassen(), Scheme: "Proposed-Tuned",
+				Workload: workload.NASMG(), Dim: 128, Buffers: 8,
+				MutateMPI: func(c *mpi.Config) { c.Rendezvous = m },
+			})
+		})
+	}
+}
+
+func BenchmarkAblation_LayoutCache(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		disabled := disabled
+		name := "cached"
+		if disabled {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			reportBulk(b, bench.BulkOptions{
+				System: cluster.Lassen(), Scheme: "Proposed-Tuned",
+				Workload: workload.Specfem3DCM(), Dim: 32, Buffers: 16,
+				MutateMPI: func(c *mpi.Config) { c.DisableLayoutCache = disabled },
+			})
+		})
+	}
+}
+
+func BenchmarkAblation_Pipeline(b *testing.B) {
+	for _, chunk := range []int64{0, 32 << 10} {
+		chunk := chunk
+		name := "whole-message"
+		if chunk > 0 {
+			name = "chunked-32KB"
+		}
+		b.Run(name, func(b *testing.B) {
+			reportBulk(b, bench.BulkOptions{
+				System: cluster.Lassen(), Scheme: "Proposed-Tuned",
+				Workload: workload.Specfem3DCM(), Dim: 64, Buffers: 8,
+				MutateMPI: func(c *mpi.Config) { c.PipelineChunkBytes = chunk },
+			})
+		})
+	}
+}

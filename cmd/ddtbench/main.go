@@ -1,0 +1,96 @@
+// Command ddtbench regenerates the paper's evaluation tables and figures
+// on the simulated clusters, plus the repository's additional experiments.
+//
+// Usage:
+//
+//	ddtbench -list
+//	ddtbench -fig 9
+//	ddtbench -fig all
+//	ddtbench -ablations
+//	ddtbench -approaches          # Section III Algorithms 1-3
+//	ddtbench -extended            # all eight ddtbench workloads
+//	ddtbench -scaling             # node-count ring scaling
+//	ddtbench -fig 12 -format csv  # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+var format = flag.String("format", "text", "output format: text or csv")
+
+func emit(tabs []*bench.Table) {
+	for _, t := range tabs {
+		if *format == "csv" {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+func main() {
+	fig := flag.String("fig", "", "figure id to regenerate (1, 8, 9, 10, 11, 12, 13, 14, or 'all')")
+	list := flag.Bool("list", false, "list reproducible experiments")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablation experiments")
+	approaches := flag.Bool("approaches", false, "compare the Section III approaches (Algorithms 1-3)")
+	extended := flag.Bool("extended", false, "sweep all eight ddtbench workloads")
+	scaling := flag.Bool("scaling", false, "ring-exchange node scaling")
+	table1 := flag.Bool("table1", false, "quantified Table I scheme comparison")
+	system := flag.String("system", "lassen", "system for -approaches/-extended/-scaling: lassen or abci")
+	flag.Parse()
+
+	spec := cluster.Lassen()
+	if *system == "abci" {
+		spec = cluster.ABCI()
+	}
+
+	switch {
+	case *list:
+		fmt.Println("reproducible figures:")
+		for _, f := range bench.Figures() {
+			fmt.Printf("  -fig %s\n", f)
+		}
+		fmt.Println("plus: -ablations, -approaches, -extended, -scaling, -table1")
+	case *ablations:
+		emit(bench.Ablations())
+	case *approaches:
+		emit([]*bench.Table{bench.Approaches(spec)})
+	case *extended:
+		emit([]*bench.Table{bench.ExtendedWorkloads(spec)})
+	case *scaling:
+		emit([]*bench.Table{bench.Scaling(spec, workload.MILC(), 16)})
+	case *table1:
+		emit([]*bench.Table{bench.TableOne()})
+	case *fig == "all":
+		for _, f := range bench.Figures() {
+			if err := run(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case *fig != "":
+		if err := run(*fig); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(fig string) error {
+	tabs, err := bench.Run(fig)
+	if err != nil {
+		return err
+	}
+	emit(tabs)
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command fusiontune sweeps the fused-kernel flush threshold for a chosen
+// workload and system — the tool behind the paper's Fig. 8 tuning
+// methodology ("figure out the optimal threshold for a given workload on a
+// given system").
+//
+// Usage:
+//
+//	fusiontune -workload specfem3D_cm -dim 32 -buffers 16 -system lassen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/fusion"
+	"repro/internal/workload"
+)
+
+func main() {
+	wlName := flag.String("workload", "specfem3D_cm", "workload: specfem3D_oc, specfem3D_cm, MILC, NAS_MG")
+	dim := flag.Int("dim", 32, "dimension size")
+	buffers := flag.Int("buffers", 16, "outstanding buffers per direction")
+	system := flag.String("system", "lassen", "system model: lassen or abci")
+	flag.Parse()
+
+	wl, ok := workload.ByName(*wlName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlName)
+		os.Exit(2)
+	}
+	spec := cluster.Lassen()
+	if *system == "abci" {
+		spec = cluster.ABCI()
+	}
+
+	l := wl.Layout(*dim)
+	fmt.Printf("%s on %s: %d blocks, %d B/message, %d buffers/direction\n",
+		wl.Name, spec.Name, l.NumBlocks(), l.SizeBytes, *buffers)
+	predicted := fusion.PredictThreshold(spec.GPU, fusion.ModelInput{
+		AvgRequestBytes: l.SizeBytes,
+		AvgSegments:     l.NumBlocks(),
+		NetBWBytesPerNs: spec.InterNode.BWBytesPerNs,
+	})
+	fmt.Printf("model-based prediction (paper §VII): %s\n\n", fmtKB(predicted))
+	fmt.Printf("%-14s %-12s %s\n", "threshold", "latency_us", "verdict")
+
+	var best int64
+	var bestTh int64
+	results := map[int64]int64{}
+	thresholds := []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
+	for _, th := range thresholds {
+		r := bench.RunBulk(bench.BulkOptions{
+			System: spec, Scheme: "Proposed", Workload: wl,
+			Dim: *dim, Buffers: *buffers, FusionThreshold: th,
+		})
+		if r.VerifyErr != nil {
+			fmt.Fprintf(os.Stderr, "verification failed at threshold %d: %v\n", th, r.VerifyErr)
+			os.Exit(1)
+		}
+		results[th] = r.AvgNs
+		if best == 0 || r.AvgNs < best {
+			best, bestTh = r.AvgNs, th
+		}
+	}
+	for _, th := range thresholds {
+		verdict := ""
+		switch {
+		case th == bestTh:
+			verdict = "<- optimal"
+		case results[th] > best*12/10 && th < bestTh:
+			verdict = "under-fused"
+		case results[th] > best*12/10 && th > bestTh:
+			verdict = "over-fused"
+		}
+		fmt.Printf("%-14s %-12.1f %s\n", fmtKB(th), float64(results[th])/1000, verdict)
+	}
+}
+
+func fmtKB(b int64) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+	return fmt.Sprintf("%dKB", b>>10)
+}

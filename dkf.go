@@ -1,0 +1,377 @@
+// Package dkf is the public API of the Dynamic Kernel Fusion library — a
+// pure-Go reproduction of "Dynamic Kernel Fusion for Bulk Non-contiguous
+// Data Transfer on GPU Clusters" (Chu et al., IEEE CLUSTER 2020).
+//
+// The library simulates a GPU cluster (devices with realistic kernel-launch
+// overhead, NVLink/PCIe/InfiniBand fabric) on a deterministic virtual
+// clock, runs a CUDA-aware-MPI-style runtime on it, and implements the
+// paper's kernel-fusion framework alongside every baseline scheme the
+// paper compares against. Data movement is real — packing and unpacking
+// shuffle actual bytes — while time is virtual, so results are exactly
+// reproducible.
+//
+// Quick start:
+//
+//	sess, _ := dkf.NewSession(dkf.SessionConfig{System: dkf.SystemLassen, Scheme: "Proposed-Tuned"})
+//	l := dkf.Commit(dkf.Vector(64, 128, 256, dkf.Float64))
+//	err := sess.Run(func(c *dkf.RankCtx) {
+//	    ... c.Isend / c.Irecv / c.Waitall ...
+//	})
+package dkf
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/datatype"
+	"repro/internal/fusion"
+	"repro/internal/gpu"
+	"repro/internal/mpi"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// --- datatypes ---
+
+// Type is an uncommitted MPI-style derived datatype.
+type Type = datatype.Type
+
+// Layout is a committed (flattened) datatype.
+type Layout = datatype.Layout
+
+// Block is one contiguous span of a flattened layout.
+type Block = datatype.Block
+
+// Predefined primitive datatypes.
+var (
+	Byte       = datatype.Byte
+	Char       = datatype.Char
+	Int32      = datatype.Int32
+	Int64      = datatype.Int64
+	Float32    = datatype.Float32
+	Float64    = datatype.Float64
+	Complex64  = datatype.Complex64
+	Complex128 = datatype.Complex128
+)
+
+// Contiguous is MPI_Type_contiguous.
+func Contiguous(count int, base Type) Type { return datatype.Contiguous(count, base) }
+
+// Vector is MPI_Type_vector.
+func Vector(count, blocklen, stride int, base Type) Type {
+	return datatype.Vector(count, blocklen, stride, base)
+}
+
+// Hvector is MPI_Type_create_hvector.
+func Hvector(count, blocklen int, strideBytes int64, base Type) Type {
+	return datatype.Hvector(count, blocklen, strideBytes, base)
+}
+
+// Indexed is MPI_Type_indexed.
+func Indexed(blocklens, displs []int, base Type) Type {
+	return datatype.Indexed(blocklens, displs, base)
+}
+
+// Hindexed is MPI_Type_create_hindexed.
+func Hindexed(blocklens []int, displsBytes []int64, base Type) Type {
+	return datatype.Hindexed(blocklens, displsBytes, base)
+}
+
+// IndexedBlock is MPI_Type_create_indexed_block.
+func IndexedBlock(blocklen int, displs []int, base Type) Type {
+	return datatype.IndexedBlock(blocklen, displs, base)
+}
+
+// Struct is MPI_Type_create_struct.
+func Struct(blocklens []int, displsBytes []int64, types []Type) Type {
+	return datatype.Struct(blocklens, displsBytes, types)
+}
+
+// Subarray is MPI_Type_create_subarray (row-major).
+func Subarray(sizes, subsizes, starts []int, base Type) Type {
+	return datatype.Subarray(sizes, subsizes, starts, base)
+}
+
+// Commit flattens a datatype (MPI_Type_commit).
+func Commit(t Type) *Layout { return datatype.Commit(t) }
+
+// --- systems ---
+
+// System selects one of the modeled machines.
+type System int
+
+const (
+	// SystemLassen is LLNL Lassen: POWER9 + V100 + NVLink2 + 2x IB EDR.
+	SystemLassen System = iota
+	// SystemABCI is AIST ABCI: Xeon + V100 + PCIe Gen3 + IB EDR.
+	SystemABCI
+)
+
+// Spec returns the underlying cluster parameter set for customization.
+func (s System) Spec() cluster.Spec {
+	if s == SystemABCI {
+		return cluster.ABCI()
+	}
+	return cluster.Lassen()
+}
+
+func (s System) String() string { return s.Spec().Name }
+
+// --- session ---
+
+// Buffer is a simulated device or host memory buffer; Data is real memory.
+type Buffer = gpu.Buffer
+
+// Request is a non-blocking communication handle.
+type Request = mpi.Request
+
+// Breakdown is the per-category cost taxonomy of Fig. 11.
+type Breakdown = trace.Breakdown
+
+// Wildcards for Irecv.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// SessionConfig configures a simulated cluster session.
+type SessionConfig struct {
+	// System picks the machine model (default Lassen). CustomSpec, if
+	// non-nil, overrides it entirely.
+	System     System
+	CustomSpec *cluster.Spec
+	// Scheme names the DDT-processing scheme: "GPU-Sync", "GPU-Async",
+	// "CPU-GPU-Hybrid", "NaiveMemcpy", "Proposed", "Proposed-Tuned"
+	// (default "Proposed-Tuned").
+	Scheme string
+	// FusionThreshold overrides the fused-kernel flush threshold in
+	// bytes (0 = scheme default; only affects the Proposed schemes).
+	FusionThreshold int64
+	// EagerLimit, RendezvousRPUT, and DisableIPC tune the MPI runtime.
+	EagerLimit     int64
+	RendezvousRPUT bool
+	DisableIPC     bool
+	// PipelineChunk enables chunked rendezvous for non-contiguous RGET
+	// sends larger than this many bytes (0 = whole-message rendezvous).
+	PipelineChunk int64
+}
+
+// Session is a simulated cluster plus MPI world, ready to Run rank bodies.
+type Session struct {
+	cfg     SessionConfig
+	env     *sim.Env
+	cluster *cluster.Cluster
+	world   *mpi.World
+}
+
+// NewSession builds the cluster and world. It returns an error for unknown
+// scheme names.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Scheme == "" {
+		cfg.Scheme = "Proposed-Tuned"
+	}
+	known := false
+	for _, n := range append(schemes.Names(), "MVAPICH2-GDR", "SpectrumMPI", "OpenMPI") {
+		if n == cfg.Scheme {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("dkf: unknown scheme %q", cfg.Scheme)
+	}
+	spec := cfg.System.Spec()
+	if cfg.CustomSpec != nil {
+		spec = *cfg.CustomSpec
+	}
+	env := sim.NewEnv()
+	cl := cluster.Build(env, spec)
+	mcfg := mpi.DefaultConfig()
+	if cfg.EagerLimit > 0 {
+		mcfg.EagerLimitBytes = cfg.EagerLimit
+	}
+	if cfg.RendezvousRPUT {
+		mcfg.Rendezvous = mpi.RPUT
+	}
+	mcfg.DisableIPC = cfg.DisableIPC
+	mcfg.PipelineChunkBytes = cfg.PipelineChunk
+	factory := schemes.Factory(cfg.Scheme)
+	if cfg.FusionThreshold > 0 {
+		th := cfg.FusionThreshold
+		factory = func(r *mpi.Rank) mpi.Scheme {
+			fc := fusion.DefaultConfig()
+			fc.ThresholdBytes = th
+			return schemes.NewFusionWith(r, fc)
+		}
+	}
+	return &Session{
+		cfg:     cfg,
+		env:     env,
+		cluster: cl,
+		world:   mpi.NewWorld(cl, mcfg, factory),
+	}, nil
+}
+
+// NumRanks reports the number of ranks (one per GPU).
+func (s *Session) NumRanks() int { return s.world.Size() }
+
+// Alloc allocates a device buffer on rank r's GPU before Run starts.
+func (s *Session) Alloc(r int, name string, bytes int) *Buffer {
+	return s.world.Rank(r).Dev.Alloc(name, bytes)
+}
+
+// TraceOf returns rank r's accumulated cost breakdown.
+func (s *Session) TraceOf(r int) *Breakdown { return s.world.Rank(r).Trace }
+
+// DeviceStats returns rank r's GPU activity counters.
+func (s *Session) DeviceStats(r int) gpu.Stats { return s.world.Rank(r).Dev.Stats }
+
+// Run executes body once per rank (each on its own simulated CPU thread)
+// and drives the simulation until all ranks finish. A deadlock in the
+// communication pattern surfaces as an error naming the stuck ranks.
+func (s *Session) Run(body func(c *RankCtx)) error {
+	return s.world.Run(func(r *mpi.Rank, p *sim.Proc) {
+		body(&RankCtx{rank: r, proc: p, sess: s})
+	})
+}
+
+// RankCtx is the per-rank execution context inside Session.Run: the MPI
+// rank plus its simulated CPU thread.
+type RankCtx struct {
+	rank *mpi.Rank
+	proc *sim.Proc
+	sess *Session
+}
+
+// ID returns this rank's number.
+func (c *RankCtx) ID() int { return c.rank.ID() }
+
+// Node returns this rank's node index.
+func (c *RankCtx) Node() int { return c.rank.Node() }
+
+// NumRanks reports the world size.
+func (c *RankCtx) NumRanks() int { return c.sess.world.Size() }
+
+// Now returns the current virtual time in nanoseconds.
+func (c *RankCtx) Now() int64 { return c.proc.Now() }
+
+// Sleep advances this rank's virtual time (compute phases).
+func (c *RankCtx) Sleep(ns int64) { c.proc.Sleep(ns) }
+
+// Alloc allocates a device buffer on this rank's GPU.
+func (c *RankCtx) Alloc(name string, bytes int) *Buffer {
+	return c.rank.Dev.Alloc(name, bytes)
+}
+
+// Isend posts a non-blocking send of count elements of layout l.
+func (c *RankCtx) Isend(dest, tag int, buf *Buffer, l *Layout, count int) *Request {
+	return c.rank.Isend(c.proc, dest, tag, buf, l, count)
+}
+
+// Irecv posts a non-blocking receive.
+func (c *RankCtx) Irecv(src, tag int, buf *Buffer, l *Layout, count int) *Request {
+	return c.rank.Irecv(c.proc, src, tag, buf, l, count)
+}
+
+// Wait blocks until the request completes.
+func (c *RankCtx) Wait(q *Request) { c.rank.Wait(c.proc, q) }
+
+// Waitall blocks until all requests complete (flushing fused work first).
+func (c *RankCtx) Waitall(qs []*Request) { c.rank.Waitall(c.proc, qs) }
+
+// Test advances the progress engine once and reports completion.
+func (c *RankCtx) Test(q *Request) bool { return c.rank.Test(c.proc, q) }
+
+// Barrier synchronizes all ranks.
+func (c *RankCtx) Barrier() { c.sess.world.Barrier(c.proc) }
+
+// SchemeName reports the DDT scheme processing this rank's datatypes.
+func (c *RankCtx) SchemeName() string { return c.rank.SchemeName() }
+
+// --- workloads & experiments ---
+
+// Workload is one of the paper's application-kernel layout families.
+type Workload = workload.Workload
+
+// Workloads returns the paper's four workloads (specfem3D_oc,
+// specfem3D_cm, MILC, NAS_MG).
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName looks a workload up by its paper legend name.
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// FillPattern deterministically fills a buffer for verification.
+func FillPattern(data []byte, seed uint64) { workload.FillPattern(data, seed) }
+
+// VerifyBlocks checks that the layout-covered bytes of got match want.
+func VerifyBlocks(l *Layout, count int, want, got []byte) error {
+	return workload.VerifyBlocks(l, count, want, got)
+}
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = bench.Table
+
+// RunFigure regenerates one of the paper's figures by id ("1", "8", "9",
+// "10", "11", "12", "13", "14").
+func RunFigure(id string) ([]*ExperimentTable, error) { return bench.Run(id) }
+
+// Figures lists the reproducible figure ids.
+func Figures() []string { return bench.Figures() }
+
+// SchemeNames lists the available scheme names.
+func SchemeNames() []string { return schemes.Names() }
+
+// Resized is MPI_Type_create_resized (lb = 0): overrides the extent.
+func Resized(base Type, extent int64) Type { return datatype.Resized(base, extent) }
+
+// --- explicit pack/unpack (Algorithm 1 of the paper) ---
+
+// PackSize is MPI_Pack_size for count elements of l.
+func (c *RankCtx) PackSize(l *Layout, count int) int64 { return c.rank.PackSize(l, count) }
+
+// Pack is blocking MPI_Pack: it gathers count elements of l from inbuf
+// into outbuf at *position, advancing *position.
+func (c *RankCtx) Pack(inbuf *Buffer, l *Layout, count int, outbuf *Buffer, position *int64) {
+	c.rank.Pack(c.proc, inbuf, l, count, outbuf, position)
+}
+
+// Unpack is blocking MPI_Unpack: the inverse of Pack.
+func (c *RankCtx) Unpack(inbuf *Buffer, position *int64, outbuf *Buffer, l *Layout, count int) {
+	c.rank.Unpack(c.proc, inbuf, position, outbuf, l, count)
+}
+
+// --- collectives & topology ---
+
+// Bcast broadcasts count elements of l from root's buf (binomial tree).
+func (c *RankCtx) Bcast(root int, buf *Buffer, l *Layout, count int) {
+	c.rank.Bcast(c.proc, root, buf, l, count)
+}
+
+// AllreduceSumF64 sums n float64 values element-wise across all ranks.
+func (c *RankCtx) AllreduceSumF64(buf *Buffer, n int) {
+	c.rank.AllreduceSumF64(c.proc, buf, n)
+}
+
+// NeighborOp is one leg of a neighborhood exchange
+// (MPI_Neighbor_alltoallw style).
+type NeighborOp = mpi.NeighborOp
+
+// NeighborExchange posts all receives then all sends of ops and waits.
+func (c *RankCtx) NeighborExchange(ops []NeighborOp) {
+	c.rank.NeighborExchange(c.proc, ops)
+}
+
+// CartComm is a Cartesian process topology (MPI_Cart_create).
+type CartComm = mpi.CartComm
+
+// CartCreate builds a Cartesian topology over the first prod(dims) ranks.
+func (s *Session) CartCreate(dims []int, periods []bool) *CartComm {
+	return s.world.CartCreate(dims, periods)
+}
+
+// ExtendedWorkloads returns all implemented ddtbench workloads: the
+// paper's four plus WRF, LAMMPS_full, NAS_LU, and FFT2D.
+func ExtendedWorkloads() []Workload { return workload.Extended() }

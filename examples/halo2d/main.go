@@ -1,0 +1,102 @@
+// halo2d reproduces the paper's Fig. 3 scenario: a 2D domain decomposition
+// across four GPUs where each GPU exchanges non-contiguous column
+// boundaries and contiguous row boundaries with its neighbors, comparing
+// the proposed fusion scheme against GPU-Sync.
+//
+//	go run ./examples/halo2d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dkf "repro"
+)
+
+const (
+	n     = 512 // local grid is n x n doubles
+	steps = 4
+)
+
+// The four GPUs form a 2x2 grid: rank = row*2 + col, all on node 0 so the
+// exchange exercises the intra-node DirectIPC path as well.
+func right(r int) int { return r ^ 1 }
+func below(r int) int { return r ^ 2 }
+
+func run(scheme string) (int64, error) {
+	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: scheme})
+	if err != nil {
+		return 0, err
+	}
+	// Column boundary: n blocks of 1 double, stride n. Row boundary: one
+	// contiguous block of n doubles.
+	col := dkf.Commit(dkf.Vector(n, 1, n, dkf.Float64))
+	row := dkf.Commit(dkf.Contiguous(n, dkf.Float64))
+
+	grids := make([]*dkf.Buffer, 4)
+	colHalos := make([]*dkf.Buffer, 4)
+	rowHalos := make([]*dkf.Buffer, 4)
+	for r := 0; r < 4; r++ {
+		grids[r] = sess.Alloc(r, "grid", n*n*8)
+		colHalos[r] = sess.Alloc(r, "halo-col", n*n*8)
+		rowHalos[r] = sess.Alloc(r, "halo-row", n*8)
+		dkf.FillPattern(grids[r].Data, uint64(100+r))
+	}
+
+	var total int64
+	err = sess.Run(func(c *dkf.RankCtx) {
+		if c.ID() >= 4 {
+			for s := 0; s < steps; s++ {
+				c.Barrier()
+				c.Barrier()
+			}
+			return
+		}
+		me := c.ID()
+		for s := 0; s < steps; s++ {
+			c.Barrier()
+			t0 := c.Now()
+			reqs := []*dkf.Request{
+				// Column exchange with the horizontal neighbor.
+				c.Irecv(right(me), 1, colHalos[me], col, 1),
+				c.Isend(right(me), 1, grids[me], col, 1),
+				// Row exchange with the vertical neighbor.
+				c.Irecv(below(me), 2, rowHalos[me], row, 1),
+				c.Isend(below(me), 2, grids[me], row, 1),
+			}
+			c.Waitall(reqs)
+			c.Barrier()
+			if me == 0 {
+				total += c.Now() - t0
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Verify rank 0's halo against its neighbors' grids.
+	if err := dkf.VerifyBlocks(col, 1, grids[right(0)].Data, colHalos[0].Data); err != nil {
+		return 0, fmt.Errorf("column halo: %w", err)
+	}
+	if err := dkf.VerifyBlocks(row, 1, grids[below(0)].Data, rowHalos[0].Data); err != nil {
+		return 0, fmt.Errorf("row halo: %w", err)
+	}
+	return total / steps, nil
+}
+
+func main() {
+	fmt.Printf("2D halo exchange on 4 GPUs (one node), %dx%d doubles per rank\n\n", n, n)
+	var base int64
+	for _, scheme := range []string{"GPU-Sync", "Proposed-Tuned"} {
+		avg, err := run(scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = avg
+		}
+		fmt.Printf("%-16s avg exchange = %8.1f us   speedup = %.2fx\n",
+			scheme, float64(avg)/1000, float64(base)/float64(avg))
+	}
+	fmt.Println("\nhalos verified against neighbor grids on every run")
+}

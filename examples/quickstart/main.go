@@ -1,0 +1,58 @@
+// Quickstart: two GPUs on different nodes exchange a strided (vector)
+// buffer through the proposed dynamic-kernel-fusion scheme, and the
+// program verifies every received byte.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dkf "repro"
+)
+
+func main() {
+	// A Lassen-like cluster: 2 nodes x 4 V100s, one MPI rank per GPU.
+	sess, err := dkf.NewSession(dkf.SessionConfig{
+		System: dkf.SystemLassen,
+		Scheme: "Proposed-Tuned",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A column of a 256x256 double matrix: 256 blocks of one element,
+	// stride 256 — the classic non-contiguous halo boundary (Fig. 3).
+	column := dkf.Commit(dkf.Vector(256, 1, 256, dkf.Float64))
+	fmt.Printf("datatype: %s\n  blocks=%d payload=%dB extent=%dB\n",
+		column.Name, column.NumBlocks(), column.SizeBytes, column.ExtentBytes)
+
+	const sender, receiver = 0, 4 // node 0 GPU 0 -> node 1 GPU 0
+	sbuf := sess.Alloc(sender, "matrix", int(column.ExtentBytes))
+	rbuf := sess.Alloc(receiver, "matrix", int(column.ExtentBytes))
+	dkf.FillPattern(sbuf.Data, 2026)
+
+	err = sess.Run(func(c *dkf.RankCtx) {
+		switch c.ID() {
+		case sender:
+			req := c.Isend(receiver, 0, sbuf, column, 1)
+			c.Wait(req)
+			fmt.Printf("rank %d: column sent at t=%dns (simulated)\n", c.ID(), c.Now())
+		case receiver:
+			req := c.Irecv(sender, 0, rbuf, column, 1)
+			c.Wait(req)
+			fmt.Printf("rank %d: column received at t=%dns (simulated)\n", c.ID(), c.Now())
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := dkf.VerifyBlocks(column, 1, sbuf.Data, rbuf.Data); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("verification: all column elements arrived intact")
+	fmt.Printf("sender GPU: %d kernel launch(es), %d of them fused\n",
+		sess.DeviceStats(sender).KernelLaunches, sess.DeviceStats(sender).FusedKernels)
+}

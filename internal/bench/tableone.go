@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TableOne quantifies the qualitative scheme comparison of the paper's
+// Table I on live measurements: per scheme, the measured GPU driver
+// overhead (launching + scheduling per message), CPU-GPU synchronization
+// cost, end-to-end latency, and effective throughput for a representative
+// bulk sparse exchange.
+func TableOne() *Table {
+	const nbuf = 16
+	wl := workload.Specfem3DCM()
+	dim := 32
+	l := wl.Layout(dim)
+	t := &Table{
+		Title: fmt.Sprintf("Table I (quantified): %s dim=%d, %d buffers/direction, Lassen", wl.Name, dim, nbuf),
+		Header: []string{
+			"scheme", "layout_cache", "driver_us/msg", "sync_us/msg", "latency_us", "throughput_MB/s",
+		},
+	}
+	// 16 sends + 16 recvs per rank, two ranks traced.
+	const msgs = 4 * nbuf
+	for _, s := range []string{"GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed-Tuned"} {
+		r := RunBulk(BulkOptions{System: cluster.Lassen(), Scheme: s, Workload: wl, Dim: dim, Buffers: nbuf, Iterations: 3})
+		if r.VerifyErr != nil {
+			t.Rows = append(t.Rows, []string{s, "?", "CORRUPT", "", "", ""})
+			continue
+		}
+		per := r.Breakdown.Scale(3) // per iteration
+		driver := float64(per.Get(trace.Launch)+per.Get(trace.Scheduling)) / msgs / 1000
+		sync := float64(per.Get(trace.Sync)) / msgs / 1000
+		// Bidirectional payload per iteration.
+		bytes := float64(2*nbuf) * float64(l.SizeBytes)
+		throughput := bytes / (float64(r.AvgNs) / 1e9) / 1e6
+		t.Rows = append(t.Rows, []string{
+			s,
+			layoutCacheColumn(s),
+			fmt.Sprintf("%.2f", driver),
+			fmt.Sprintf("%.2f", sync),
+			fmtUs(r.AvgNs),
+			fmt.Sprintf("%.0f", throughput),
+		})
+	}
+	return t
+}
+
+// layoutCacheColumn mirrors Table I's "Layout Cache" column: the hybrid
+// scheme of [24] and the proposed design cache flattened layouts; the
+// classic GPU-driven schemes re-derive them (in this runtime the cache is
+// shared infrastructure, so the column reports the paper's attribution).
+func layoutCacheColumn(scheme string) string {
+	switch scheme {
+	case "CPU-GPU-Hybrid", "Proposed-Tuned", "Proposed", "Proposed-Auto":
+		return "Y"
+	default:
+		return "N"
+	}
+}

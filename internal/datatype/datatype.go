@@ -1,0 +1,467 @@
+// Package datatype implements an MPI derived-datatype (DDT) engine: type
+// constructors mirroring MPI_Type_create_* (contiguous, vector, hvector,
+// indexed, hindexed, indexed-block, struct, subarray), arbitrary nesting,
+// and commit-time flattening to a canonical list of contiguous byte blocks
+// — the representation the GPU packing kernels and the layout cache consume
+// (the "flattening on the fly" lineage the paper builds on).
+package datatype
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Block is one contiguous span of a flattened layout: Offset bytes from the
+// buffer base, Len bytes long.
+type Block struct {
+	Offset int64
+	Len    int64
+}
+
+// Type is an uncommitted datatype description. Types are immutable once
+// built; Commit produces the flattened Layout used everywhere else.
+type Type interface {
+	// Size is the number of bytes of actual data in one element.
+	Size() int64
+	// Extent is the span one element covers in memory, including holes
+	// (lb..ub in MPI terms; we assume lb = 0).
+	Extent() int64
+	// TypeName is a human-readable constructor description.
+	TypeName() string
+	// flatten appends the element's blocks, shifted by base, to out.
+	flatten(base int64, out *[]Block)
+}
+
+// --- primitives ---
+
+type primitive struct {
+	name string
+	size int64
+}
+
+func (p primitive) Size() int64      { return p.size }
+func (p primitive) Extent() int64    { return p.size }
+func (p primitive) TypeName() string { return p.name }
+func (p primitive) flatten(base int64, out *[]Block) {
+	*out = append(*out, Block{Offset: base, Len: p.size})
+}
+
+// Predefined primitive types (sizes per the usual MPI bindings).
+var (
+	Byte       Type = primitive{"MPI_BYTE", 1}
+	Char       Type = primitive{"MPI_CHAR", 1}
+	Int32      Type = primitive{"MPI_INT32", 4}
+	Int64      Type = primitive{"MPI_INT64", 8}
+	Float32    Type = primitive{"MPI_FLOAT", 4}
+	Float64    Type = primitive{"MPI_DOUBLE", 8}
+	Complex64  Type = primitive{"MPI_COMPLEX", 8}
+	Complex128 Type = primitive{"MPI_DOUBLE_COMPLEX", 16}
+)
+
+// --- contiguous ---
+
+type contiguous struct {
+	count int
+	base  Type
+}
+
+// Contiguous replicates base count times back to back
+// (MPI_Type_contiguous).
+func Contiguous(count int, base Type) Type {
+	if count < 0 {
+		panic("datatype: negative count")
+	}
+	return contiguous{count, base}
+}
+
+func (c contiguous) Size() int64   { return int64(c.count) * c.base.Size() }
+func (c contiguous) Extent() int64 { return int64(c.count) * c.base.Extent() }
+func (c contiguous) TypeName() string {
+	return fmt.Sprintf("contiguous(%d,%s)", c.count, c.base.TypeName())
+}
+func (c contiguous) flatten(base int64, out *[]Block) {
+	ext := c.base.Extent()
+	for i := 0; i < c.count; i++ {
+		c.base.flatten(base+int64(i)*ext, out)
+	}
+}
+
+// --- vector / hvector ---
+
+type vector struct {
+	count, blocklen int
+	strideBytes     int64 // between block starts
+	base            Type
+}
+
+// Vector is MPI_Type_vector: count blocks of blocklen base elements whose
+// starts are stride base-extents apart.
+func Vector(count, blocklen, stride int, base Type) Type {
+	return vector{count, blocklen, int64(stride) * base.Extent(), base}
+}
+
+// Hvector is MPI_Type_create_hvector: stride given directly in bytes.
+func Hvector(count, blocklen int, strideBytes int64, base Type) Type {
+	return vector{count, blocklen, strideBytes, base}
+}
+
+func (v vector) Size() int64 { return int64(v.count) * int64(v.blocklen) * v.base.Size() }
+func (v vector) Extent() int64 {
+	if v.count == 0 {
+		return 0
+	}
+	last := int64(v.count-1)*v.strideBytes + int64(v.blocklen)*v.base.Extent()
+	if v.strideBytes < 0 {
+		// Negative strides still span from 0; keep it simple and
+		// refuse — the workloads never need them.
+		panic("datatype: negative stride unsupported")
+	}
+	return last
+}
+func (v vector) TypeName() string {
+	return fmt.Sprintf("hvector(%d,%d,%d,%s)", v.count, v.blocklen, v.strideBytes, v.base.TypeName())
+}
+func (v vector) flatten(base int64, out *[]Block) {
+	inner := Contiguous(v.blocklen, v.base)
+	for i := 0; i < v.count; i++ {
+		inner.flatten(base+int64(i)*v.strideBytes, out)
+	}
+}
+
+// --- indexed family ---
+
+type hindexed struct {
+	blocklens []int
+	displs    []int64 // bytes
+	base      Type
+}
+
+// Indexed is MPI_Type_indexed: displacements counted in base extents.
+func Indexed(blocklens, displs []int, base Type) Type {
+	if len(blocklens) != len(displs) {
+		panic("datatype: Indexed length mismatch")
+	}
+	d := make([]int64, len(displs))
+	for i, v := range displs {
+		d[i] = int64(v) * base.Extent()
+	}
+	return hindexed{appendCopy(blocklens), d, base}
+}
+
+// Hindexed is MPI_Type_create_hindexed: displacements in bytes.
+func Hindexed(blocklens []int, displsBytes []int64, base Type) Type {
+	if len(blocklens) != len(displsBytes) {
+		panic("datatype: Hindexed length mismatch")
+	}
+	return hindexed{appendCopy(blocklens), append([]int64(nil), displsBytes...), base}
+}
+
+// IndexedBlock is MPI_Type_create_indexed_block: constant block length.
+func IndexedBlock(blocklen int, displs []int, base Type) Type {
+	lens := make([]int, len(displs))
+	for i := range lens {
+		lens[i] = blocklen
+	}
+	return Indexed(lens, displs, base)
+}
+
+func appendCopy(s []int) []int { return append([]int(nil), s...) }
+
+func (h hindexed) Size() int64 {
+	var n int64
+	for _, l := range h.blocklens {
+		n += int64(l)
+	}
+	return n * h.base.Size()
+}
+func (h hindexed) Extent() int64 {
+	var ub int64
+	for i, l := range h.blocklens {
+		end := h.displs[i] + int64(l)*h.base.Extent()
+		if end > ub {
+			ub = end
+		}
+	}
+	return ub
+}
+func (h hindexed) TypeName() string {
+	return fmt.Sprintf("hindexed(%d blocks,%s)", len(h.blocklens), h.base.TypeName())
+}
+func (h hindexed) flatten(base int64, out *[]Block) {
+	for i, l := range h.blocklens {
+		Contiguous(l, h.base).flatten(base+h.displs[i], out)
+	}
+}
+
+// --- struct ---
+
+type structT struct {
+	blocklens []int
+	displs    []int64
+	types     []Type
+}
+
+// Struct is MPI_Type_create_struct: heterogeneous fields at byte
+// displacements.
+func Struct(blocklens []int, displsBytes []int64, types []Type) Type {
+	if len(blocklens) != len(displsBytes) || len(blocklens) != len(types) {
+		panic("datatype: Struct length mismatch")
+	}
+	return structT{appendCopy(blocklens), append([]int64(nil), displsBytes...), append([]Type(nil), types...)}
+}
+
+func (s structT) Size() int64 {
+	var n int64
+	for i, l := range s.blocklens {
+		n += int64(l) * s.types[i].Size()
+	}
+	return n
+}
+func (s structT) Extent() int64 {
+	var ub int64
+	for i, l := range s.blocklens {
+		end := s.displs[i] + int64(l)*s.types[i].Extent()
+		if end > ub {
+			ub = end
+		}
+	}
+	return ub
+}
+func (s structT) TypeName() string {
+	return fmt.Sprintf("struct(%d fields)", len(s.blocklens))
+}
+func (s structT) flatten(base int64, out *[]Block) {
+	for i, l := range s.blocklens {
+		Contiguous(l, s.types[i]).flatten(base+s.displs[i], out)
+	}
+}
+
+// --- subarray ---
+
+type subarray struct {
+	sizes, subsizes, starts []int
+	base                    Type
+}
+
+// Subarray is MPI_Type_create_subarray with C (row-major) order: the last
+// dimension is contiguous in memory.
+func Subarray(sizes, subsizes, starts []int, base Type) Type {
+	if len(sizes) == 0 || len(sizes) != len(subsizes) || len(sizes) != len(starts) {
+		panic("datatype: Subarray dimension mismatch")
+	}
+	for d := range sizes {
+		if subsizes[d] < 0 || starts[d] < 0 || starts[d]+subsizes[d] > sizes[d] {
+			panic(fmt.Sprintf("datatype: Subarray dim %d out of range", d))
+		}
+	}
+	return subarray{appendCopy(sizes), appendCopy(subsizes), appendCopy(starts), base}
+}
+
+func (s subarray) Size() int64 {
+	n := int64(1)
+	for _, v := range s.subsizes {
+		n *= int64(v)
+	}
+	return n * s.base.Size()
+}
+func (s subarray) Extent() int64 {
+	n := int64(1)
+	for _, v := range s.sizes {
+		n *= int64(v)
+	}
+	return n * s.base.Extent()
+}
+func (s subarray) TypeName() string {
+	return fmt.Sprintf("subarray(%v of %v)", s.subsizes, s.sizes)
+}
+func (s subarray) flatten(base int64, out *[]Block) {
+	ext := s.base.Extent()
+	nd := len(s.sizes)
+	// Row-major strides in elements.
+	stride := make([]int64, nd)
+	stride[nd-1] = 1
+	for d := nd - 2; d >= 0; d-- {
+		stride[d] = stride[d+1] * int64(s.sizes[d+1])
+	}
+	// Iterate all but the innermost dimension; the innermost run is a
+	// contiguous span of subsizes[nd-1] elements.
+	idx := make([]int, nd-1)
+	for {
+		var off int64
+		for d := 0; d < nd-1; d++ {
+			off += int64(s.starts[d]+idx[d]) * stride[d]
+		}
+		off += int64(s.starts[nd-1]) * stride[nd-1]
+		Contiguous(s.subsizes[nd-1], s.base).flatten(base+off*ext, out)
+		// advance odometer
+		d := nd - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < s.subsizes[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			break
+		}
+	}
+}
+
+// --- resized ---
+
+type resized struct {
+	base   Type
+	extent int64
+}
+
+// Resized overrides a type's extent (MPI_Type_create_resized with lb = 0):
+// the payload is unchanged but consecutive elements are laid out
+// `extent` bytes apart, which is how applications space strided sends.
+func Resized(base Type, extent int64) Type {
+	if extent < 0 {
+		panic("datatype: Resized negative extent")
+	}
+	return resized{base: base, extent: extent}
+}
+
+func (r resized) Size() int64   { return r.base.Size() }
+func (r resized) Extent() int64 { return r.extent }
+func (r resized) TypeName() string {
+	return fmt.Sprintf("resized(%s,%d)", r.base.TypeName(), r.extent)
+}
+func (r resized) flatten(base int64, out *[]Block) { r.base.flatten(base, out) }
+
+// --- commit / layout ---
+
+var uidCounter atomic.Int64
+
+// Layout is a committed datatype: the canonical flattened block list for
+// one element, with adjacent blocks coalesced. It is immutable.
+type Layout struct {
+	// UID is unique per Commit call and keys the layout cache.
+	UID int64
+	// Name echoes the constructor tree.
+	Name string
+	// Blocks are sorted by offset and non-overlapping for well-formed
+	// types; adjacent blocks are merged.
+	Blocks []Block
+	// SizeBytes is the payload (sum of block lengths).
+	SizeBytes int64
+	// ExtentBytes is the memory span of one element.
+	ExtentBytes int64
+	// MaxBlockBytes is the largest single block.
+	MaxBlockBytes int64
+}
+
+// Commit flattens t into a Layout (MPI_Type_commit).
+func Commit(t Type) *Layout {
+	var raw []Block
+	t.flatten(0, &raw)
+	blocks := Coalesce(raw)
+	l := &Layout{
+		UID:         uidCounter.Add(1),
+		Name:        t.TypeName(),
+		Blocks:      blocks,
+		ExtentBytes: t.Extent(),
+	}
+	for _, b := range blocks {
+		l.SizeBytes += b.Len
+		if b.Len > l.MaxBlockBytes {
+			l.MaxBlockBytes = b.Len
+		}
+	}
+	if l.SizeBytes != t.Size() {
+		panic(fmt.Sprintf("datatype: flatten lost bytes for %s: %d != %d", t.TypeName(), l.SizeBytes, t.Size()))
+	}
+	return l
+}
+
+// Coalesce merges blocks that are exactly adjacent (b.Offset == prev end).
+// Input order is preserved — MPI pack order is definition order, and for
+// the supported constructors that is also ascending offset per element.
+func Coalesce(raw []Block) []Block {
+	out := make([]Block, 0, len(raw))
+	for _, b := range raw {
+		if b.Len == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Offset+out[n-1].Len == b.Offset {
+			out[n-1].Len += b.Len
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// NumBlocks returns the contiguous-segment count of one element.
+func (l *Layout) NumBlocks() int { return len(l.Blocks) }
+
+// Density is payload bytes divided by extent — the paper's sparse layouts
+// (specfem) have low density and thousands of blocks; dense layouts
+// (NAS_MG, MILC) have few, fatter blocks.
+func (l *Layout) Density() float64 {
+	if l.ExtentBytes == 0 {
+		return 1
+	}
+	return float64(l.SizeBytes) / float64(l.ExtentBytes)
+}
+
+// Repeat returns the block list for `count` consecutive elements laid out
+// at extent stride, coalescing across element boundaries.
+func (l *Layout) Repeat(count int) []Block {
+	if count < 0 {
+		panic("datatype: negative repeat count")
+	}
+	raw := make([]Block, 0, count*len(l.Blocks))
+	for i := 0; i < count; i++ {
+		base := int64(i) * l.ExtentBytes
+		for _, b := range l.Blocks {
+			raw = append(raw, Block{Offset: base + b.Offset, Len: b.Len})
+		}
+	}
+	return Coalesce(raw)
+}
+
+// Pack gathers one element's payload from src (a buffer at least
+// ExtentBytes long) into dst (at least SizeBytes long), returning the bytes
+// written. This is the reference CPU implementation the simulated kernels
+// execute.
+func (l *Layout) Pack(src, dst []byte) int64 {
+	var w int64
+	for _, b := range l.Blocks {
+		copy(dst[w:w+b.Len], src[b.Offset:b.Offset+b.Len])
+		w += b.Len
+	}
+	return w
+}
+
+// Unpack scatters a packed payload from src back into dst according to the
+// layout, returning the bytes read.
+func (l *Layout) Unpack(src, dst []byte) int64 {
+	var r int64
+	for _, b := range l.Blocks {
+		copy(dst[b.Offset:b.Offset+b.Len], src[r:r+b.Len])
+		r += b.Len
+	}
+	return r
+}
+
+// PackN packs count consecutive elements.
+func (l *Layout) PackN(src, dst []byte, count int) int64 {
+	var w int64
+	for i := 0; i < count; i++ {
+		w += l.Pack(src[int64(i)*l.ExtentBytes:], dst[w:])
+	}
+	return w
+}
+
+// UnpackN unpacks count consecutive elements.
+func (l *Layout) UnpackN(src, dst []byte, count int) int64 {
+	var r int64
+	for i := 0; i < count; i++ {
+		r += l.Unpack(src[r:], dst[int64(i)*l.ExtentBytes:])
+	}
+	return r
+}

@@ -1,0 +1,194 @@
+// Package fabric models the cluster interconnect: point-to-point links with
+// latency, bandwidth, and per-message processing cost, and NIC verbs (send,
+// RDMA read, RDMA write) layered on top. Links serialize payloads — two
+// messages on the same directional link share its bandwidth by queueing —
+// while latency pipelines.
+//
+// The model corresponds to the systems in the paper's Table II: dual-rail
+// InfiniBand EDR between nodes, NVLink2 or PCIe Gen3 between CPU and GPU,
+// and NVLink2 between GPUs inside a node.
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// LinkSpec describes one directional channel.
+type LinkSpec struct {
+	Name         string
+	LatencyNs    int64   // propagation + switch latency
+	BWBytesPerNs float64 // serialization bandwidth
+	PerMessageNs int64   // per-message NIC/DMA processing cost
+}
+
+// Validate panics on nonsense parameters.
+func (s LinkSpec) Validate() {
+	if s.BWBytesPerNs <= 0 {
+		panic("fabric: link bandwidth must be positive: " + s.Name)
+	}
+	if s.LatencyNs < 0 || s.PerMessageNs < 0 {
+		panic("fabric: negative link costs: " + s.Name)
+	}
+}
+
+// Link is a directional channel instance with an occupancy cursor.
+type Link struct {
+	Spec      LinkSpec
+	env       *sim.Env
+	busyUntil int64
+
+	// Stats
+	Messages int64
+	Bytes    int64
+}
+
+// NewLink builds a link on the simulation environment.
+func NewLink(env *sim.Env, spec LinkSpec) *Link {
+	spec.Validate()
+	return &Link{Spec: spec, env: env}
+}
+
+// Transfer schedules bytes onto the link. The payload occupies the link for
+// its serialization time starting when the link frees up; onArrive runs (in
+// scheduler context) one latency after serialization completes. Transfer
+// itself costs the caller nothing — callers model their own CPU posting
+// cost. It returns the arrival time.
+func (l *Link) Transfer(bytes int64, onArrive func()) int64 {
+	now := l.env.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := l.Spec.PerMessageNs + int64(math.Ceil(float64(bytes)/l.Spec.BWBytesPerNs))
+	l.busyUntil = start + ser
+	arrive := start + ser + l.Spec.LatencyNs
+	l.Messages++
+	l.Bytes += bytes
+	if onArrive != nil {
+		l.env.At(arrive, onArrive)
+	}
+	return arrive
+}
+
+// BusyUntil reports when the link's serialization queue drains.
+func (l *Link) BusyUntil() int64 { return l.busyUntil }
+
+// NetworkSpec configures an inter-node network.
+type NetworkSpec struct {
+	Nodes int
+	// Link is the spec used for every directional node pair.
+	Link LinkSpec
+	// PostCostNs is the CPU cost of posting one work request to the NIC
+	// (ibv_post_send and friends).
+	PostCostNs int64
+	// CtrlBytes is the size charged for control packets (RTS/CTS/FIN).
+	CtrlBytes int64
+}
+
+// Network is a full crossbar of directional links between nodes.
+type Network struct {
+	Spec  NetworkSpec
+	env   *sim.Env
+	links map[[2]int]*Link
+}
+
+// NewNetwork builds the crossbar.
+func NewNetwork(env *sim.Env, spec NetworkSpec) *Network {
+	if spec.Nodes <= 0 {
+		panic("fabric: network needs at least one node")
+	}
+	spec.Link.Validate()
+	if spec.CtrlBytes <= 0 {
+		spec.CtrlBytes = 64
+	}
+	n := &Network{Spec: spec, env: env, links: make(map[[2]int]*Link)}
+	for i := 0; i < spec.Nodes; i++ {
+		for j := 0; j < spec.Nodes; j++ {
+			if i == j {
+				continue
+			}
+			ls := spec.Link
+			ls.Name = fmt.Sprintf("%s[%d->%d]", ls.Name, i, j)
+			n.links[[2]int{i, j}] = NewLink(env, ls)
+		}
+	}
+	return n
+}
+
+// LinkBetween returns the directional link from node a to node b.
+func (n *Network) LinkBetween(a, b int) *Link {
+	l, ok := n.links[[2]int{a, b}]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no link %d->%d", a, b))
+	}
+	return l
+}
+
+// Post charges the calling proc the NIC posting cost.
+func (n *Network) Post(p *sim.Proc) {
+	p.Sleep(n.Spec.PostCostNs)
+}
+
+// Send ships bytes from node `from` to node `to`. deliver runs at the
+// receiver when the message arrives. The caller should have paid Post.
+// Loopback (from == to) delivers after a small constant memcpy-like delay.
+func (n *Network) Send(from, to int, bytes int64, deliver func()) int64 {
+	if from == to {
+		arrive := n.env.Now() + n.Spec.Link.PerMessageNs
+		if deliver != nil {
+			n.env.At(arrive, deliver)
+		}
+		return arrive
+	}
+	return n.LinkBetween(from, to).Transfer(bytes, deliver)
+}
+
+// RDMARead issues a one-sided read of `bytes` from node `target` into node
+// `reader`: a control request travels reader->target, then the payload
+// travels target->reader. onDone runs at the reader when data lands.
+func (n *Network) RDMARead(reader, target int, bytes int64, onDone func()) {
+	if reader == target {
+		arrive := n.env.Now() + n.Spec.Link.PerMessageNs
+		if onDone != nil {
+			n.env.At(arrive, onDone)
+		}
+		return
+	}
+	n.LinkBetween(reader, target).Transfer(n.Spec.CtrlBytes, func() {
+		n.LinkBetween(target, reader).Transfer(bytes, onDone)
+	})
+}
+
+// RDMAWrite issues a one-sided write of `bytes` from node `writer` to node
+// `target`. onPlaced runs at the target when data lands.
+func (n *Network) RDMAWrite(writer, target int, bytes int64, onPlaced func()) {
+	if writer == target {
+		arrive := n.env.Now() + n.Spec.Link.PerMessageNs
+		if onPlaced != nil {
+			n.env.At(arrive, onPlaced)
+		}
+		return
+	}
+	n.LinkBetween(writer, target).Transfer(bytes, onPlaced)
+}
+
+// TotalBytes sums payload bytes across all links (for tests/metrics).
+func (n *Network) TotalBytes() int64 {
+	var sum int64
+	for _, l := range n.links {
+		sum += l.Bytes
+	}
+	return sum
+}
+
+// TotalMessages sums message counts across all links.
+func (n *Network) TotalMessages() int64 {
+	var sum int64
+	for _, l := range n.links {
+		sum += l.Messages
+	}
+	return sum
+}

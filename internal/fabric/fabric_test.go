@@ -1,0 +1,228 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func edrSpec() LinkSpec {
+	return LinkSpec{Name: "IB-EDR", LatencyNs: 1000, BWBytesPerNs: 25, PerMessageNs: 300}
+}
+
+func TestLinkTransferTiming(t *testing.T) {
+	env := sim.NewEnv()
+	l := NewLink(env, edrSpec())
+	var arrived int64 = -1
+	env.Spawn("sender", func(p *sim.Proc) {
+		l.Transfer(25_000, func() { arrived = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// serialization = 300 + 25000/25 = 1300; + latency 1000 = 2300
+	if arrived != 2300 {
+		t.Fatalf("arrived at %d, want 2300", arrived)
+	}
+}
+
+func TestLinkSerializesBackToBack(t *testing.T) {
+	env := sim.NewEnv()
+	l := NewLink(env, edrSpec())
+	var first, second int64
+	env.Spawn("sender", func(p *sim.Proc) {
+		l.Transfer(25_000, func() { first = env.Now() })
+		l.Transfer(25_000, func() { second = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second-first != 1300 {
+		t.Fatalf("second arrived %d after first, want one serialization time 1300", second-first)
+	}
+}
+
+func TestLatencyPipelines(t *testing.T) {
+	// Two small messages: the second's latency overlaps the first's.
+	env := sim.NewEnv()
+	l := NewLink(env, LinkSpec{Name: "x", LatencyNs: 10_000, BWBytesPerNs: 25, PerMessageNs: 100})
+	var a1, a2 int64
+	env.Spawn("sender", func(p *sim.Proc) {
+		l.Transfer(25, func() { a1 = env.Now() })
+		l.Transfer(25, func() { a2 = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a2-a1 >= 10_000 {
+		t.Fatalf("latency did not pipeline: gap %d", a2-a1)
+	}
+}
+
+func TestBadLinkSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LinkSpec{Name: "bad", BWBytesPerNs: 0}.Validate()
+}
+
+func newTestNetwork(t *testing.T) (*sim.Env, *Network) {
+	t.Helper()
+	env := sim.NewEnv()
+	n := NewNetwork(env, NetworkSpec{
+		Nodes:      3,
+		Link:       edrSpec(),
+		PostCostNs: 200,
+		CtrlBytes:  64,
+	})
+	return env, n
+}
+
+func TestNetworkSendDelivers(t *testing.T) {
+	env, n := newTestNetwork(t)
+	var at int64 = -1
+	env.Spawn("s", func(p *sim.Proc) {
+		n.Post(p)
+		n.Send(0, 1, 1000, func() { at = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// post 200 + (300 + 40) + 1000 latency = 1540+... = 200+340+1000
+	want := int64(200 + 300 + 40 + 1000)
+	if at != want {
+		t.Fatalf("delivered at %d, want %d", at, want)
+	}
+}
+
+func TestNetworkLoopback(t *testing.T) {
+	env, n := newTestNetwork(t)
+	var at int64 = -1
+	env.Spawn("s", func(p *sim.Proc) {
+		n.Send(2, 2, 1<<20, func() { at = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 300 {
+		t.Fatalf("loopback delivered at %d, want per-message cost only", at)
+	}
+}
+
+func TestRDMAReadRoundTrip(t *testing.T) {
+	env, n := newTestNetwork(t)
+	var at int64 = -1
+	env.Spawn("r", func(p *sim.Proc) {
+		n.RDMARead(0, 1, 25_000, func() { at = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ctrl: 300 + 64/25(=3) + 1000 = 1303(ceil 1303?) then data: 300+1000+1000
+	// = two latencies + two serializations; just assert both directions paid.
+	oneWay := int64(300 + 1000 + 1000) // data only
+	if at <= oneWay {
+		t.Fatalf("RDMA read at %d, should include request leg (> %d)", at, oneWay)
+	}
+}
+
+func TestRDMAWriteOneWay(t *testing.T) {
+	env, n := newTestNetwork(t)
+	var readAt, writeAt int64
+	env.Spawn("r", func(p *sim.Proc) {
+		n.RDMARead(0, 1, 25_000, func() { readAt = env.Now() })
+	})
+	env.Spawn("w", func(p *sim.Proc) {
+		n.RDMAWrite(2, 1, 25_000, func() { writeAt = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if writeAt >= readAt {
+		t.Fatalf("one-way write (%d) should beat read round trip (%d)", writeAt, readAt)
+	}
+}
+
+func TestDistinctDirectionsDoNotContend(t *testing.T) {
+	env, n := newTestNetwork(t)
+	var a01, a10 int64
+	env.Spawn("s", func(p *sim.Proc) {
+		n.Send(0, 1, 250_000, func() { a01 = env.Now() })
+		n.Send(1, 0, 250_000, func() { a10 = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a01 != a10 {
+		t.Fatalf("opposite directions should not serialize: %d vs %d", a01, a10)
+	}
+}
+
+func TestSameDirectionContends(t *testing.T) {
+	env, n := newTestNetwork(t)
+	var a1, a2 int64
+	env.Spawn("s", func(p *sim.Proc) {
+		n.Send(0, 1, 250_000, func() { a1 = env.Now() })
+		n.Send(0, 1, 250_000, func() { a2 = env.Now() })
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a2 <= a1 {
+		t.Fatalf("same direction should serialize: %d then %d", a1, a2)
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	env, n := newTestNetwork(t)
+	env.Spawn("s", func(p *sim.Proc) {
+		n.Send(0, 1, 100, nil)
+		n.Send(1, 2, 200, nil)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.TotalMessages() != 2 || n.TotalBytes() != 300 {
+		t.Fatalf("stats: msgs=%d bytes=%d", n.TotalMessages(), n.TotalBytes())
+	}
+}
+
+func TestMissingLinkPanics(t *testing.T) {
+	_, n := newTestNetwork(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.LinkBetween(0, 7)
+}
+
+// Property: arrival time is monotone in message size, and total link
+// occupancy equals the sum of serialization times.
+func TestPropertyTransferMonotone(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 30 {
+			return true
+		}
+		env := sim.NewEnv()
+		l := NewLink(env, edrSpec())
+		var expected int64
+		for _, s := range sizes {
+			b := int64(s) + 1
+			expected += l.Spec.PerMessageNs + (b+int64(l.Spec.BWBytesPerNs)-1)/int64(l.Spec.BWBytesPerNs)
+			l.Transfer(b, nil)
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		// ceil in the model vs integer arithmetic here: allow exact match
+		// by recomputing with the same formula.
+		return l.BusyUntil() == expected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package fusion
+
+import (
+	"math"
+
+	"repro/internal/gpu"
+)
+
+// This file implements the paper's stated future work (Sections IV-C and
+// VII): "a model-based prediction method to automatically optimize the
+// parameters for the kernel fusion framework". Two pieces:
+//
+//   - PredictThreshold derives a starting flush threshold from the device
+//     cost model and the expected request shape, applying the Section IV-C
+//     principle that the fused kernel must run longer than its launch
+//     overhead (under-fusion bound) without delaying communication past
+//     the point where it could have overlapped (over-fusion bound);
+//   - AutoTuner refines the threshold online by hill-climbing on the
+//     observed per-byte request latency (enqueue to GPU completion), which
+//     rises under both failure modes: launch-overhead amortization is poor
+//     when batches are too small, queueing delay dominates when batches
+//     are too large.
+
+// ModelInput describes the expected traffic for threshold prediction.
+type ModelInput struct {
+	// AvgRequestBytes and AvgSegments describe a typical request.
+	AvgRequestBytes int64
+	AvgSegments     int
+	// NetBWBytesPerNs is the bandwidth of the link the packed data will
+	// cross afterwards (bounds the over-fusion cap).
+	NetBWBytesPerNs float64
+}
+
+// Threshold bounds; the paper's heuristic search also lands inside them.
+const (
+	minThreshold = 16 << 10
+	maxThreshold = 4 << 20
+)
+
+// PredictThreshold returns a flush threshold in bytes for the given
+// architecture and traffic shape.
+func PredictThreshold(a gpu.Arch, in ModelInput) int64 {
+	if in.AvgRequestBytes <= 0 || in.AvgSegments <= 0 {
+		return 512 << 10
+	}
+	avgBlock := float64(in.AvgRequestBytes) / float64(in.AvgSegments)
+	if avgBlock < 1 {
+		avgBlock = 1
+	}
+	p := float64(a.MaxResidentBlocks())
+	// Fused-kernel execution cost per pending byte: the work term of the
+	// kernel model ((segments*segFixed + bytes/blockBW)/P), floored by
+	// aggregate memory bandwidth.
+	perByte := (a.SegmentFixedNs/avgBlock + 1/a.BlockCopyBWBytesPerNs) / p
+	if hbm := 1 / a.MemBWBytesPerNs; perByte < hbm {
+		perByte = hbm
+	}
+	// Under-fusion bound: exec(B) >= launch overhead.
+	bmin := float64(a.LaunchOverheadNs-a.KernelStartupNs) / perByte
+	// Over-fusion bound: while the fused kernel runs, B bytes of already
+	// packed data could have been on the wire; cap the batch so the
+	// kernel span does not exceed its own wire time (past that point
+	// fusing more only delays communication).
+	bmax := float64(maxThreshold)
+	if in.NetBWBytesPerNs > 0 {
+		wirePerByte := 1 / in.NetBWBytesPerNs
+		if perByte > wirePerByte {
+			bmax = float64(a.LaunchOverheadNs) / (perByte - wirePerByte)
+		}
+	}
+	b := bmin * 2 // headroom: amortize the launch well past break-even
+	if b > bmax {
+		b = bmax
+	}
+	// Round to the nearest power of two inside the clamp.
+	th := int64(minThreshold)
+	for th < int64(b) && th < maxThreshold {
+		th <<= 1
+	}
+	if th > maxThreshold {
+		th = maxThreshold
+	}
+	return th
+}
+
+// AutoTuner adjusts the threshold online. It is deterministic: after every
+// Window completed requests it compares the mean per-byte latency against
+// the previous window and keeps moving along the candidate ladder while
+// things improve, reversing direction when they get worse.
+type AutoTuner struct {
+	ladder []int64
+	idx    int
+	dir    int
+	// Window is the number of completed requests per evaluation.
+	Window int
+
+	sumLatency int64
+	sumBytes   int64
+	count      int
+	lastScore  float64
+
+	// Moves counts ladder steps taken (for tests/metrics).
+	Moves int
+}
+
+// NewAutoTuner starts at the ladder entry nearest to initial.
+func NewAutoTuner(initial int64) *AutoTuner {
+	t := &AutoTuner{dir: 1, Window: 64}
+	for th := int64(minThreshold); th <= maxThreshold; th <<= 1 {
+		t.ladder = append(t.ladder, th)
+	}
+	best := 0
+	for i, th := range t.ladder {
+		if abs64(th-initial) < abs64(t.ladder[best]-initial) {
+			best = i
+		}
+	}
+	t.idx = best
+	return t
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Threshold returns the current recommendation.
+func (t *AutoTuner) Threshold() int64 { return t.ladder[t.idx] }
+
+// Record feeds one completed request: its enqueue-to-completion latency
+// and payload size. It returns true when the threshold changed.
+func (t *AutoTuner) Record(latencyNs, bytes int64) bool {
+	t.sumLatency += latencyNs
+	t.sumBytes += bytes
+	t.count++
+	if t.count < t.Window {
+		return false
+	}
+	score := float64(t.sumLatency) / math.Max(1, float64(t.sumBytes))
+	t.sumLatency, t.sumBytes, t.count = 0, 0, 0
+	if t.lastScore > 0 && score > t.lastScore {
+		t.dir = -t.dir // got worse: reverse
+	}
+	t.lastScore = score
+	next := t.idx + t.dir
+	if next < 0 || next >= len(t.ladder) {
+		t.dir = -t.dir
+		next = t.idx + t.dir
+	}
+	if next == t.idx {
+		return false
+	}
+	t.idx = next
+	t.Moves++
+	return true
+}

@@ -1,0 +1,335 @@
+// Package fusion implements the paper's primary contribution: a dynamic
+// kernel-fusion framework for bulk non-contiguous data transfer (Section
+// IV). It provides
+//
+//   - a circular request list whose entries carry a UID, the requested
+//     operation (Pack / Unpack / DirectIPC), origin and target buffers, the
+//     cached data layout, and separate request/response status words
+//     (Section IV-A1);
+//   - a scheduler with the four functions of Fig. 5 — ① enqueue requests
+//     from the progress engine, ② launch a fused kernel with the pending
+//     request array, ③ accept per-request completion signals written by
+//     the GPU (no kernel-boundary synchronization), and ④ answer status
+//     queries from the progress engine;
+//   - flush policies implementing the design considerations of Section
+//     IV-C: launch when the progress engine reaches a synchronization point
+//     (explicit Flush), or when enough work has accumulated that the fused
+//     kernel outweighs its launch overhead (bytes threshold / request cap).
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/pack"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Status is a request-list status word. The scheduler owns the request
+// status; only the GPU (the fused kernel's completion path) writes the
+// response status.
+type Status int
+
+const (
+	// StatusIdle marks a free request-list entry.
+	StatusIdle Status = iota
+	// StatusPending marks an enqueued entry not yet in a fused kernel.
+	StatusPending
+	// StatusBusy marks an entry inside an in-flight fused kernel.
+	StatusBusy
+	// StatusCompleted marks a finished entry (response side).
+	StatusCompleted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "IDLE"
+	case StatusPending:
+		return "PENDING"
+	case StatusBusy:
+		return "BUSY"
+	default:
+		return "COMPLETED"
+	}
+}
+
+// ErrQueueFull is the sentinel UID returned by Enqueue when the request
+// list has no free entry; the progress engine must fall back (paper:
+// "the UID can be a negative number to notify the progress engine").
+const ErrQueueFull int64 = -1
+
+// Config tunes the scheduler.
+type Config struct {
+	// QueueCapacity is the circular request-list size.
+	QueueCapacity int
+	// ThresholdBytes triggers a fused launch once pending payload
+	// reaches it. The paper's heuristic lands around 512 KiB on both
+	// evaluation systems; too low under-fuses (launch storms), too high
+	// over-fuses (delayed communication, lost overlap).
+	ThresholdBytes int64
+	// MaxPending, if positive, triggers a fused launch once that many
+	// requests are pending regardless of bytes.
+	MaxPending int
+	// EnqueueCostNs and QueryCostNs are the CPU costs of scheduler
+	// interactions (the paper reports total scheduling overhead of at
+	// most ~2 µs per message).
+	EnqueueCostNs int64
+	QueryCostNs   int64
+}
+
+// DefaultConfig mirrors the tuned settings used for "Proposed-Tuned".
+func DefaultConfig() Config {
+	return Config{
+		QueueCapacity:  512,
+		ThresholdBytes: 512 << 10,
+		MaxPending:     0,
+		EnqueueCostNs:  350,
+		QueryCostNs:    60,
+	}
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Enqueued         int64
+	Rejected         int64 // queue-full fallbacks
+	FusedLaunches    int64
+	FusedRequests    int64
+	ThresholdFlushes int64
+	CapFlushes       int64
+	ExplicitFlushes  int64
+	EmptyFlushes     int64
+	MaxBatch         int
+}
+
+// entry is one request-list slot.
+type entry struct {
+	uid        int64
+	job        *pack.Job
+	reqStatus  Status
+	respStatus Status
+	enqueuedAt int64
+	doneAt     int64
+	doneEv     *sim.Event
+}
+
+// Scheduler is the fusion scheduler of Fig. 5. One scheduler serves one
+// GPU; in this implementation it runs on the caller's (progress engine's)
+// proc, the common deployment the paper evaluates.
+type Scheduler struct {
+	env    *sim.Env
+	dev    *gpu.Device
+	stream *gpu.Stream
+	cfg    Config
+
+	ring         []entry
+	byUID        map[int64]*entry
+	pending      []*entry // insertion-ordered pending entries
+	pendingBytes int64
+	nextUID      int64
+
+	Stats Stats
+	// Trace, if non-nil, accrues Scheduling/Launch/PackKernel costs.
+	Trace *trace.Breakdown
+	// tuner, if set, adapts ThresholdBytes online from observed request
+	// latencies (the model-based prediction of the paper's future work).
+	tuner *AutoTuner
+}
+
+// EnableAutoTune attaches an online threshold tuner; the scheduler starts
+// from the tuner's current recommendation.
+func (s *Scheduler) EnableAutoTune(t *AutoTuner) {
+	s.tuner = t
+	s.cfg.ThresholdBytes = t.Threshold()
+}
+
+// NewScheduler builds a scheduler that launches fused kernels on the given
+// stream of dev.
+func NewScheduler(dev *gpu.Device, stream *gpu.Stream, cfg Config) *Scheduler {
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = DefaultConfig().QueueCapacity
+	}
+	if cfg.EnqueueCostNs <= 0 {
+		cfg.EnqueueCostNs = DefaultConfig().EnqueueCostNs
+	}
+	if cfg.QueryCostNs <= 0 {
+		cfg.QueryCostNs = DefaultConfig().QueryCostNs
+	}
+	return &Scheduler{
+		env:    dev.Env(),
+		dev:    dev,
+		stream: stream,
+		cfg:    cfg,
+		ring:   make([]entry, cfg.QueueCapacity),
+		byUID:  make(map[int64]*entry),
+	}
+}
+
+// Config returns the active configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// PendingBytes reports the payload waiting to be fused.
+func (s *Scheduler) PendingBytes() int64 { return s.pendingBytes }
+
+// PendingCount reports how many requests await fusion.
+func (s *Scheduler) PendingCount() int { return len(s.pending) }
+
+// Enqueue (① in Fig. 5) inserts a request for job and returns its UID, or
+// ErrQueueFull when the request list is exhausted — the caller must then
+// fall back to a non-fused path. Enqueue may trigger a fused launch when a
+// flush policy fires (scenario 2 of Section IV-C); the launch overhead is
+// charged to the calling proc, exactly like the real runtime.
+func (s *Scheduler) Enqueue(p *sim.Proc, job *pack.Job) int64 {
+	p.Sleep(s.cfg.EnqueueCostNs)
+	s.addTrace(trace.Scheduling, s.cfg.EnqueueCostNs)
+	e := s.freeEntry()
+	if e == nil {
+		s.Stats.Rejected++
+		return ErrQueueFull
+	}
+	s.nextUID++
+	*e = entry{
+		uid:        s.nextUID,
+		job:        job,
+		reqStatus:  StatusPending,
+		respStatus: StatusIdle,
+		enqueuedAt: s.env.Now(),
+		doneEv:     s.env.NewEvent(fmt.Sprintf("fusion-req-%d", s.nextUID)),
+	}
+	s.byUID[e.uid] = e
+	s.pending = append(s.pending, e)
+	s.pendingBytes += job.Bytes
+	s.Stats.Enqueued++
+
+	if s.cfg.ThresholdBytes > 0 && s.pendingBytes >= s.cfg.ThresholdBytes {
+		s.Stats.ThresholdFlushes++
+		s.launch(p)
+	} else if s.cfg.MaxPending > 0 && len(s.pending) >= s.cfg.MaxPending {
+		s.Stats.CapFlushes++
+		s.launch(p)
+	}
+	return e.uid
+}
+
+// Flush (② on demand) launches a fused kernel over everything pending. The
+// progress engine calls it when it has no more operations to enqueue and
+// reaches a synchronization point (scenario 1 of Section IV-C).
+func (s *Scheduler) Flush(p *sim.Proc) {
+	if len(s.pending) == 0 {
+		s.Stats.EmptyFlushes++
+		return
+	}
+	s.Stats.ExplicitFlushes++
+	s.launch(p)
+}
+
+// launch fuses all pending requests into a single kernel.
+func (s *Scheduler) launch(p *sim.Proc) {
+	batch := s.pending
+	s.pending = nil
+	s.pendingBytes = 0
+
+	works := make([]gpu.FusedWork, len(batch))
+	for i, e := range batch {
+		e := e
+		e.reqStatus = StatusBusy
+		bytes := e.job.Bytes
+		works[i] = e.job.FusedWork(fmt.Sprintf("req-%d", e.uid), func(end int64) {
+			// ③: the GPU thread block signals completion by
+			// updating the response status — no CPU sync at the
+			// kernel boundary.
+			e.respStatus = StatusCompleted
+			e.doneAt = end
+			e.doneEv.Fire()
+			if s.tuner != nil && s.tuner.Record(end-e.enqueuedAt, bytes) {
+				s.cfg.ThresholdBytes = s.tuner.Threshold()
+			}
+		})
+	}
+	s.Stats.FusedLaunches++
+	s.Stats.FusedRequests += int64(len(batch))
+	if len(batch) > s.Stats.MaxBatch {
+		s.Stats.MaxBatch = len(batch)
+	}
+	fc := s.stream.LaunchFused(p, fmt.Sprintf("batch-%d", s.Stats.FusedLaunches), works)
+	s.addTrace(trace.Launch, s.dev.Arch.LaunchOverheadNs)
+	s.addTrace(trace.PackKernel, fc.End-fc.Start)
+}
+
+// Done (④) answers a status query for uid: the scheduler compares the
+// request status with the response status. A true return releases the
+// request-list entry. Unknown UIDs (already released) report true.
+func (s *Scheduler) Done(p *sim.Proc, uid int64) bool {
+	p.Sleep(s.cfg.QueryCostNs)
+	s.addTrace(trace.Scheduling, s.cfg.QueryCostNs)
+	e, ok := s.byUID[uid]
+	if !ok {
+		return true
+	}
+	if e.respStatus == StatusCompleted {
+		s.release(e)
+		return true
+	}
+	return false
+}
+
+// DoneEvent returns an event that fires when uid's request completes, or
+// nil if the UID is unknown (already released). Waiting on the event does
+// not release the entry; pair with Done or Release.
+func (s *Scheduler) DoneEvent(uid int64) *sim.Event {
+	e, ok := s.byUID[uid]
+	if !ok {
+		return nil
+	}
+	return e.doneEv
+}
+
+// SyncStream explicitly synchronizes the fused-kernel stream — the
+// kernel-boundary synchronization the paper's design avoids; exposed for
+// the ablation that reintroduces it.
+func (s *Scheduler) SyncStream(p *sim.Proc) {
+	s.stream.Synchronize(p)
+}
+
+// Release frees uid's entry without a status query (used after waiting on
+// DoneEvent).
+func (s *Scheduler) Release(uid int64) {
+	if e, ok := s.byUID[uid]; ok {
+		s.release(e)
+	}
+}
+
+func (s *Scheduler) release(e *entry) {
+	delete(s.byUID, e.uid)
+	e.reqStatus = StatusIdle
+	e.respStatus = StatusIdle
+	e.job = nil
+	e.uid = 0
+}
+
+// freeEntry scans the ring for an idle slot.
+func (s *Scheduler) freeEntry() *entry {
+	for i := range s.ring {
+		if s.ring[i].reqStatus == StatusIdle && s.ring[i].uid == 0 {
+			return &s.ring[i]
+		}
+	}
+	return nil
+}
+
+// RequestLatency reports enqueue→completion time for a finished entry that
+// has not been released yet; ok is false otherwise.
+func (s *Scheduler) RequestLatency(uid int64) (int64, bool) {
+	e, found := s.byUID[uid]
+	if !found || e.respStatus != StatusCompleted {
+		return 0, false
+	}
+	return e.doneAt - e.enqueuedAt, true
+}
+
+func (s *Scheduler) addTrace(c trace.Category, d int64) {
+	if s.Trace != nil {
+		s.Trace.Add(c, d)
+	}
+}

@@ -1,0 +1,374 @@
+package fusion
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/datatype"
+	"repro/internal/gpu"
+	"repro/internal/pack"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func newSched(cfg Config) (*sim.Env, *gpu.Device, *Scheduler) {
+	env := sim.NewEnv()
+	dev := gpu.NewDevice(env, cluster.VoltaV100NVLink(), 0, 0)
+	return env, dev, NewScheduler(dev, dev.NewStream("fusion"), cfg)
+}
+
+// mkPackJob builds a sparse pack job with real buffers and returns the job
+// plus a verifier closure.
+func mkPackJob(dev *gpu.Device, seed int64, blocks, blockLen int) (*pack.Job, func() error) {
+	lens := make([]int, blocks)
+	displs := make([]int, blocks)
+	for i := range lens {
+		lens[i] = blockLen
+		displs[i] = i * (blockLen + 3)
+	}
+	l := datatype.Commit(datatype.Indexed(lens, displs, datatype.Float32))
+	src := dev.Alloc("src", int(l.ExtentBytes))
+	dst := dev.Alloc("dst", int(l.SizeBytes))
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(src.Data)
+	job := pack.NewJob(pack.OpPack, src, dst, l.Blocks)
+	verify := func() error {
+		ref := make([]byte, l.SizeBytes)
+		l.Pack(src.Data, ref)
+		if !bytes.Equal(dst.Data, ref) {
+			return fmt.Errorf("packed bytes wrong for job seed %d", seed)
+		}
+		return nil
+	}
+	return job, verify
+}
+
+func TestEnqueueReturnsIncreasingUIDs(t *testing.T) {
+	env, dev, s := newSched(Config{ThresholdBytes: 1 << 30})
+	env.Spawn("pe", func(p *sim.Proc) {
+		j1, _ := mkPackJob(dev, 1, 100, 2)
+		j2, _ := mkPackJob(dev, 2, 100, 2)
+		u1 := s.Enqueue(p, j1)
+		u2 := s.Enqueue(p, j2)
+		if u1 <= 0 || u2 <= u1 {
+			t.Errorf("uids not increasing: %d %d", u1, u2)
+		}
+		if s.PendingCount() != 2 {
+			t.Errorf("pending = %d", s.PendingCount())
+		}
+		s.Flush(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitFlushRunsAllAndSignalsCompletion(t *testing.T) {
+	env, dev, s := newSched(Config{ThresholdBytes: 1 << 30})
+	var verifiers []func() error
+	env.Spawn("pe", func(p *sim.Proc) {
+		var uids []int64
+		for i := 0; i < 8; i++ {
+			j, v := mkPackJob(dev, int64(i), 200, 1)
+			verifiers = append(verifiers, v)
+			uids = append(uids, s.Enqueue(p, j))
+		}
+		s.Flush(p)
+		for _, uid := range uids {
+			ev := s.DoneEvent(uid)
+			if ev == nil {
+				t.Errorf("uid %d unknown", uid)
+				continue
+			}
+			p.Wait(ev)
+			if !s.Done(p, uid) {
+				t.Errorf("uid %d not done after event", uid)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verifiers {
+		if err := v(); err != nil {
+			t.Error(err)
+		}
+	}
+	if dev.Stats.KernelLaunches != 1 {
+		t.Fatalf("launches = %d, want exactly 1 fused", dev.Stats.KernelLaunches)
+	}
+	if s.Stats.FusedRequests != 8 || s.Stats.ExplicitFlushes != 1 {
+		t.Fatalf("stats: %+v", s.Stats)
+	}
+}
+
+func TestThresholdFlushFires(t *testing.T) {
+	env, dev, s := newSched(Config{ThresholdBytes: 4 << 10})
+	env.Spawn("pe", func(p *sim.Proc) {
+		// Each job is 200 blocks * 4B = 800B; the 6th crosses 4 KiB.
+		for i := 0; i < 6; i++ {
+			j, _ := mkPackJob(dev, int64(i), 200, 1)
+			s.Enqueue(p, j)
+		}
+		if s.Stats.ThresholdFlushes != 1 {
+			t.Errorf("threshold flushes = %d", s.Stats.ThresholdFlushes)
+		}
+		if s.PendingCount() != 0 {
+			t.Errorf("pending after threshold flush = %d", s.PendingCount())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats.FusedKernels != 1 {
+		t.Fatalf("fused kernels = %d", dev.Stats.FusedKernels)
+	}
+}
+
+func TestMaxPendingCapFlush(t *testing.T) {
+	env, dev, s := newSched(Config{ThresholdBytes: 1 << 40, MaxPending: 4})
+	env.Spawn("pe", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			j, _ := mkPackJob(dev, int64(i), 10, 1)
+			s.Enqueue(p, j)
+		}
+		if s.Stats.CapFlushes != 1 {
+			t.Errorf("cap flushes = %d", s.Stats.CapFlushes)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFullFallback(t *testing.T) {
+	env, dev, s := newSched(Config{QueueCapacity: 2, ThresholdBytes: 1 << 40})
+	env.Spawn("pe", func(p *sim.Proc) {
+		j1, _ := mkPackJob(dev, 1, 10, 1)
+		j2, _ := mkPackJob(dev, 2, 10, 1)
+		j3, _ := mkPackJob(dev, 3, 10, 1)
+		if s.Enqueue(p, j1) <= 0 || s.Enqueue(p, j2) <= 0 {
+			t.Error("first two enqueues must succeed")
+		}
+		if got := s.Enqueue(p, j3); got != ErrQueueFull {
+			t.Errorf("third enqueue = %d, want ErrQueueFull", got)
+		}
+		if s.Stats.Rejected != 1 {
+			t.Errorf("rejected = %d", s.Stats.Rejected)
+		}
+		s.Flush(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntriesRecycleAfterRelease(t *testing.T) {
+	env, dev, s := newSched(Config{QueueCapacity: 2, ThresholdBytes: 1 << 40})
+	env.Spawn("pe", func(p *sim.Proc) {
+		for round := 0; round < 5; round++ {
+			j1, _ := mkPackJob(dev, int64(round), 10, 1)
+			j2, _ := mkPackJob(dev, int64(round+100), 10, 1)
+			u1, u2 := s.Enqueue(p, j1), s.Enqueue(p, j2)
+			if u1 <= 0 || u2 <= 0 {
+				t.Fatalf("round %d: queue full despite releases", round)
+			}
+			s.Flush(p)
+			p.Wait(s.DoneEvent(u1))
+			p.Wait(s.DoneEvent(u2))
+			s.Release(u1)
+			s.Release(u2)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoneOnUnknownUIDIsTrue(t *testing.T) {
+	env, _, s := newSched(Config{})
+	env.Spawn("pe", func(p *sim.Proc) {
+		if !s.Done(p, 9999) {
+			t.Error("unknown uid should report done")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFlushIsCheapNoop(t *testing.T) {
+	env, dev, s := newSched(Config{})
+	env.Spawn("pe", func(p *sim.Proc) {
+		s.Flush(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats.KernelLaunches != 0 || s.Stats.EmptyFlushes != 1 {
+		t.Fatalf("empty flush launched something: %+v %+v", dev.Stats, s.Stats)
+	}
+}
+
+func TestNoKernelBoundarySync(t *testing.T) {
+	// Completion arrives via response-status update, never via stream
+	// synchronize: the device sync counter must stay zero.
+	env, dev, s := newSched(Config{ThresholdBytes: 1 << 40})
+	env.Spawn("pe", func(p *sim.Proc) {
+		j, _ := mkPackJob(dev, 7, 500, 2)
+		uid := s.Enqueue(p, j)
+		s.Flush(p)
+		for !s.Done(p, uid) {
+			p.Sleep(500)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats.StreamSyncs != 0 || dev.Stats.EventRecords != 0 {
+		t.Fatalf("fusion used explicit sync: %+v", dev.Stats)
+	}
+}
+
+func TestRequestLatencyVisible(t *testing.T) {
+	env, dev, s := newSched(Config{ThresholdBytes: 1 << 40})
+	env.Spawn("pe", func(p *sim.Proc) {
+		j, _ := mkPackJob(dev, 3, 500, 2)
+		uid := s.Enqueue(p, j)
+		if _, ok := s.RequestLatency(uid); ok {
+			t.Error("latency available before completion")
+		}
+		s.Flush(p)
+		p.Wait(s.DoneEvent(uid))
+		lat, ok := s.RequestLatency(uid)
+		if !ok || lat <= 0 {
+			t.Errorf("latency = %d ok=%v", lat, ok)
+		}
+		s.Release(uid)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceAccrual(t *testing.T) {
+	env, dev, s := newSched(Config{ThresholdBytes: 1 << 40})
+	var bd trace.Breakdown
+	s.Trace = &bd
+	env.Spawn("pe", func(p *sim.Proc) {
+		j, _ := mkPackJob(dev, 3, 100, 2)
+		uid := s.Enqueue(p, j)
+		s.Flush(p)
+		p.Wait(s.DoneEvent(uid))
+		s.Done(p, uid)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bd.Get(trace.Scheduling) == 0 || bd.Get(trace.Launch) != dev.Arch.LaunchOverheadNs || bd.Get(trace.PackKernel) == 0 {
+		t.Fatalf("trace wrong: %s", bd.String())
+	}
+}
+
+func TestFusionVsSerialLatency(t *testing.T) {
+	// End-to-end: 16 sparse packs via fusion vs 16 sync'd kernel
+	// launches. Fusion must win by a wide margin (paper: up to 8X).
+	arch := cluster.VoltaV100NVLink()
+
+	envA := sim.NewEnv()
+	devA := gpu.NewDevice(envA, arch, 0, 0)
+	stA := devA.NewStream("s")
+	var serial int64
+	envA.Spawn("pe", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			j, _ := mkPackJob(devA, int64(i), 2000, 1)
+			stA.Launch(p, j.KernelSpec())
+			stA.Synchronize(p)
+		}
+		serial = p.Now()
+	})
+	if err := envA.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	envB := sim.NewEnv()
+	devB := gpu.NewDevice(envB, arch, 0, 0)
+	sB := NewScheduler(devB, devB.NewStream("s"), Config{ThresholdBytes: 1 << 40})
+	var fused int64
+	envB.Spawn("pe", func(p *sim.Proc) {
+		var uids []int64
+		for i := 0; i < 16; i++ {
+			j, _ := mkPackJob(devB, int64(i), 2000, 1)
+			uids = append(uids, sB.Enqueue(p, j))
+		}
+		sB.Flush(p)
+		for _, u := range uids {
+			p.Wait(sB.DoneEvent(u))
+			sB.Release(u)
+		}
+		fused = p.Now()
+	})
+	if err := envB.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fused*4 >= serial {
+		t.Fatalf("fusion end-to-end %dns, serial %dns: want >=4x win", fused, serial)
+	}
+}
+
+// Property: after any sequence of enqueues and a final flush, every UID
+// completes, every payload byte is correct, and exactly
+// (threshold+cap+explicit) launches happened.
+func TestPropertyAllRequestsComplete(t *testing.T) {
+	f := func(seed int64, nRaw uint8, thrRaw uint16) bool {
+		n := int(nRaw%24) + 1
+		threshold := int64(thrRaw)*64 + 1024
+		env, dev, s := func() (*sim.Env, *gpu.Device, *Scheduler) {
+			env := sim.NewEnv()
+			dev := gpu.NewDevice(env, cluster.VoltaV100NVLink(), 0, 0)
+			return env, dev, NewScheduler(dev, dev.NewStream("f"), Config{ThresholdBytes: threshold})
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		var verifiers []func() error
+		env.Spawn("pe", func(p *sim.Proc) {
+			var uids []int64
+			for i := 0; i < n; i++ {
+				j, v := mkPackJob(dev, rng.Int63(), rng.Intn(300)+1, rng.Intn(3)+1)
+				verifiers = append(verifiers, v)
+				uid := s.Enqueue(p, j)
+				if uid <= 0 {
+					ok = false
+					return
+				}
+				uids = append(uids, uid)
+			}
+			s.Flush(p)
+			for _, u := range uids {
+				if ev := s.DoneEvent(u); ev != nil {
+					p.Wait(ev)
+				}
+				if !s.Done(p, u) {
+					ok = false
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		for _, v := range verifiers {
+			if v() != nil {
+				return false
+			}
+		}
+		launches := s.Stats.ThresholdFlushes + s.Stats.CapFlushes + s.Stats.ExplicitFlushes
+		return ok && dev.Stats.KernelLaunches == launches && s.Stats.FusedRequests == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

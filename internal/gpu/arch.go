@@ -1,0 +1,109 @@
+// Package gpu models a CUDA-class GPU device on the simulated clock: the
+// CPU-side driver cost of launching work, FIFO streams, events, copy
+// engines, SM occupancy, and a memory-bandwidth execution model for packing
+// kernels. Kernels move real bytes (their Exec closure runs when the kernel
+// retires), so data correctness is testable while time is fully virtual.
+//
+// The model is deliberately a *latency algebra*, not a cycle-accurate
+// simulator: the paper's phenomenon is that a fixed several-microsecond
+// per-launch driver overhead dominates packing kernels that themselves take
+// only a microsecond or two, and that fusing N kernels pays the launch cost
+// once while the fused kernel's span stays close to a single kernel's. The
+// parameters below are calibrated to reproduce that algebra (Fig. 1 of the
+// paper), not absolute device timings.
+package gpu
+
+// Arch holds the performance parameters of one GPU generation.
+//
+// All times are virtual nanoseconds; all bandwidths are bytes per
+// nanosecond (1 B/ns == 1 GB/s is off by ~7%; we use the decimal
+// convention 1 GB/s == 1 byte/ns for readability).
+type Arch struct {
+	Name string
+
+	// LaunchOverheadNs is the CPU-side driver cost of launching one
+	// kernel (cudaLaunchKernel): the calling thread is busy for this
+	// long. This is the paper's central villain.
+	LaunchOverheadNs int64
+
+	// KernelStartupNs is the GPU-side fixed cost of a kernel: scheduling
+	// thread blocks onto SMs before useful work begins.
+	KernelStartupNs int64
+
+	// SMCount and MaxBlocksPerSM bound the number of concurrently
+	// resident thread blocks; their product is the parallelism available
+	// to a (fused) packing kernel.
+	SMCount        int
+	MaxBlocksPerSM int
+
+	// MemBWBytesPerNs is the aggregate device-memory bandwidth.
+	MemBWBytesPerNs float64
+
+	// BlockCopyBWBytesPerNs is the streaming copy bandwidth a single
+	// thread block achieves on contiguous data.
+	BlockCopyBWBytesPerNs float64
+
+	// SegmentFixedNs is the per-contiguous-segment overhead inside a
+	// packing kernel (address computation plus uncoalesced first/last
+	// transactions). Sparse layouts with thousands of tiny segments are
+	// dominated by this term.
+	SegmentFixedNs float64
+
+	// ChunkBytes is the granularity at which a packing kernel splits a
+	// large contiguous segment across thread blocks; zero selects the
+	// 16 KiB default. Without chunking a dense few-segment layout would
+	// be bottlenecked on single-block copy bandwidth, which real pack
+	// kernels avoid by parallelizing within segments.
+	ChunkBytes int64
+
+	// UniformFusedPartition switches the fused kernel's cooperative-
+	// group partitioning from work-proportional to a naive equal split
+	// (ablation of the Partition phase in the paper's Fig. 6).
+	UniformFusedPartition bool
+
+	// CUDA API costs on the calling CPU thread.
+	EventRecordNs         int64 // cudaEventRecord
+	EventQueryNs          int64 // cudaEventQuery
+	StreamSyncBaseNs      int64 // cudaStreamSynchronize fixed part
+	MemcpyAsyncOverheadNs int64 // cudaMemcpyAsync driver cost per call
+
+	// Copy-engine (DMA) characteristics for H2D/D2H transfers; the
+	// bandwidth itself comes from the CPU-GPU link.
+	CopyEngineLatencyNs int64
+
+	// CPUGPULinkBWBytesPerNs is the host<->device interconnect bandwidth
+	// (NVLink2: 75, PCIe3 x16: 32 in the systems of the paper).
+	CPUGPULinkBWBytesPerNs float64
+
+	// GDRCopy window: CPU load/store directly into device memory. Very
+	// low latency, modest bandwidth — the CPU-GPU-Hybrid baseline's
+	// weapon for small dense layouts.
+	GdrCopyLatencyNs    int64
+	GdrCopyBWBytesPerNs float64
+	// GdrSegmentFixedNs is the CPU per-segment cost when packing through
+	// the window.
+	GdrSegmentFixedNs float64
+}
+
+// MaxResidentBlocks returns the number of thread blocks that can execute
+// concurrently.
+func (a Arch) MaxResidentBlocks() int {
+	return a.SMCount * a.MaxBlocksPerSM
+}
+
+// Validate reports whether the parameter set is usable and panics with a
+// descriptive message otherwise. Building a Device validates implicitly.
+func (a Arch) Validate() {
+	switch {
+	case a.Name == "":
+		panic("gpu: Arch.Name empty")
+	case a.LaunchOverheadNs <= 0:
+		panic("gpu: LaunchOverheadNs must be positive: " + a.Name)
+	case a.SMCount <= 0 || a.MaxBlocksPerSM <= 0:
+		panic("gpu: SM geometry must be positive: " + a.Name)
+	case a.MemBWBytesPerNs <= 0 || a.BlockCopyBWBytesPerNs <= 0:
+		panic("gpu: bandwidths must be positive: " + a.Name)
+	case a.CPUGPULinkBWBytesPerNs <= 0:
+		panic("gpu: CPU-GPU link bandwidth must be positive: " + a.Name)
+	}
+}

@@ -1,0 +1,370 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Space says where a buffer's bytes live.
+type Space int
+
+const (
+	// SpaceHost is pageable/pinned host memory.
+	SpaceHost Space = iota
+	// SpaceDevice is GPU global memory.
+	SpaceDevice
+)
+
+func (s Space) String() string {
+	if s == SpaceHost {
+		return "host"
+	}
+	return "device"
+}
+
+// Buffer is a named span of simulated memory. Data is real: kernels and
+// copy engines move bytes between buffers so correctness is observable.
+type Buffer struct {
+	Name  string
+	Space Space
+	Data  []byte
+	// Dev is the owning device for SpaceDevice buffers, nil for host.
+	Dev *Device
+}
+
+// Len returns the buffer length in bytes.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// HostAlloc allocates a host buffer.
+func HostAlloc(name string, n int) *Buffer {
+	return &Buffer{Name: name, Space: SpaceHost, Data: make([]byte, n)}
+}
+
+// Stats counts device activity; all counters are monotonically increasing.
+type Stats struct {
+	KernelLaunches int64 // kernels launched (fused counts once)
+	FusedKernels   int64 // fused launches (subset of KernelLaunches)
+	FusedRequests  int64 // requests folded into fused kernels
+	KernelBusyNs   int64 // GPU time spent in kernels
+	LaunchCPUNs    int64 // CPU time burned in launch overhead
+	MemcpyCalls    int64
+	MemcpyBytes    int64
+	EventRecords   int64
+	EventQueries   int64
+	StreamSyncs    int64
+	BytesMoved     int64 // bytes moved by kernels
+	SegmentsMoved  int64 // contiguous segments processed by kernels
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	Arch Arch
+	// ID is unique within a cluster; Node is the owning node index.
+	ID   int
+	Node int
+
+	env   *sim.Env
+	alloc int64
+	Stats Stats
+}
+
+// NewDevice creates a device with the given architecture on the simulation
+// environment.
+func NewDevice(env *sim.Env, arch Arch, id, node int) *Device {
+	arch.Validate()
+	return &Device{Arch: arch, ID: id, Node: node, env: env}
+}
+
+// Env returns the simulation environment the device is bound to.
+func (d *Device) Env() *sim.Env { return d.env }
+
+// Alloc allocates device global memory.
+func (d *Device) Alloc(name string, n int) *Buffer {
+	d.alloc += int64(n)
+	return &Buffer{Name: name, Space: SpaceDevice, Data: make([]byte, n), Dev: d}
+}
+
+// AllocatedBytes reports the total device memory allocated so far.
+func (d *Device) AllocatedBytes() int64 { return d.alloc }
+
+// NewStream creates an in-order execution queue on the device.
+func (d *Device) NewStream(name string) *Stream {
+	return &Stream{dev: d, name: name}
+}
+
+// Stream is an in-order work queue: kernels and async copies issued to the
+// same stream execute back to back; distinct streams proceed concurrently
+// (the model does not charge cross-stream contention beyond the shared
+// memory-bandwidth floor inside each kernel).
+type Stream struct {
+	dev       *Device
+	name      string
+	busyUntil int64
+}
+
+// Name returns the stream name.
+func (s *Stream) Name() string { return s.name }
+
+// Device returns the owning device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// BusyUntil reports the virtual time at which all currently enqueued work
+// retires.
+func (s *Stream) BusyUntil() int64 { return s.busyUntil }
+
+// Idle reports whether the stream has no pending work at the current time.
+func (s *Stream) Idle() bool { return s.busyUntil <= s.dev.env.Now() }
+
+// Completion describes one retired (or in-flight) stream operation.
+type Completion struct {
+	// Ev fires when the operation retires.
+	Ev *sim.Event
+	// Start and End bound the operation's execution on the device.
+	Start, End int64
+}
+
+// Done reports whether the operation has retired.
+func (c *Completion) Done() bool { return c.Ev.Fired() }
+
+// KernelSpec describes one packing/unpacking kernel to launch.
+type KernelSpec struct {
+	// Name is used for events and debugging.
+	Name string
+	// Bytes is the total payload the kernel moves.
+	Bytes int64
+	// Segments is the number of contiguous spans the payload is split
+	// into; sparse layouts have thousands of tiny segments.
+	Segments int
+	// MaxSegmentBytes is the largest single contiguous span. Zero means
+	// assume Bytes/Segments.
+	MaxSegmentBytes int64
+	// ThreadBlocks requests a specific grid size; zero sizes the grid to
+	// one block per segment, capped at device residency.
+	ThreadBlocks int
+	// MinDurationNs floors the kernel's execution time; DirectIPC
+	// kernels use it to model the GPU-GPU link their load/stores cross.
+	MinDurationNs int64
+	// Exec performs the real data movement. It runs in scheduler context
+	// when the kernel retires and must not block.
+	Exec func()
+}
+
+// chunk returns the intra-segment parallelization granularity.
+func (a Arch) chunk() int64 {
+	if a.ChunkBytes > 0 {
+		return a.ChunkBytes
+	}
+	return 16 << 10
+}
+
+// workUnits is the number of independently schedulable pieces a payload
+// splits into: at least one per contiguous segment, and large segments are
+// chunked so a dense layout still fills the machine.
+func (a Arch) workUnits(bytes int64, segments int) int {
+	units := segments
+	if byChunk := int((bytes + a.chunk() - 1) / a.chunk()); byChunk > units {
+		units = byChunk
+	}
+	if units < 1 {
+		units = 1
+	}
+	return units
+}
+
+// kernelCost returns the GPU-side execution time of a kernel processing
+// `bytes` across `segments` spans with `blocks` concurrent thread blocks.
+// The model is the max of three lower bounds:
+//
+//	bandwidth:  bytes / device memory bandwidth
+//	work:       (per-segment fixed cost + streaming time) / parallelism
+//	critical:   the largest single work unit at one block's bandwidth
+//
+// plus the fixed kernel startup.
+func (a Arch) kernelCost(bytes int64, segments, blocks int, maxSeg int64) int64 {
+	if bytes == 0 || segments == 0 {
+		return a.KernelStartupNs
+	}
+	if blocks <= 0 {
+		blocks = 1
+	}
+	if maxSeg <= 0 {
+		maxSeg = bytes / int64(segments)
+		if maxSeg == 0 {
+			maxSeg = 1
+		}
+	}
+	if maxSeg > a.chunk() {
+		maxSeg = a.chunk() // large segments are chunked across blocks
+	}
+	bw := float64(bytes) / a.MemBWBytesPerNs
+	work := (float64(segments)*a.SegmentFixedNs + float64(bytes)/a.BlockCopyBWBytesPerNs) / float64(blocks)
+	crit := a.SegmentFixedNs + float64(maxSeg)/a.BlockCopyBWBytesPerNs
+	return a.KernelStartupNs + int64(math.Ceil(math.Max(bw, math.Max(work, crit))))
+}
+
+// EstimateKernelNs exposes the kernel cost model (used by the fusion
+// scheduler's flush heuristics and by tests).
+func (d *Device) EstimateKernelNs(bytes int64, segments int, maxSeg int64) int64 {
+	blocks := d.gridFor(bytes, segments, 0)
+	return d.Arch.kernelCost(bytes, segments, blocks, maxSeg)
+}
+
+// gridFor sizes the grid: requested blocks if given, else one block per
+// work unit, always within [1, MaxResidentBlocks].
+func (d *Device) gridFor(bytes int64, segments, requested int) int {
+	blocks := requested
+	if blocks <= 0 {
+		blocks = d.Arch.workUnits(bytes, segments)
+	}
+	if max := d.Arch.MaxResidentBlocks(); blocks > max {
+		blocks = max
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// Launch issues one kernel from proc p. The calling proc pays the driver
+// launch overhead; the kernel then executes in stream order. Exec runs when
+// the kernel retires.
+func (s *Stream) Launch(p *sim.Proc, spec KernelSpec) *Completion {
+	d := s.dev
+	p.Sleep(d.Arch.LaunchOverheadNs)
+	d.Stats.LaunchCPUNs += d.Arch.LaunchOverheadNs
+	d.Stats.KernelLaunches++
+	blocks := d.gridFor(spec.Bytes, spec.Segments, spec.ThreadBlocks)
+	dur := d.Arch.kernelCost(spec.Bytes, spec.Segments, blocks, spec.MaxSegmentBytes)
+	if dur < spec.MinDurationNs {
+		dur = spec.MinDurationNs
+	}
+	return s.enqueue(p, spec.Name, dur, spec.Bytes, spec.Segments, spec.Exec)
+}
+
+// enqueue places one operation of duration dur at the stream tail.
+func (s *Stream) enqueue(p *sim.Proc, name string, dur, bytes int64, segments int, exec func()) *Completion {
+	d := s.dev
+	now := d.env.Now()
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	end := start + dur
+	s.busyUntil = end
+	d.Stats.KernelBusyNs += dur
+	d.Stats.BytesMoved += bytes
+	d.Stats.SegmentsMoved += int64(segments)
+	c := &Completion{
+		Ev:    d.env.NewEvent(fmt.Sprintf("%s@%s", name, s.name)),
+		Start: start,
+		End:   end,
+	}
+	d.env.At(end, func() {
+		if exec != nil {
+			exec()
+		}
+		c.Ev.Fire()
+	})
+	return c
+}
+
+// CopyKind distinguishes the path a cudaMemcpyAsync takes.
+type CopyKind int
+
+const (
+	// CopyD2D stays in device memory.
+	CopyD2D CopyKind = iota
+	// CopyH2D crosses the CPU-GPU link into the device.
+	CopyH2D
+	// CopyD2H crosses the CPU-GPU link out of the device.
+	CopyD2H
+)
+
+func (k CopyKind) String() string {
+	switch k {
+	case CopyD2D:
+		return "D2D"
+	case CopyH2D:
+		return "H2D"
+	default:
+		return "D2H"
+	}
+}
+
+// MemcpyAsync issues a copy-engine transfer on the stream. The calling proc
+// pays the per-call driver overhead. Exec performs the real byte movement
+// when the transfer retires.
+func (s *Stream) MemcpyAsync(p *sim.Proc, kind CopyKind, bytes int64, exec func()) *Completion {
+	d := s.dev
+	p.Sleep(d.Arch.MemcpyAsyncOverheadNs)
+	d.Stats.LaunchCPUNs += d.Arch.MemcpyAsyncOverheadNs
+	d.Stats.MemcpyCalls++
+	d.Stats.MemcpyBytes += bytes
+	bw := d.Arch.MemBWBytesPerNs
+	if kind != CopyD2D {
+		bw = d.Arch.CPUGPULinkBWBytesPerNs
+	}
+	dur := d.Arch.CopyEngineLatencyNs + int64(math.Ceil(float64(bytes)/bw))
+	return s.enqueue(p, fmt.Sprintf("memcpy-%s", kind), dur, bytes, 1, exec)
+}
+
+// Event is a CUDA-event analogue: a marker recorded at a point in a stream.
+type Event struct {
+	dev *Device
+	ev  *sim.Event
+	at  int64
+}
+
+// Record places an event after all work currently enqueued on the stream.
+// The calling proc pays the cudaEventRecord cost.
+func (s *Stream) Record(p *sim.Proc, name string) *Event {
+	d := s.dev
+	p.Sleep(d.Arch.EventRecordNs)
+	d.Stats.EventRecords++
+	at := d.env.Now()
+	if s.busyUntil > at {
+		at = s.busyUntil
+	}
+	e := &Event{dev: d, ev: d.env.NewEvent("gpuev:" + name), at: at}
+	if at <= d.env.Now() {
+		e.ev.Fire()
+	} else {
+		e.ev.FireAt(at)
+	}
+	return e
+}
+
+// Query polls the event (cudaEventQuery): the calling proc pays the query
+// cost; the return value reflects the state after that cost.
+func (e *Event) Query(p *sim.Proc) bool {
+	p.Sleep(e.dev.Arch.EventQueryNs)
+	e.dev.Stats.EventQueries++
+	return e.ev.Fired()
+}
+
+// Synchronize blocks until the event fires (cudaEventSynchronize).
+func (e *Event) Synchronize(p *sim.Proc) {
+	p.Sleep(e.dev.Arch.StreamSyncBaseNs)
+	e.dev.Stats.StreamSyncs++
+	p.Wait(e.ev)
+}
+
+// Done reports the event state without any API cost (for assertions).
+func (e *Event) Done() bool { return e.ev.Fired() }
+
+// Synchronize blocks the proc until all work enqueued on the stream at call
+// time retires (cudaStreamSynchronize).
+func (s *Stream) Synchronize(p *sim.Proc) {
+	d := s.dev
+	p.Sleep(d.Arch.StreamSyncBaseNs)
+	d.Stats.StreamSyncs++
+	until := s.busyUntil
+	if until <= d.env.Now() {
+		return
+	}
+	ev := d.env.NewEvent("streamsync:" + s.name)
+	ev.FireAt(until)
+	p.Wait(ev)
+}

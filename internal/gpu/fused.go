@@ -1,0 +1,179 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// FusedWork is one request folded into a fused kernel: an independent
+// pack/unpack/DirectIPC operation executed by its own cooperative group of
+// thread blocks (paper Fig. 6).
+type FusedWork struct {
+	// Name identifies the request for events/debugging.
+	Name string
+	// Bytes and Segments describe the payload exactly as in KernelSpec.
+	Bytes           int64
+	Segments        int
+	MaxSegmentBytes int64
+	// MinDurationNs floors this request's group duration (DirectIPC
+	// link crossing).
+	MinDurationNs int64
+	// Exec performs the real data movement when this request's group
+	// finishes (scheduler context, must not block).
+	Exec func()
+	// OnComplete, if non-nil, runs right after Exec at the request's own
+	// completion time — this is the GPU thread updating the response
+	// status in the request list (step ③ in paper Fig. 5), which is what
+	// lets the scheduler skip kernel-boundary synchronization.
+	OnComplete func(end int64)
+}
+
+// FusedCompletion reports the timing of a fused kernel and of each request
+// inside it.
+type FusedCompletion struct {
+	// Ev fires when the whole fused kernel retires.
+	Ev *sim.Event
+	// Start and End bound the kernel.
+	Start, End int64
+	// ReqEnd[i] is the completion time of request i; requests signal
+	// completion individually, before kernel end for all but the slowest
+	// group.
+	ReqEnd []int64
+}
+
+// LaunchFused launches one kernel that executes all requests concurrently
+// using cooperative-group partitioning: the resident thread blocks are
+// divided among requests in proportion to their work, each group completing
+// (and signalling) independently. The caller pays exactly one launch
+// overhead regardless of len(reqs) — the entire point of the design.
+func (s *Stream) LaunchFused(p *sim.Proc, name string, reqs []FusedWork) *FusedCompletion {
+	if len(reqs) == 0 {
+		panic("gpu: LaunchFused with no requests")
+	}
+	d := s.dev
+	p.Sleep(d.Arch.LaunchOverheadNs)
+	d.Stats.LaunchCPUNs += d.Arch.LaunchOverheadNs
+	d.Stats.KernelLaunches++
+	d.Stats.FusedKernels++
+	d.Stats.FusedRequests += int64(len(reqs))
+
+	durs := d.fusedDurations(reqs)
+
+	now := d.env.Now()
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	var kernelDur int64
+	var totalBytes int64
+	var totalSegs int
+	for i, r := range reqs {
+		if durs[i] > kernelDur {
+			kernelDur = durs[i]
+		}
+		totalBytes += r.Bytes
+		totalSegs += r.Segments
+	}
+	end := start + kernelDur
+	s.busyUntil = end
+	d.Stats.KernelBusyNs += kernelDur
+	d.Stats.BytesMoved += totalBytes
+	d.Stats.SegmentsMoved += int64(totalSegs)
+
+	fc := &FusedCompletion{
+		Ev:     d.env.NewEvent(fmt.Sprintf("fused:%s@%s", name, s.name)),
+		Start:  start,
+		End:    end,
+		ReqEnd: make([]int64, len(reqs)),
+	}
+	for i, r := range reqs {
+		i, r := i, r
+		reqEnd := start + durs[i]
+		fc.ReqEnd[i] = reqEnd
+		d.env.At(reqEnd, func() {
+			if r.Exec != nil {
+				r.Exec()
+			}
+			if r.OnComplete != nil {
+				r.OnComplete(reqEnd)
+			}
+		})
+	}
+	d.env.At(end, func() { fc.Ev.Fire() })
+	return fc
+}
+
+// EstimateFusedNs returns the modeled span of a fused kernel over the given
+// requests without launching anything (used by flush heuristics and
+// benchmarks).
+func (d *Device) EstimateFusedNs(reqs []FusedWork) int64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	var max int64
+	for _, dur := range d.fusedDurations(reqs) {
+		if dur > max {
+			max = dur
+		}
+	}
+	return max
+}
+
+// fusedDurations partitions the device's resident thread blocks among the
+// requests in proportion to each request's serial work (cooperative-group
+// partition phase), computes each group's duration with the per-kernel cost
+// model, and then stretches all durations uniformly if the aggregate
+// payload exceeds what device memory bandwidth allows — groups share one
+// HBM.
+func (d *Device) fusedDurations(reqs []FusedWork) []int64 {
+	a := d.Arch
+	total := 0.0
+	work := make([]float64, len(reqs))
+	for i, r := range reqs {
+		w := float64(r.Segments)*a.SegmentFixedNs + float64(r.Bytes)/a.BlockCopyBWBytesPerNs
+		if w <= 0 {
+			w = 1
+		}
+		work[i] = w
+		total += w
+	}
+	budget := a.MaxResidentBlocks()
+	durs := make([]int64, len(reqs))
+	var maxDur int64
+	var totalBytes int64
+	for i, r := range reqs {
+		var share int
+		if a.UniformFusedPartition {
+			share = budget / len(reqs)
+		} else {
+			share = int(math.Floor(float64(budget) * work[i] / total))
+		}
+		if share < 1 {
+			share = 1
+		}
+		if units := a.workUnits(r.Bytes, r.Segments); share > units {
+			share = units // a group never holds more blocks than work units
+		}
+		durs[i] = a.kernelCost(r.Bytes, r.Segments, share, r.MaxSegmentBytes)
+		if durs[i] < r.MinDurationNs {
+			durs[i] = r.MinDurationNs
+		}
+		if durs[i] > maxDur {
+			maxDur = durs[i]
+		}
+		totalBytes += r.Bytes
+	}
+	// Shared-HBM floor: if the sum of payloads needs longer than the
+	// slowest group's modeled time, stretch everything proportionally so
+	// ordering is preserved but bandwidth is respected.
+	floor := int64(math.Ceil(float64(totalBytes) / a.MemBWBytesPerNs))
+	if floor > maxDur && maxDur > 0 {
+		scale := float64(floor) / float64(maxDur)
+		for i := range durs {
+			durs[i] = int64(math.Ceil(float64(durs[i]) * scale))
+		}
+	}
+	return durs
+}

@@ -1,0 +1,238 @@
+package gpu
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFusedSingleLaunchOverhead(t *testing.T) {
+	env, d := newTestDevice(t)
+	st := d.NewStream("s0")
+	reqs := make([]FusedWork, 16)
+	for i := range reqs {
+		reqs[i] = FusedWork{Name: fmt.Sprintf("r%d", i), Bytes: 32 << 10, Segments: 1000}
+	}
+	var afterLaunch int64
+	env.Spawn("host", func(p *sim.Proc) {
+		st.LaunchFused(p, "fused16", reqs)
+		afterLaunch = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if afterLaunch != d.Arch.LaunchOverheadNs {
+		t.Fatalf("fused launch CPU cost = %d, want one launch overhead %d", afterLaunch, d.Arch.LaunchOverheadNs)
+	}
+	if d.Stats.KernelLaunches != 1 || d.Stats.FusedKernels != 1 || d.Stats.FusedRequests != 16 {
+		t.Fatalf("stats wrong: %+v", d.Stats)
+	}
+}
+
+func TestFusedBeatsSerialLaunches(t *testing.T) {
+	// The headline claim: N small packing operations fused into one
+	// kernel finish far sooner than N individually launched kernels.
+	arch := testArch()
+	mkReqs := func() []FusedWork {
+		reqs := make([]FusedWork, 16)
+		for i := range reqs {
+			reqs[i] = FusedWork{Name: fmt.Sprintf("r%d", i), Bytes: 24 << 10, Segments: 2000}
+		}
+		return reqs
+	}
+
+	envA := sim.NewEnv()
+	dA := NewDevice(envA, arch, 0, 0)
+	stA := dA.NewStream("s")
+	var serialEnd int64
+	envA.Spawn("host", func(p *sim.Proc) {
+		for _, r := range mkReqs() {
+			stA.Launch(p, KernelSpec{Name: r.Name, Bytes: r.Bytes, Segments: r.Segments})
+		}
+		stA.Synchronize(p)
+		serialEnd = p.Now()
+	})
+	if err := envA.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	envB := sim.NewEnv()
+	dB := NewDevice(envB, arch, 0, 0)
+	stB := dB.NewStream("s")
+	var fusedEnd int64
+	envB.Spawn("host", func(p *sim.Proc) {
+		fc := stB.LaunchFused(p, "fused", mkReqs())
+		p.Wait(fc.Ev)
+		fusedEnd = p.Now()
+	})
+	if err := envB.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if fusedEnd*3 >= serialEnd {
+		t.Fatalf("fused (%d) not at least 3x faster than serial (%d)", fusedEnd, serialEnd)
+	}
+}
+
+func TestFusedPerRequestCompletionSignalling(t *testing.T) {
+	env, d := newTestDevice(t)
+	st := d.NewStream("s0")
+	// One tiny request and one huge one: the tiny one must signal
+	// completion well before the kernel retires.
+	var tinyEnd int64 = -1
+	reqs := []FusedWork{
+		{Name: "tiny", Bytes: 512, Segments: 4, OnComplete: func(end int64) { tinyEnd = end }},
+		{Name: "huge", Bytes: 256 << 20, Segments: 4096},
+	}
+	var fc *FusedCompletion
+	env.Spawn("host", func(p *sim.Proc) {
+		fc = st.LaunchFused(p, "mix", reqs)
+		p.Wait(fc.Ev)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tinyEnd < 0 {
+		t.Fatal("tiny request never signalled completion")
+	}
+	if tinyEnd >= fc.End {
+		t.Fatalf("tiny completed at %d, not before kernel end %d", tinyEnd, fc.End)
+	}
+	if fc.ReqEnd[0] != tinyEnd {
+		t.Fatalf("ReqEnd[0] = %d, want %d", fc.ReqEnd[0], tinyEnd)
+	}
+}
+
+func TestFusedExecMovesBytesPerRequest(t *testing.T) {
+	env, d := newTestDevice(t)
+	st := d.NewStream("s0")
+	src := d.Alloc("src", 256)
+	dst := d.Alloc("dst", 256)
+	for i := range src.Data {
+		src.Data[i] = byte(255 - i)
+	}
+	reqs := []FusedWork{
+		{Name: "lo", Bytes: 128, Segments: 2, Exec: func() { copy(dst.Data[:128], src.Data[:128]) }},
+		{Name: "hi", Bytes: 128, Segments: 2, Exec: func() { copy(dst.Data[128:], src.Data[128:]) }},
+	}
+	env.Spawn("host", func(p *sim.Proc) {
+		fc := st.LaunchFused(p, "two", reqs)
+		p.Wait(fc.Ev)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst.Data {
+		if dst.Data[i] != byte(255-i) {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst.Data[i], byte(255-i))
+		}
+	}
+}
+
+func TestFusedEmptyPanics(t *testing.T) {
+	env, d := newTestDevice(t)
+	st := d.NewStream("s0")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	env.Spawn("host", func(p *sim.Proc) { st.LaunchFused(p, "none", nil) })
+	_ = env.Run()
+}
+
+func TestFusedSpanCloseToSingleKernel(t *testing.T) {
+	// Paper Section IV: with enough SMs, the fused kernel's execution
+	// time stays close to a single kernel's. 8 identical small requests
+	// should cost far less than 8x one request.
+	_, d := newTestDevice(t)
+	one := d.EstimateFusedNs([]FusedWork{{Bytes: 16 << 10, Segments: 500}})
+	reqs := make([]FusedWork, 8)
+	for i := range reqs {
+		reqs[i] = FusedWork{Bytes: 16 << 10, Segments: 500}
+	}
+	eight := d.EstimateFusedNs(reqs)
+	if eight >= 4*one {
+		t.Fatalf("8 fused requests cost %d, want < 4x single (%d)", eight, one)
+	}
+}
+
+func TestFusedRespectsBandwidthFloor(t *testing.T) {
+	_, d := newTestDevice(t)
+	// Aggregate payload so large that HBM bandwidth must bound the span.
+	reqs := make([]FusedWork, 16)
+	var total int64
+	for i := range reqs {
+		reqs[i] = FusedWork{Bytes: 64 << 20, Segments: 64}
+		total += reqs[i].Bytes
+	}
+	span := d.EstimateFusedNs(reqs)
+	floor := int64(float64(total) / d.Arch.MemBWBytesPerNs)
+	if span < floor {
+		t.Fatalf("span %d below bandwidth floor %d", span, floor)
+	}
+}
+
+// Property: the fused span is never shorter than the largest individual
+// request's modeled duration, and never longer than the sum of all
+// individually-launched kernel durations.
+func TestPropertyFusedSpanBounds(t *testing.T) {
+	d := NewDevice(sim.NewEnv(), testArch(), 0, 0)
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 24 {
+			return true
+		}
+		reqs := make([]FusedWork, len(sizes))
+		var sum int64
+		var maxOne int64
+		for i, s := range sizes {
+			bytes := int64(s)*64 + 64
+			segs := int(s%300) + 1
+			reqs[i] = FusedWork{Bytes: bytes, Segments: segs}
+			one := d.Arch.kernelCost(bytes, segs, d.gridFor(bytes, segs, 0), 0)
+			sum += one
+			if one > maxOne {
+				maxOne = one
+			}
+		}
+		span := d.EstimateFusedNs(reqs)
+		// The fused model gives each request at least 1 block, so a
+		// request can run slower than solo; bound loosely below by
+		// the max single-request solo time divided is not sound —
+		// instead check the hard invariants:
+		return span >= d.Arch.KernelStartupNs && span <= sum+d.Arch.KernelStartupNs*int64(len(sizes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedMinDurationFloor(t *testing.T) {
+	_, d := newTestDevice(t)
+	withFloor := d.EstimateFusedNs([]FusedWork{{Bytes: 1024, Segments: 2, MinDurationNs: 500_000}})
+	if withFloor < 500_000 {
+		t.Fatalf("floor ignored: %d", withFloor)
+	}
+	without := d.EstimateFusedNs([]FusedWork{{Bytes: 1024, Segments: 2}})
+	if without >= 500_000 {
+		t.Fatalf("baseline unexpectedly slow: %d", without)
+	}
+}
+
+func TestUniformPartitionHurtsHeterogeneousBatches(t *testing.T) {
+	mixed := []FusedWork{
+		{Bytes: 2 << 20, Segments: 20_000}, // huge sparse request
+	}
+	for i := 0; i < 15; i++ {
+		mixed = append(mixed, FusedWork{Bytes: 4 << 10, Segments: 4})
+	}
+	arch := testArch()
+	prop := NewDevice(sim.NewEnv(), arch, 0, 0).EstimateFusedNs(mixed)
+	arch.UniformFusedPartition = true
+	uniform := NewDevice(sim.NewEnv(), arch, 0, 0).EstimateFusedNs(mixed)
+	if prop >= uniform {
+		t.Fatalf("work-proportional (%d) should beat uniform (%d) on skewed batches", prop, uniform)
+	}
+}

@@ -1,0 +1,150 @@
+package layoutcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datatype"
+)
+
+func vecLayout() *datatype.Layout {
+	return datatype.Commit(datatype.Vector(4, 2, 5, datatype.Float64))
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(8)
+	l := vecLayout()
+	e1, hit := c.Get(l, 3)
+	if hit {
+		t.Fatal("first access must miss")
+	}
+	e2, hit := c.Get(l, 3)
+	if !hit {
+		t.Fatal("second access must hit")
+	}
+	if e1 != e2 {
+		t.Fatal("hit must return the same entry")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("stats: %d hits %d misses", c.Hits, c.Misses)
+	}
+}
+
+func TestDistinctCountsAreDistinctEntries(t *testing.T) {
+	c := New(8)
+	l := vecLayout()
+	a, _ := c.Get(l, 1)
+	b, _ := c.Get(l, 2)
+	if a == b {
+		t.Fatal("count must be part of the key")
+	}
+	if b.Bytes != 2*a.Bytes {
+		t.Fatalf("count-2 bytes = %d, want %d", b.Bytes, 2*a.Bytes)
+	}
+	if b.Extent != 2*a.Extent {
+		t.Fatalf("count-2 extent = %d, want %d", b.Extent, 2*a.Extent)
+	}
+}
+
+func TestEntryAggregates(t *testing.T) {
+	c := New(0)
+	l := vecLayout()
+	e, _ := c.Get(l, 1)
+	if e.Bytes != l.SizeBytes || e.Segments != l.NumBlocks() || e.MaxBlock != l.MaxBlockBytes {
+		t.Fatalf("entry %+v does not match layout %+v", e, l)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	l1, l2, l3 := vecLayout(), vecLayout(), vecLayout()
+	c.Get(l1, 1)
+	c.Get(l2, 1)
+	c.Get(l1, 1) // touch l1 so l2 is the LRU victim
+	c.Get(l3, 1) // evicts l2
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions)
+	}
+	if _, hit := c.Get(l1, 1); !hit {
+		t.Fatal("l1 should have survived")
+	}
+	if _, hit := c.Get(l2, 1); hit {
+		t.Fatal("l2 should have been evicted")
+	}
+}
+
+func TestUnboundedCacheNeverEvicts(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 100; i++ {
+		c.Get(vecLayout(), 1)
+	}
+	if c.Evictions != 0 || c.Len() != 100 {
+		t.Fatalf("evictions=%d len=%d", c.Evictions, c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(8)
+	l := vecLayout()
+	c.Get(l, 1)
+	c.Invalidate(l, 1)
+	if _, hit := c.Get(l, 1); hit {
+		t.Fatal("invalidated entry must miss")
+	}
+	c.Invalidate(l, 99) // absent key: no-op
+}
+
+func TestHitRate(t *testing.T) {
+	c := New(8)
+	if c.HitRate() != 0 {
+		t.Fatal("empty cache hit rate should be 0")
+	}
+	l := vecLayout()
+	c.Get(l, 1)
+	c.Get(l, 1)
+	c.Get(l, 1)
+	c.Get(l, 1)
+	if got := c.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %f, want 0.75", got)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel
+	if m.Lookup(true, 10_000) != m.HitNs {
+		t.Fatal("hit cost must not scale with segments")
+	}
+	small := m.Lookup(false, 10)
+	big := m.Lookup(false, 10_000)
+	if big <= small {
+		t.Fatal("miss cost must scale with segments")
+	}
+}
+
+// Property: a Get with the same (layout, count) is always a hit after the
+// first access, and entry aggregates equal a direct recomputation.
+func TestPropertyGetIdempotent(t *testing.T) {
+	f := func(countRaw uint8, blocklenRaw, strideExtra uint8) bool {
+		count := int(countRaw%8) + 1
+		bl := int(blocklenRaw%4) + 1
+		l := datatype.Commit(datatype.Vector(3, bl, bl+int(strideExtra%4)+1, datatype.Int32))
+		c := New(4)
+		e, hit := c.Get(l, count)
+		if hit {
+			return false
+		}
+		e2, hit2 := c.Get(l, count)
+		if !hit2 || e2 != e {
+			return false
+		}
+		blocks := l.Repeat(count)
+		var bytes int64
+		for _, b := range blocks {
+			bytes += b.Len
+		}
+		return e.Bytes == bytes && e.Segments == len(blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

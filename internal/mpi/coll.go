@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/datatype"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Collective operations built on the point-to-point layer. Tags above
+// collTagBase are reserved for collectives; applications should stay below.
+const collTagBase = 1 << 20
+
+// Bcast broadcasts count elements of layout l from root's buf to every
+// rank's buf using a binomial tree. Every rank must call it with the same
+// arguments (SPMD style).
+func (r *Rank) Bcast(p *sim.Proc, root int, buf *gpu.Buffer, l *datatype.Layout, count int) {
+	size := r.world.Size()
+	// Rotate so the root is virtual rank 0; classic binomial tree.
+	vrank := (r.id - root + size) % size
+	toReal := func(v int) int { return (v + root) % size }
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			parent := toReal(vrank - mask)
+			r.Wait(p, r.Irecv(p, parent, collTagBase+1, buf, l, count))
+			break
+		}
+		mask <<= 1
+	}
+	// mask is now the received bit (or >= size for the root); forward to
+	// children at vrank+mask/2, vrank+mask/4, ...
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < size {
+			child := toReal(vrank + mask)
+			r.Wait(p, r.Isend(p, child, collTagBase+1, buf, l, count))
+		}
+	}
+}
+
+// AllreduceSumF64 sums n float64 values element-wise across all ranks into
+// every rank's buf (recursive doubling; world size must be a power of
+// two, which holds for the modeled systems).
+func (r *Rank) AllreduceSumF64(p *sim.Proc, buf *gpu.Buffer, n int) {
+	size := r.world.Size()
+	if size&(size-1) != 0 {
+		panic("mpi: AllreduceSumF64 requires power-of-two world")
+	}
+	bytes := n * 8
+	if buf.Len() < bytes {
+		panic("mpi: AllreduceSumF64 buffer too small")
+	}
+	l := datatype.Commit(datatype.Contiguous(n, datatype.Float64))
+	tmp := r.Dev.Alloc(fmt.Sprintf("allreduce-tmp-%d", r.id), bytes)
+	for mask := 1; mask < size; mask <<= 1 {
+		peer := r.id ^ mask
+		rq := r.Irecv(p, peer, collTagBase+2+mask, tmp, l, 1)
+		sq := r.Isend(p, peer, collTagBase+2+mask, buf, l, 1)
+		r.Waitall(p, []*Request{rq, sq})
+		for i := 0; i < n; i++ {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(buf.Data[i*8:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(tmp.Data[i*8:]))
+			binary.LittleEndian.PutUint64(buf.Data[i*8:], math.Float64bits(a+b))
+		}
+	}
+}
+
+// NeighborOp describes one leg of a neighborhood exchange: what to send to
+// and receive from one peer, with per-peer datatypes — the shape of
+// MPI_Neighbor_alltoallw, which is exactly the paper's "bulk
+// non-contiguous data transfer".
+type NeighborOp struct {
+	Peer     int
+	SendBuf  *gpu.Buffer
+	SendType *datatype.Layout
+	RecvBuf  *gpu.Buffer
+	RecvType *datatype.Layout
+	Count    int
+}
+
+// NeighborExchange posts all receives, then all sends, then waits — the
+// MPI-level implicit approach of Algorithm 3, giving the runtime (and the
+// fusion scheduler) maximal freedom to batch the datatype processing.
+func (r *Rank) NeighborExchange(p *sim.Proc, ops []NeighborOp) {
+	// All legs share one tag: the k-th send to a peer matches the k-th
+	// posted receive from that peer (FIFO matching), so both sides only
+	// need to order their per-peer legs consistently, as
+	// MPI_Neighbor_alltoallw's topology ordering guarantees.
+	reqs := make([]*Request, 0, 2*len(ops))
+	for _, op := range ops {
+		count := op.Count
+		if count == 0 {
+			count = 1
+		}
+		reqs = append(reqs, r.Irecv(p, op.Peer, collTagBase+100, op.RecvBuf, op.RecvType, count))
+	}
+	for _, op := range ops {
+		count := op.Count
+		if count == 0 {
+			count = 1
+		}
+		reqs = append(reqs, r.Isend(p, op.Peer, collTagBase+100, op.SendBuf, op.SendType, count))
+	}
+	r.Waitall(p, reqs)
+}

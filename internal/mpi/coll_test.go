@@ -1,0 +1,414 @@
+package mpi_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/gpu"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestCartCreate2x2x2(t *testing.T) {
+	w := newWorld("GPU-Sync", nil)
+	cart := w.CartCreate([]int{2, 2, 2}, []bool{true, true, true})
+	if cart.Size() != 8 {
+		t.Fatalf("size = %d", cart.Size())
+	}
+	// Coords round-trip.
+	for r := 0; r < 8; r++ {
+		if got := cart.RankOf(cart.Coords(r)); got != r {
+			t.Fatalf("rank %d -> %v -> %d", r, cart.Coords(r), got)
+		}
+	}
+	// Periodic shift wraps: with dims of 2, +1 and -1 reach the same peer.
+	src, dst := cart.Shift(0, 0, 1)
+	if src != dst || src != 4 {
+		t.Fatalf("shift(0, axis0) = %d,%d want 4,4", src, dst)
+	}
+}
+
+func TestCartNonPeriodicBoundary(t *testing.T) {
+	w := newWorld("GPU-Sync", nil)
+	cart := w.CartCreate([]int{4, 2}, []bool{false, true})
+	src, dst := cart.Shift(0, 0, 1) // row 0 of 4
+	if src != -1 {
+		t.Fatalf("top boundary should have PROC_NULL source, got %d", src)
+	}
+	if dst != 2 {
+		t.Fatalf("down neighbor = %d, want 2", dst)
+	}
+	n := cart.Neighbors(0)
+	// rank 0 at (0,0): -x none, +x rank 2; y periodic with dim 2: both = rank 1.
+	if len(n) != 3 {
+		t.Fatalf("neighbors = %v", n)
+	}
+}
+
+func TestCartTooBigPanics(t *testing.T) {
+	w := newWorld("GPU-Sync", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.CartCreate([]int{3, 3}, []bool{false, false})
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	l := datatype.Commit(datatype.Contiguous(256, datatype.Float64))
+	for root := 0; root < 8; root += 3 {
+		w := newWorld("Proposed-Tuned", nil)
+		bufs := make([]*gpu.Buffer, 8)
+		for i := range bufs {
+			bufs[i] = w.Rank(i).Dev.Alloc("b", int(l.ExtentBytes))
+		}
+		for i := range bufs[root].Data {
+			bufs[root].Data[i] = byte(i*7 + root)
+		}
+		err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+			r.Bcast(p, root, bufs[r.ID()], l, 1)
+		})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		for i := range bufs {
+			if !bytes.Equal(bufs[i].Data, bufs[root].Data) {
+				t.Fatalf("root %d: rank %d data mismatch", root, i)
+			}
+		}
+	}
+}
+
+func TestBcastNoncontiguousType(t *testing.T) {
+	l := datatype.Commit(datatype.Vector(64, 2, 5, datatype.Float32))
+	w := newWorld("Proposed-Tuned", nil)
+	bufs := make([]*gpu.Buffer, 8)
+	for i := range bufs {
+		bufs[i] = w.Rank(i).Dev.Alloc("b", int(l.ExtentBytes))
+	}
+	for i := range bufs[0].Data {
+		bufs[0].Data[i] = byte(i)
+	}
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		r.Bcast(p, 0, bufs[r.ID()], l, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 8; i++ {
+		for _, b := range l.Blocks {
+			if !bytes.Equal(bufs[i].Data[b.Offset:b.Offset+b.Len], bufs[0].Data[b.Offset:b.Offset+b.Len]) {
+				t.Fatalf("rank %d block %+v mismatch", i, b)
+			}
+		}
+	}
+}
+
+func TestAllreduceSumF64(t *testing.T) {
+	const n = 32
+	w := newWorld("Proposed-Tuned", nil)
+	bufs := make([]*gpu.Buffer, 8)
+	for i := range bufs {
+		bufs[i] = w.Rank(i).Dev.Alloc("v", n*8)
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint64(bufs[i].Data[j*8:], math.Float64bits(float64(i*100+j)))
+		}
+	}
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		r.AllreduceSumF64(p, bufs[r.ID()], n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufs {
+		for j := 0; j < n; j++ {
+			got := math.Float64frombits(binary.LittleEndian.Uint64(bufs[i].Data[j*8:]))
+			want := float64(0)
+			for k := 0; k < 8; k++ {
+				want += float64(k*100 + j)
+			}
+			if got != want {
+				t.Fatalf("rank %d elem %d = %f, want %f", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestNeighborExchange3DHalo(t *testing.T) {
+	// A full 2x2x2 periodic halo exchange via NeighborExchange with
+	// per-axis face datatypes — MPI_Neighbor_alltoallw on the paper's
+	// Fig. 3 pattern generalized to 3D.
+	n := 8
+	w := newWorld("Proposed-Tuned", nil)
+	cart := w.CartCreate([]int{2, 2, 2}, []bool{true, true, true})
+	face := func(axis int) *datatype.Layout {
+		sizes := []int{n, n, n}
+		sub := []int{n, n, n}
+		sub[axis] = 1
+		return datatype.Commit(datatype.Subarray(sizes, sub, []int{0, 0, 0}, datatype.Float64))
+	}
+	faces := []*datatype.Layout{face(0), face(1), face(2)}
+	grids := make([]*gpu.Buffer, 8)
+	halos := make([][]*gpu.Buffer, 8)
+	for i := range grids {
+		grids[i] = w.Rank(i).Dev.Alloc("g", n*n*n*8)
+		for a := 0; a < 3; a++ {
+			halos[i] = append(halos[i], w.Rank(i).Dev.Alloc("h", n*n*n*8))
+		}
+		for j := range grids[i].Data {
+			grids[i].Data[j] = byte((i + 1) * (j%127 + 1))
+		}
+	}
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		var ops []mpi.NeighborOp
+		for a := 0; a < 3; a++ {
+			_, peer := cart.Shift(r.ID(), a, 1) // dim 2: ±1 is the same peer
+			ops = append(ops, mpi.NeighborOp{
+				Peer:    peer,
+				SendBuf: grids[r.ID()], SendType: faces[a],
+				RecvBuf: halos[r.ID()][a], RecvType: faces[a],
+			})
+		}
+		r.NeighborExchange(p, ops)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for a := 0; a < 3; a++ {
+			_, peer := cart.Shift(i, a, 1)
+			for _, b := range faces[a].Blocks {
+				if !bytes.Equal(halos[i][a].Data[b.Offset:b.Offset+b.Len], grids[peer].Data[b.Offset:b.Offset+b.Len]) {
+					t.Fatalf("rank %d axis %d: halo mismatch at %+v", i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborExchangeMultipleLegsSamePeer(t *testing.T) {
+	// Two different datatypes to the same peer: FIFO matching must pair
+	// them in posting order on both sides.
+	w := newWorld("GPU-Sync", nil)
+	la := datatype.Commit(datatype.Vector(16, 1, 2, datatype.Float64))
+	lb := datatype.Commit(datatype.Contiguous(64, datatype.Float32))
+	mk := func(rk int, seed byte) (a, b, ra, rb *gpu.Buffer) {
+		a = w.Rank(rk).Dev.Alloc("a", int(la.ExtentBytes))
+		b = w.Rank(rk).Dev.Alloc("b", int(lb.ExtentBytes))
+		ra = w.Rank(rk).Dev.Alloc("ra", int(la.ExtentBytes))
+		rb = w.Rank(rk).Dev.Alloc("rb", int(lb.ExtentBytes))
+		for i := range a.Data {
+			a.Data[i] = seed
+		}
+		for i := range b.Data {
+			b.Data[i] = seed + 1
+		}
+		return
+	}
+	a0, b0, ra0, rb0 := mk(0, 0x10)
+	a4, b4, ra4, rb4 := mk(4, 0x40)
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r.NeighborExchange(p, []mpi.NeighborOp{
+				{Peer: 4, SendBuf: a0, SendType: la, RecvBuf: ra0, RecvType: la},
+				{Peer: 4, SendBuf: b0, SendType: lb, RecvBuf: rb0, RecvType: lb},
+			})
+		case 4:
+			r.NeighborExchange(p, []mpi.NeighborOp{
+				{Peer: 0, SendBuf: a4, SendType: la, RecvBuf: ra4, RecvType: la},
+				{Peer: 0, SendBuf: b4, SendType: lb, RecvBuf: rb4, RecvType: lb},
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra0.Data[0] != 0x40 || rb0.Data[0] != 0x41 || ra4.Data[0] != 0x10 || rb4.Data[0] != 0x11 {
+		t.Fatalf("legs crossed: %x %x %x %x", ra0.Data[0], rb0.Data[0], ra4.Data[0], rb4.Data[0])
+	}
+}
+
+func TestPackUnpackExplicitAPI(t *testing.T) {
+	// Algorithm 1 usage: blocking MPI_Pack into a staging buffer, ship
+	// it as bytes, blocking MPI_Unpack on the receiver.
+	for _, scheme := range []string{"GPU-Sync", "Proposed-Tuned", "CPU-GPU-Hybrid"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			w := newWorld(scheme, nil)
+			l := datatype.Commit(datatype.Vector(128, 2, 5, datatype.Float32))
+			packedType := datatype.Commit(datatype.Contiguous(int(l.SizeBytes), datatype.Byte))
+			src := w.Rank(0).Dev.Alloc("src", int(l.ExtentBytes))
+			spacked := w.Rank(0).Dev.Alloc("spacked", int(l.SizeBytes))
+			rpacked := w.Rank(4).Dev.Alloc("rpacked", int(l.SizeBytes))
+			dst := w.Rank(4).Dev.Alloc("dst", int(l.ExtentBytes))
+			for i := range src.Data {
+				src.Data[i] = byte(i % 251)
+			}
+			err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+				switch r.ID() {
+				case 0:
+					var pos int64
+					r.Pack(p, src, l, 1, spacked, &pos)
+					if pos != l.SizeBytes {
+						t.Errorf("position = %d, want %d", pos, l.SizeBytes)
+					}
+					r.Wait(p, r.Isend(p, 4, 0, spacked, packedType, 1))
+				case 4:
+					r.Wait(p, r.Irecv(p, 0, 0, rpacked, packedType, 1))
+					var pos int64
+					r.Unpack(p, rpacked, &pos, dst, l, 1)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range l.Blocks {
+				if !bytes.Equal(dst.Data[b.Offset:b.Offset+b.Len], src.Data[b.Offset:b.Offset+b.Len]) {
+					t.Fatalf("block %+v mismatch", b)
+				}
+			}
+		})
+	}
+}
+
+func TestPackPositionAdvancesAcrossCalls(t *testing.T) {
+	w := newWorld("GPU-Sync", nil)
+	l := datatype.Commit(datatype.Vector(4, 1, 2, datatype.Byte))
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if r.ID() != 0 {
+			return
+		}
+		src1 := r.Dev.Alloc("s1", int(l.ExtentBytes))
+		src2 := r.Dev.Alloc("s2", int(l.ExtentBytes))
+		out := r.Dev.Alloc("o", int(2*l.SizeBytes))
+		for i := range src1.Data {
+			src1.Data[i] = 0xA0
+			src2.Data[i] = 0xB0
+		}
+		var pos int64
+		r.Pack(p, src1, l, 1, out, &pos)
+		r.Pack(p, src2, l, 1, out, &pos)
+		if pos != 2*l.SizeBytes {
+			t.Errorf("pos = %d", pos)
+		}
+		if out.Data[0] != 0xA0 || out.Data[l.SizeBytes] != 0xB0 {
+			t.Errorf("packed order wrong: % x", out.Data)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackOverflowPanics(t *testing.T) {
+	w := newWorld("GPU-Sync", nil)
+	l := datatype.Commit(datatype.Contiguous(64, datatype.Byte))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if r.ID() != 0 {
+			return
+		}
+		src := r.Dev.Alloc("s", 64)
+		out := r.Dev.Alloc("o", 8) // too small
+		var pos int64
+		r.Pack(p, src, l, 1, out, &pos)
+	})
+}
+
+func TestPackSize(t *testing.T) {
+	w := newWorld("GPU-Sync", nil)
+	l := datatype.Commit(datatype.Vector(4, 2, 5, datatype.Float64))
+	if got := w.Rank(0).PackSize(l, 3); got != 3*l.SizeBytes {
+		t.Fatalf("PackSize = %d", got)
+	}
+}
+
+func TestSendRecvBlocking(t *testing.T) {
+	w := newWorld("Proposed-Tuned", nil)
+	l := datatype.Commit(datatype.Vector(32, 1, 2, datatype.Float64))
+	sbuf := w.Rank(0).Dev.Alloc("s", int(l.ExtentBytes))
+	rbuf := w.Rank(4).Dev.Alloc("r", int(l.ExtentBytes))
+	for i := range sbuf.Data {
+		sbuf.Data[i] = byte(i * 3)
+	}
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r.Send(p, 4, 0, sbuf, l, 1)
+		case 4:
+			r.Recv(p, 0, 0, rbuf, l, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range l.Blocks {
+		if !bytes.Equal(rbuf.Data[b.Offset:b.Offset+b.Len], sbuf.Data[b.Offset:b.Offset+b.Len]) {
+			t.Fatalf("block %+v mismatch", b)
+		}
+	}
+}
+
+func TestSendrecvBothDirections(t *testing.T) {
+	w := newWorld("Proposed-Tuned", nil)
+	l := datatype.Commit(datatype.Contiguous(512, datatype.Float32))
+	s0 := w.Rank(0).Dev.Alloc("s0", int(l.ExtentBytes))
+	r0 := w.Rank(0).Dev.Alloc("r0", int(l.ExtentBytes))
+	s4 := w.Rank(4).Dev.Alloc("s4", int(l.ExtentBytes))
+	r4 := w.Rank(4).Dev.Alloc("r4", int(l.ExtentBytes))
+	s0.Data[0], s4.Data[0] = 0xAA, 0xBB
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r.Sendrecv(p, 4, 1, s0, l, 1, 4, 1, r0, l, 1)
+		case 4:
+			r.Sendrecv(p, 0, 1, s4, l, 1, 0, 1, r4, l, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Data[0] != 0xBB || r4.Data[0] != 0xAA {
+		t.Fatalf("sendrecv wrong: %x %x", r0.Data[0], r4.Data[0])
+	}
+}
+
+func TestWaitanyReturnsFirstCompletion(t *testing.T) {
+	w := newWorld("GPU-Sync", nil)
+	l := datatype.Commit(datatype.Contiguous(256, datatype.Float64))
+	fast := w.Rank(0).Dev.Alloc("fast", int(l.ExtentBytes))
+	slowS := w.Rank(5).Dev.Alloc("slow", int(l.ExtentBytes))
+	fastR := w.Rank(4).Dev.Alloc("fr", int(l.ExtentBytes))
+	slowR := w.Rank(4).Dev.Alloc("sr", int(l.ExtentBytes))
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r.Send(p, 4, 1, fast, l, 1)
+		case 5:
+			p.Sleep(5 * sim.Millisecond)
+			r.Send(p, 4, 2, slowS, l, 1)
+		case 4:
+			slow := r.Irecv(p, 5, 2, slowR, l, 1)
+			quick := r.Irecv(p, 0, 1, fastR, l, 1)
+			idx := r.Waitany(p, []*mpi.Request{slow, quick})
+			if idx != 1 {
+				t.Errorf("Waitany = %d, want the fast request (1)", idx)
+			}
+			if !r.Testall(p, []*mpi.Request{slow, quick}) {
+				r.Waitall(p, []*mpi.Request{slow, quick})
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

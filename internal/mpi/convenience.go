@@ -1,0 +1,62 @@
+package mpi
+
+import (
+	"repro/internal/datatype"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Blocking and combined point-to-point conveniences layered on the
+// non-blocking core, mirroring the MPI API surface applications expect.
+
+// Send is blocking MPI_Send.
+func (r *Rank) Send(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) {
+	r.Wait(p, r.Isend(p, dest, tag, buf, l, count))
+}
+
+// Recv is blocking MPI_Recv.
+func (r *Rank) Recv(p *sim.Proc, src, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) {
+	r.Wait(p, r.Irecv(p, src, tag, buf, l, count))
+}
+
+// Sendrecv is MPI_Sendrecv: simultaneous send and receive, deadlock-free.
+func (r *Rank) Sendrecv(p *sim.Proc,
+	dest, sendTag int, sbuf *gpu.Buffer, sendType *datatype.Layout, sendCount int,
+	src, recvTag int, rbuf *gpu.Buffer, recvType *datatype.Layout, recvCount int) {
+	rq := r.Irecv(p, src, recvTag, rbuf, recvType, recvCount)
+	sq := r.Isend(p, dest, sendTag, sbuf, sendType, sendCount)
+	r.Waitall(p, []*Request{rq, sq})
+}
+
+// Waitany blocks until at least one request completes and returns its
+// index (MPI_Waitany). Completed requests keep reporting Done, so callers
+// should track which indices they have consumed.
+func (r *Rank) Waitany(p *sim.Proc, reqs []*Request) int {
+	if len(reqs) == 0 {
+		panic("mpi: Waitany on empty request list")
+	}
+	for {
+		r.scheme.Flush(p)
+		r.progress(p)
+		for i, q := range reqs {
+			if q.Done() {
+				return i
+			}
+		}
+		r.Trace.Add(trace.Comm, r.world.Cfg.PollIntervalNs)
+		p.Sleep(r.world.Cfg.PollIntervalNs)
+	}
+}
+
+// Testall advances progress once and reports whether every request is
+// complete (MPI_Testall).
+func (r *Rank) Testall(p *sim.Proc, reqs []*Request) bool {
+	r.progress(p)
+	for _, q := range reqs {
+		if !q.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,832 @@
+// Package mpi implements a CUDA-aware-MPI-style runtime on the simulated
+// cluster: ranks, non-blocking point-to-point operations with tag matching
+// (posted-receive and unexpected-message queues), eager and rendezvous
+// (RGET/RPUT) protocols over the RDMA fabric, and a polled progress engine.
+//
+// Derived-datatype processing is delegated to a pluggable Scheme — this is
+// the seam where the paper's proposal and every baseline plug in: GPU-Sync,
+// GPU-Async, CPU-GPU-Hybrid, the naive per-block memcpy of production
+// libraries, and the proposed dynamic kernel fusion.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/datatype"
+	"repro/internal/gpu"
+	"repro/internal/layoutcache"
+	"repro/internal/pack"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// AnyTag matches any tag in a receive.
+const AnyTag = -1
+
+// AnySource matches any source rank in a receive.
+const AnySource = -1
+
+// RendezvousMode selects the large-message sub-protocol (Section IV-B1).
+type RendezvousMode int
+
+const (
+	// RGET: the sender sends RTS after packing completes; the receiver
+	// RDMA-READs the packed data.
+	RGET RendezvousMode = iota
+	// RPUT: the sender sends RTS immediately, overlapping the
+	// handshake with packing; on CTS it RDMA-WRITEs the packed data.
+	RPUT
+)
+
+func (m RendezvousMode) String() string {
+	if m == RGET {
+		return "RGET"
+	}
+	return "RPUT"
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// EagerLimitBytes: payloads at or below travel eagerly.
+	EagerLimitBytes int64
+	// Rendezvous selects RGET or RPUT for large payloads.
+	Rendezvous RendezvousMode
+	// PollIntervalNs is the progress-engine poll period while blocked.
+	PollIntervalNs int64
+	// CacheCapacity bounds each rank's layout cache (0 = unbounded).
+	CacheCapacity int
+	// CacheCost prices layout-cache interactions.
+	CacheCost layoutcache.CostModel
+	// StallTimeoutNs bounds how long Waitall may poll without any of its
+	// requests completing before declaring a deadlock (panicking with
+	// the rank and request states). Zero selects the default (100 ms of
+	// virtual time); negative disables the guard.
+	StallTimeoutNs int64
+	// DisableIPC turns off the DirectIPC fast path even when the scheme
+	// supports it (for ablations).
+	DisableIPC bool
+	// DisableLayoutCache makes every datatype lookup pay the full
+	// flattening cost (ablation of the layout cache of [24]).
+	DisableLayoutCache bool
+	// PipelineChunkBytes enables chunked (pipelined) rendezvous for
+	// non-contiguous RGET sends larger than this: each chunk packs as
+	// its own request and transfers as soon as it is ready. Zero
+	// disables pipelining.
+	PipelineChunkBytes int64
+}
+
+// DefaultConfig mirrors common GPU-aware MPI settings.
+func DefaultConfig() Config {
+	return Config{
+		EagerLimitBytes: 16 << 10,
+		Rendezvous:      RGET,
+		PollIntervalNs:  200,
+		CacheCost:       layoutcache.DefaultCostModel,
+	}
+}
+
+// Handle tracks one in-flight datatype-processing operation owned by a
+// Scheme. Done may charge the polling proc (event queries, scheduler
+// queries); DoneEv may return nil if the scheme is poll-only.
+type Handle interface {
+	Done(p *sim.Proc) bool
+	DoneEv() *sim.Event
+}
+
+// Scheme processes derived datatypes for one rank. Implementations decide
+// where packing runs (GPU kernel, fused kernel, CPU window) and how
+// completion is detected — exactly the design space of the paper's Table I.
+type Scheme interface {
+	Name() string
+	// Pack starts packing job (origin non-contiguous -> target packed).
+	Pack(p *sim.Proc, job *pack.Job) Handle
+	// Unpack starts unpacking job (origin packed -> target scattered).
+	Unpack(p *sim.Proc, job *pack.Job) Handle
+	// DirectIPC starts a zero-copy device-to-device non-contiguous
+	// transfer; ok=false means unsupported and the caller falls back to
+	// pack/send/unpack.
+	DirectIPC(p *sim.Proc, job *pack.Job) (h Handle, ok bool)
+	// Flush tells the scheme no more operations are coming before a
+	// synchronization point (MPI_Waitall); fusion launches here.
+	Flush(p *sim.Proc)
+}
+
+// SchemeFactory builds the per-rank scheme instance.
+type SchemeFactory func(r *Rank) Scheme
+
+// World is a set of ranks bound to a simulated cluster, one rank per GPU.
+type World struct {
+	Env     *sim.Env
+	Cluster *cluster.Cluster
+	Cfg     Config
+	ranks   []*Rank
+
+	barrierEv    *sim.Event
+	barrierCount int
+}
+
+// NewWorld creates one rank per GPU of the cluster, each with its own
+// layout cache, trace breakdown, and scheme instance.
+func NewWorld(c *cluster.Cluster, cfg Config, factory SchemeFactory) *World {
+	if cfg.PollIntervalNs <= 0 {
+		cfg.PollIntervalNs = DefaultConfig().PollIntervalNs
+	}
+	w := &World{Env: c.Env, Cluster: c, Cfg: cfg}
+	id := 0
+	for n := 0; n < c.Spec.Nodes; n++ {
+		for g := 0; g < c.Spec.GPUsPerNode; g++ {
+			r := &Rank{
+				world: w,
+				id:    id,
+				node:  n,
+				Dev:   c.Device(n, g),
+				cache: layoutcache.New(cfg.CacheCapacity),
+				Trace: &trace.Breakdown{},
+			}
+			w.ranks = append(w.ranks, r)
+			id++
+		}
+	}
+	// Scheme construction happens after all ranks exist so factories may
+	// inspect the world.
+	for _, r := range w.ranks {
+		r.scheme = factory(r)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Run spawns one proc per rank executing body and drives the simulation to
+// completion. It returns the sim error (deadlocks surface here).
+func (w *World) Run(body func(r *Rank, p *sim.Proc)) error {
+	for _, r := range w.ranks {
+		r := r
+		w.Env.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			r.proc = p
+			body(r, p)
+		})
+	}
+	return w.Env.Run()
+}
+
+// Rank is one MPI process bound to one GPU.
+type Rank struct {
+	world  *World
+	id     int
+	node   int
+	Dev    *gpu.Device
+	proc   *sim.Proc
+	cache  *layoutcache.Cache
+	scheme Scheme
+
+	// Trace accrues the Fig. 11 cost taxonomy for this rank.
+	Trace *trace.Breakdown
+
+	posted     []*Request // posted receives awaiting a match
+	unexpected []*message // arrived messages with no posted receive
+	active     []*Request // all incomplete requests this rank owns
+
+	// Envelope-ordering state: MPI's non-overtaking rule requires that
+	// the matchable envelopes (eager data or RTS) of sends to the same
+	// destination hit the wire in Isend order, even when an earlier
+	// send's packing finishes later. sendSeq numbers sends per
+	// destination; emitNext/emitWait implement the FIFO send queue a
+	// real NIC channel provides.
+	sendSeq  map[int]int64
+	emitNext map[int]int64
+	emitWait map[int]map[int64]func(*sim.Proc)
+
+	// orphanChunks parks pipelined chunk announcements that arrived
+	// before their envelope matched.
+	orphanChunks []*message
+
+	stagingSeq int
+}
+
+// assignSeq stamps a send request with its per-destination sequence.
+func (r *Rank) assignSeq(q *Request) {
+	if r.sendSeq == nil {
+		r.sendSeq = make(map[int]int64)
+	}
+	q.seq = r.sendSeq[q.peer]
+	r.sendSeq[q.peer]++
+}
+
+// emitInOrder queues q's envelope emission and drains every emission that
+// is now in sequence for q's destination. The closure runs on the calling
+// proc (this rank's own thread), so its costs are charged correctly.
+func (r *Rank) emitInOrder(p *sim.Proc, q *Request, emit func(p *sim.Proc)) {
+	dest := q.peer
+	if r.emitWait == nil {
+		r.emitWait = make(map[int]map[int64]func(*sim.Proc))
+	}
+	if r.emitNext == nil {
+		r.emitNext = make(map[int]int64)
+	}
+	if r.emitWait[dest] == nil {
+		r.emitWait[dest] = make(map[int64]func(*sim.Proc))
+	}
+	r.emitWait[dest][q.seq] = emit
+	for {
+		fn, ok := r.emitWait[dest][r.emitNext[dest]]
+		if !ok {
+			return
+		}
+		delete(r.emitWait[dest], r.emitNext[dest])
+		r.emitNext[dest]++
+		fn(p)
+	}
+}
+
+// ID returns the rank number; Node its node; World the owning world.
+func (r *Rank) ID() int       { return r.id }
+func (r *Rank) Node() int     { return r.node }
+func (r *Rank) World() *World { return r.world }
+
+// SchemeName reports the active DDT scheme.
+func (r *Rank) SchemeName() string { return r.scheme.Name() }
+
+// Scheme exposes the rank's DDT scheme (tests, ablations).
+func (r *Rank) Scheme() Scheme { return r.scheme }
+
+// Cache exposes the rank's layout cache (stats, tests).
+func (r *Rank) Cache() *layoutcache.Cache { return r.cache }
+
+// reqState is the request state machine position.
+type reqState int
+
+const (
+	stPacking     reqState = iota // send: waiting for pack handle
+	stReadyToSend                 // send: packed, transfer not started
+	stRTSSent                     // send rendezvous: waiting CTS (RPUT) or FIN (RGET)
+	stWriting                     // send RPUT: RDMA write in flight
+	stWaitFin                     // send: data gone, waiting FIN
+	stWaitMatch                   // recv: waiting for a matching message
+	stWaitData                    // recv: matched, waiting for payload
+	stUnpacking                   // recv: waiting for unpack handle
+	stIPC                         // recv: DirectIPC in flight
+	stDone
+)
+
+// msgKind tags control/data messages.
+type msgKind int
+
+const (
+	mkEager msgKind = iota
+	mkRTS
+	mkRTSChunk
+	mkCTS
+	mkFIN
+)
+
+// message is an in-flight or queued wire message.
+type message struct {
+	kind     msgKind
+	from, to int
+	tag      int
+	bytes    int64 // payload size (data description for RTS)
+	// sender is the originating send request (control messages carry a
+	// pointer — the simulation-level stand-in for rkeys/addresses).
+	sender *Request
+	// receiver is set on CTS/FIN destined for a specific request.
+	receiver *Request
+	// payload holds eager data bytes (already packed).
+	payload []byte
+	// ipc marks an RTS offering a same-node zero-copy transfer.
+	ipc bool
+	// chunks > 0 marks a pipelined-rendezvous envelope; chunkOff and
+	// chunkBytes describe one chunk on mkRTSChunk messages.
+	chunks     int
+	chunkOff   int64
+	chunkBytes int64
+}
+
+// Request is a non-blocking operation handle (MPI_Request).
+type Request struct {
+	rank   *Rank
+	isSend bool
+	peer   int
+	tag    int
+	state  reqState
+
+	buf    *gpu.Buffer
+	entry  *layoutcache.Entry
+	bytes  int64
+	contig bool
+
+	seq           int64       // send: per-destination envelope sequence
+	packed        *gpu.Buffer // staging (send: packed output; recv: packed input)
+	chunks        []sendChunk // send: pipelined-rendezvous chunk states
+	remoteRecv    *Request    // send: matched receive (set by the receiver)
+	pendingChunks []*message  // recv: announced, not yet pulled chunks
+	pulledChunks  int         // recv: chunks whose RDMA read was issued
+	recvdBytes    int64       // recv: pipelined bytes landed so far
+	handle        Handle      // pack or unpack handle
+	matched       *message    // recv: matched message
+	dataHere      bool        // recv: payload landed in staging
+	finHere       bool        // send: FIN arrived (or local RDMA write done)
+	ctsHere       bool        // send RPUT: CTS arrived
+	ctsFrom       *Request    // send RPUT: the receive that issued the CTS
+	rtsSent       bool        // send rendezvous: RTS already posted
+	rdmaStarted   bool        // recv: RDMA/CTS/IPC already initiated
+	ipcDone       bool
+
+	doneEv *sim.Event
+	// DoneAt is the completion time (valid once done).
+	DoneAt int64
+}
+
+// Done reports completion without charging any cost.
+func (q *Request) Done() bool { return q.state == stDone }
+
+// --- posting operations ---
+
+// lookupLayout charges the layout-cache cost and returns the entry.
+func (r *Rank) lookupLayout(p *sim.Proc, l *datatype.Layout, count int) *layoutcache.Entry {
+	e, hit := r.cache.Get(l, count)
+	if r.world.Cfg.DisableLayoutCache {
+		hit = false // always pay the full flattening cost
+	}
+	c := r.world.Cfg.CacheCost.Lookup(hit, e.Segments)
+	p.Sleep(c)
+	r.Trace.Add(trace.Other, c)
+	return e
+}
+
+// Isend posts a non-blocking send of count elements of layout l from buf.
+func (r *Rank) Isend(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) *Request {
+	e := r.lookupLayout(p, l, count)
+	q := &Request{
+		rank: r, isSend: true, peer: dest, tag: tag,
+		buf: buf, entry: e, bytes: e.Bytes,
+		contig: e.Segments == 1,
+		doneEv: r.world.Env.NewEvent(fmt.Sprintf("send-%d->%d-tag%d", r.id, dest, tag)),
+	}
+	r.active = append(r.active, q)
+	r.assignSeq(q)
+
+	destRank := r.world.ranks[dest]
+	if !r.world.Cfg.DisableIPC && destRank.node == r.node && dest != r.id {
+		// Same-node: offer DirectIPC. No packing; the receiver drives
+		// a zero-copy gather/scatter kernel and FINs us.
+		q.state = stWaitFin
+		r.emitInOrder(p, q, func(p *sim.Proc) {
+			r.postCtrl(p, &message{kind: mkRTS, from: r.id, to: dest, tag: tag, bytes: e.Bytes, sender: q, ipc: true})
+		})
+		return q
+	}
+
+	if q.contig {
+		// Contiguous payloads skip packing entirely.
+		q.state = stReadyToSend
+		r.startTransfer(p, q)
+		return q
+	}
+
+	if r.wantsPipeline(q) {
+		r.startPipelinedSend(p, q, buf)
+		return q
+	}
+
+	q.packed = r.stagingBuf(e.Bytes)
+	job := pack.NewJob(pack.OpPack, buf, q.packed, e.Blocks)
+	q.handle = r.scheme.Pack(p, job)
+	q.state = stPacking
+	if r.world.Cfg.Rendezvous == RPUT && q.bytes > r.world.Cfg.EagerLimitBytes {
+		// RPUT sends RTS before packing finishes: the handshake
+		// overlaps the pack kernel (Section IV-B1).
+		q.rtsSent = true
+		r.emitInOrder(p, q, func(p *sim.Proc) {
+			r.postCtrl(p, &message{kind: mkRTS, from: r.id, to: dest, tag: tag, bytes: e.Bytes, sender: q})
+		})
+	}
+	return q
+}
+
+// Irecv posts a non-blocking receive into buf.
+func (r *Rank) Irecv(p *sim.Proc, src, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) *Request {
+	e := r.lookupLayout(p, l, count)
+	q := &Request{
+		rank: r, isSend: false, peer: src, tag: tag,
+		buf: buf, entry: e, bytes: e.Bytes,
+		contig: e.Segments == 1,
+		state:  stWaitMatch,
+		doneEv: r.world.Env.NewEvent(fmt.Sprintf("recv-%d<-%d-tag%d", r.id, src, tag)),
+	}
+	r.active = append(r.active, q)
+	// Check the unexpected queue first (arrival order preserved).
+	for i, m := range r.unexpected {
+		if q.matches(m) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			r.deliver(q, m)
+			return q
+		}
+	}
+	r.posted = append(r.posted, q)
+	return q
+}
+
+func (q *Request) matches(m *message) bool {
+	if q.peer != AnySource && q.peer != m.from {
+		return false
+	}
+	if q.tag != AnyTag && q.tag != m.tag {
+		return false
+	}
+	return m.kind == mkEager || m.kind == mkRTS
+}
+
+// stagingBuf allocates a packed staging buffer on the rank's device.
+func (r *Rank) stagingBuf(n int64) *gpu.Buffer {
+	r.stagingSeq++
+	return r.Dev.Alloc(fmt.Sprintf("staging-%d-%d", r.id, r.stagingSeq), int(n))
+}
+
+// postCtrl sends a small control message, charging NIC post cost.
+func (r *Rank) postCtrl(p *sim.Proc, m *message) {
+	net := r.world.Cluster.Net
+	net.Post(p)
+	fromNode, toNode := r.node, r.world.ranks[m.to].node
+	net.Send(fromNode, toNode, net.Spec.CtrlBytes, func() {
+		r.world.ranks[m.to].arrive(m)
+	})
+}
+
+// arrive runs in scheduler context when a message lands at this rank.
+func (r *Rank) arrive(m *message) {
+	switch m.kind {
+	case mkCTS:
+		m.receiver.ctsHere = true
+	case mkFIN:
+		m.receiver.finHere = true
+	case mkRTSChunk:
+		r.acceptChunk(m)
+	default: // eager data or RTS: needs matching
+		for i, q := range r.posted {
+			if q.matches(m) {
+				r.posted = append(r.posted[:i], r.posted[i+1:]...)
+				r.deliver(q, m)
+				return
+			}
+		}
+		r.unexpected = append(r.unexpected, m)
+	}
+}
+
+// deliver attaches message m to matched receive q (scheduler or proc
+// context; must not block).
+func (r *Rank) deliver(q *Request, m *message) {
+	if m.bytes > q.bytes {
+		// MPI_ERR_TRUNCATE: the matched message is larger than the
+		// posted receive.
+		panic(fmt.Sprintf("mpi: message truncation: rank %d recv (src=%d tag=%d) posted %d bytes, message carries %d",
+			r.id, q.peer, q.tag, q.bytes, m.bytes))
+	}
+	q.matched = m
+	switch m.kind {
+	case mkEager:
+		// Payload came with the envelope.
+		if q.contig {
+			b := q.entry.Blocks[0]
+			copy(q.buf.Data[b.Offset:b.Offset+b.Len], m.payload)
+			q.dataHere = true
+			q.state = stWaitData // progress completes it
+			return
+		}
+		q.packed = r.stagingBuf(q.bytes)
+		copy(q.packed.Data, m.payload)
+		q.dataHere = true
+		q.state = stWaitData
+	case mkRTS:
+		q.state = stWaitData
+		if m.chunks > 0 {
+			// Pipelined envelope: remember the cross link and adopt
+			// chunks that raced ahead of the match.
+			m.sender.remoteRecv = q
+			q.packed = r.stagingBuf(q.bytes)
+			r.adoptOrphanChunks(q)
+		}
+		// progress() drives RDMA read / CTS / IPC — those charge the
+		// receiving proc, so they cannot run here.
+	}
+}
+
+// --- transfer initiation (sender side) ---
+
+// srcSpan returns the wire bytes for a send request (packed or contiguous).
+func (q *Request) srcSpan() []byte {
+	if q.contig {
+		b := q.entry.Blocks[0]
+		return q.buf.Data[b.Offset : b.Offset+b.Len]
+	}
+	return q.packed.Data[:q.bytes]
+}
+
+// startTransfer moves a packed/contiguous payload toward the peer. The
+// matchable envelope is emitted through the per-destination FIFO so sends
+// cannot overtake each other.
+func (r *Rank) startTransfer(p *sim.Proc, q *Request) {
+	net := r.world.Cluster.Net
+	toNode := r.world.ranks[q.peer].node
+	if q.bytes <= r.world.Cfg.EagerLimitBytes {
+		// Eager: payload rides along; sender completes once the
+		// message is handed to the NIC.
+		r.emitInOrder(p, q, func(p *sim.Proc) {
+			payload := append([]byte(nil), q.srcSpan()...)
+			net.Post(p)
+			m := &message{kind: mkEager, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, payload: payload}
+			net.Send(r.node, toNode, q.bytes+64, func() {
+				r.world.ranks[q.peer].arrive(m)
+			})
+			r.complete(q)
+		})
+		return
+	}
+	switch r.world.Cfg.Rendezvous {
+	case RGET:
+		q.state = stRTSSent
+		q.rtsSent = true
+		r.emitInOrder(p, q, func(p *sim.Proc) {
+			r.postCtrl(p, &message{kind: mkRTS, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, sender: q})
+		})
+	case RPUT:
+		q.state = stRTSSent
+		if !q.rtsSent { // contiguous sends reach here without an RTS
+			q.rtsSent = true
+			r.emitInOrder(p, q, func(p *sim.Proc) {
+				r.postCtrl(p, &message{kind: mkRTS, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, sender: q})
+			})
+		}
+	}
+}
+
+// complete finishes a request.
+func (r *Rank) complete(q *Request) {
+	q.state = stDone
+	q.DoneAt = r.world.Env.Now()
+	q.doneEv.Fire()
+	for i, a := range r.active {
+		if a == q {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// --- progress engine ---
+
+// progress advances every active request one step; called from Wait/Test.
+func (r *Rank) progress(p *sim.Proc) {
+	// Iterate over a snapshot: completions mutate r.active.
+	snapshot := append([]*Request(nil), r.active...)
+	for _, q := range snapshot {
+		if q.state == stDone {
+			continue
+		}
+		if q.isSend {
+			r.progressSend(p, q)
+		} else {
+			r.progressRecv(p, q)
+		}
+	}
+}
+
+func (r *Rank) progressSend(p *sim.Proc, q *Request) {
+	switch q.state {
+	case stPacking:
+		if q.chunks != nil {
+			r.progressPipelinedSend(p, q)
+			return
+		}
+		if !q.handle.Done(p) {
+			return
+		}
+		q.state = stReadyToSend
+		r.startTransfer(p, q)
+	case stRTSSent:
+		if r.world.Cfg.Rendezvous == RPUT {
+			if q.ctsHere && (q.contig || q.handle == nil || q.handle.Done(p)) {
+				q.state = stWriting
+				net := r.world.Cluster.Net
+				net.Post(p)
+				peer := r.world.ranks[q.peer]
+				recvReq := q.matchedRecv()
+				net.RDMAWrite(r.node, peer.node, q.bytes, func() {
+					if recvReq != nil {
+						copy(recvReq.packed.Data, q.srcSpan())
+						recvReq.dataHere = true
+					}
+					q.finHere = true // local write completion
+				})
+			}
+			return
+		}
+		// RGET: wait for FIN after the receiver's read.
+		if q.finHere {
+			r.complete(q)
+		}
+	case stWriting, stWaitFin:
+		if q.finHere {
+			r.complete(q)
+		}
+	}
+}
+
+// matchedRecv finds the peer receive this send's RPUT CTS came from.
+func (q *Request) matchedRecv() *Request {
+	return q.ctsFrom
+}
+
+func (r *Rank) progressRecv(p *sim.Proc, q *Request) {
+	switch q.state {
+	case stWaitData:
+		m := q.matched
+		if m != nil && m.kind == mkRTS && m.chunks > 0 {
+			if !r.progressPipelinedRecv(p, q) {
+				return
+			}
+			// fall through to the completion handling below
+		} else if m != nil && m.kind == mkRTS && !q.rdmaStarted {
+			q.rdmaStarted = true
+			if m.ipc {
+				r.startIPC(p, q, m)
+				return
+			}
+			if r.world.Cfg.Rendezvous == RPUT {
+				// Tell the sender where to put the data.
+				q.packed = r.stagingBuf(q.bytes)
+				m.sender.ctsFrom = q
+				r.postCtrl(p, &message{kind: mkCTS, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
+				return
+			}
+			// RGET: pull the packed payload from the sender.
+			q.packed = r.stagingBuf(q.bytes)
+			net := r.world.Cluster.Net
+			net.Post(p)
+			sender := m.sender
+			net.RDMARead(r.node, r.world.ranks[m.from].node, q.bytes, func() {
+				copy(q.packed.Data, sender.srcSpan())
+				q.dataHere = true
+			})
+			return
+		}
+		if !q.dataHere {
+			return
+		}
+		// Payload landed. Under RGET the sender still waits for a
+		// FIN; under RPUT its local write completion already fired.
+		if m != nil && m.kind == mkRTS && r.world.Cfg.Rendezvous == RGET {
+			r.postCtrl(p, &message{kind: mkFIN, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
+		}
+		if q.contig {
+			if m != nil && m.kind == mkRTS {
+				b := q.entry.Blocks[0]
+				copy(q.buf.Data[b.Offset:b.Offset+b.Len], q.packed.Data[:q.bytes])
+			}
+			r.complete(q)
+			return
+		}
+		job := pack.NewJob(pack.OpUnpack, q.packed, q.buf, q.entry.Blocks)
+		q.handle = r.scheme.Unpack(p, job)
+		q.state = stUnpacking
+	case stUnpacking:
+		if q.handle.Done(p) {
+			r.complete(q)
+		}
+	case stIPC:
+		if q.handle.Done(p) {
+			q.ipcDone = true
+			m := q.matched
+			r.postCtrl(p, &message{kind: mkFIN, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
+			r.complete(q)
+		}
+	}
+}
+
+// startIPC launches the zero-copy same-node path, falling back to the
+// packed path if the scheme cannot fuse DirectIPC.
+func (r *Rank) startIPC(p *sim.Proc, q *Request, m *message) {
+	sender := m.sender
+	job := pack.NewJob(pack.OpDirectIPC, sender.buf, q.buf, sender.entry.Blocks)
+	job.TargetBlocks = q.entry.Blocks
+	spec := r.world.Cluster.Spec
+	job.PeerBWBytesPerNs = spec.GPUPeerBWBytesPerNs
+	job.PeerLatencyNs = spec.GPUPeerLatencyNs
+	if h, ok := r.scheme.DirectIPC(p, job); ok {
+		q.handle = h
+		q.state = stIPC
+		return
+	}
+	// Fallback: receiver pulls via staging as if inter-node; the sender
+	// has no packed buffer, so stream the gather on the receiver's GPU
+	// as an IPC job with identical layouts through a staging hop. For
+	// simplicity (and matching MVAPICH2's behaviour when IPC is off) we
+	// unpack directly from the sender's buffer with a plain kernel.
+	h, _ := alwaysIPCFallback{r}.run(p, job)
+	q.handle = h
+	q.state = stIPC
+}
+
+// alwaysIPCFallback runs DirectIPC as a plain (unfused) kernel when the
+// scheme declines it.
+type alwaysIPCFallback struct{ r *Rank }
+
+func (f alwaysIPCFallback) run(p *sim.Proc, job *pack.Job) (Handle, bool) {
+	st := f.r.Dev.NewStream("ipc-fallback")
+	c := st.Launch(p, job.KernelSpec())
+	f.r.Trace.Add(trace.Launch, f.r.Dev.Arch.LaunchOverheadNs)
+	return completionHandle{c}, true
+}
+
+// completionHandle adapts a gpu.Completion to Handle with zero query cost
+// (used only by the fallback path).
+type completionHandle struct{ c *gpu.Completion }
+
+func (h completionHandle) Done(p *sim.Proc) bool { return h.c.Done() }
+func (h completionHandle) DoneEv() *sim.Event    { return h.c.Ev }
+
+// --- waiting ---
+
+// Test advances progress once and reports whether q completed.
+func (r *Rank) Test(p *sim.Proc, q *Request) bool {
+	r.progress(p)
+	return q.Done()
+}
+
+// Wait blocks until q completes.
+func (r *Rank) Wait(p *sim.Proc, q *Request) {
+	r.Waitall(p, []*Request{q})
+}
+
+// Waitall drives the progress engine until every request completes. It
+// first flushes the scheme — the progress engine "has no more operations
+// to request and reaches the synchronization point" (Section IV-C
+// scenario 1) — then polls, attributing otherwise-idle waiting to Comm.
+func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) {
+	stall := r.world.Cfg.StallTimeoutNs
+	if stall == 0 {
+		stall = 100 * sim.Millisecond
+	}
+	lastDone := -1
+	deadline := p.Now() + stall
+	for {
+		// Flush first: the progress engine has nothing further to
+		// enqueue before this synchronization point, so any pending
+		// fused work (including unpacks enqueued by the previous
+		// poll iteration) must launch now.
+		r.scheme.Flush(p)
+		r.progress(p)
+		done := 0
+		for _, q := range reqs {
+			if q.Done() {
+				done++
+			}
+		}
+		if done == len(reqs) {
+			return
+		}
+		if done != lastDone {
+			lastDone = done
+			deadline = p.Now() + stall
+		} else if stall > 0 && p.Now() > deadline {
+			panic(fmt.Sprintf("mpi: Waitall stalled for %s with %d of %d requests incomplete (deadlock in the communication pattern?)",
+				sim.FmtDuration(stall), len(reqs)-done, len(reqs)))
+		}
+		// Attribute the idle poll: if some request is still inside a
+		// pack/unpack handle the CPU is effectively synchronizing with
+		// the GPU; otherwise it is observing communication.
+		cat := trace.Comm
+		for _, q := range reqs {
+			if !q.Done() && (q.state == stPacking || q.state == stUnpacking || q.state == stIPC) {
+				cat = trace.Sync
+				break
+			}
+		}
+		r.Trace.Add(cat, r.world.Cfg.PollIntervalNs)
+		p.Sleep(r.world.Cfg.PollIntervalNs)
+	}
+}
+
+// Barrier synchronizes all ranks (linear counter barrier; the experiments
+// only use it between iterations, so its cost shape is irrelevant).
+func (w *World) Barrier(p *sim.Proc) {
+	if w.barrierEv == nil {
+		w.barrierEv = w.Env.NewEvent("barrier")
+	}
+	w.barrierCount++
+	if w.barrierCount == len(w.ranks) {
+		w.barrierCount = 0
+		ev := w.barrierEv
+		w.barrierEv = nil
+		ev.Fire()
+		return
+	}
+	ev := w.barrierEv
+	p.Wait(ev)
+}

@@ -1,0 +1,212 @@
+// Package pack implements the datatype-processing engines that move
+// non-contiguous GPU-resident data: GPU packing/unpacking kernels (one
+// kernel per operation, or folded into fused kernels), the CPU GDRCopy
+// path used by the CPU-GPU-Hybrid baseline, and DirectIPC — the zero-copy
+// non-contiguous transfer over NVLink of Chu et al. (HiPC 2019) that the
+// fusion framework supports as a third request operation.
+//
+// A Job carries both the cost-model inputs (bytes, segments) and the real
+// buffers, so executing a job actually moves bytes.
+package pack
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Op is the requested operation, matching the request types of the paper's
+// Section IV-A1.
+type Op int
+
+const (
+	// OpPack gathers a non-contiguous origin into a contiguous target.
+	OpPack Op = iota
+	// OpUnpack scatters a contiguous origin into a non-contiguous
+	// target.
+	OpUnpack
+	// OpDirectIPC streams a non-contiguous origin directly into a
+	// (possibly non-contiguous) peer-GPU target without staging.
+	OpDirectIPC
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPack:
+		return "Pack"
+	case OpUnpack:
+		return "Unpack"
+	default:
+		return "DirectIPC"
+	}
+}
+
+// Job is one datatype-processing operation over real buffers.
+type Job struct {
+	Op Op
+	// Origin and Target follow the request-object naming of the paper:
+	// Origin is the buffer read, Target the buffer written.
+	Origin, Target *gpu.Buffer
+	// OriginOff/TargetOff shift the contiguous side (packed buffers are
+	// often suballocated from a staging pool).
+	OriginOff, TargetOff int64
+	// Blocks is the non-contiguous block list: the origin's layout for
+	// OpPack/OpDirectIPC, the target's for OpUnpack.
+	Blocks []datatype.Block
+	// TargetBlocks is the destination layout for OpDirectIPC only; nil
+	// means same layout as Blocks.
+	TargetBlocks []datatype.Block
+	// Aggregates for the cost model.
+	Bytes    int64
+	Segments int
+	MaxBlock int64
+	// PeerBWBytesPerNs and PeerLatencyNs describe the GPU-GPU link a
+	// DirectIPC job crosses (zero for pack/unpack).
+	PeerBWBytesPerNs float64
+	PeerLatencyNs    int64
+}
+
+// NewJob builds a job from a flattened block list, computing aggregates.
+func NewJob(op Op, origin, target *gpu.Buffer, blocks []datatype.Block) *Job {
+	j := &Job{Op: op, Origin: origin, Target: target, Blocks: blocks, Segments: len(blocks)}
+	for _, b := range blocks {
+		j.Bytes += b.Len
+		if b.Len > j.MaxBlock {
+			j.MaxBlock = b.Len
+		}
+	}
+	return j
+}
+
+// Execute performs the real byte movement. It is designed to run as a
+// kernel's Exec callback (scheduler context) but is also usable directly
+// for CPU-driven packing.
+func (j *Job) Execute() {
+	switch j.Op {
+	case OpPack:
+		gather(j.Origin.Data, j.Blocks, j.Target.Data[j.TargetOff:])
+	case OpUnpack:
+		scatter(j.Origin.Data[j.OriginOff:], j.Target.Data, j.Blocks)
+	case OpDirectIPC:
+		dstBlocks := j.TargetBlocks
+		if dstBlocks == nil {
+			dstBlocks = j.Blocks
+		}
+		copyBlocks(j.Origin.Data, j.Blocks, j.Target.Data, dstBlocks)
+	default:
+		panic(fmt.Sprintf("pack: unknown op %d", j.Op))
+	}
+}
+
+// gather packs src's blocks into contiguous dst.
+func gather(src []byte, blocks []datatype.Block, dst []byte) {
+	var w int64
+	for _, b := range blocks {
+		copy(dst[w:w+b.Len], src[b.Offset:b.Offset+b.Len])
+		w += b.Len
+	}
+}
+
+// scatter unpacks contiguous src into dst's blocks.
+func scatter(src []byte, dst []byte, blocks []datatype.Block) {
+	var r int64
+	for _, b := range blocks {
+		copy(dst[b.Offset:b.Offset+b.Len], src[r:r+b.Len])
+		r += b.Len
+	}
+}
+
+// copyBlocks streams srcBlocks of src into dstBlocks of dst; the two block
+// lists must cover the same number of bytes but may be cut differently.
+func copyBlocks(src []byte, srcBlocks []datatype.Block, dst []byte, dstBlocks []datatype.Block) {
+	si, di := 0, 0
+	var so, do int64
+	for si < len(srcBlocks) && di < len(dstBlocks) {
+		sb, db := srcBlocks[si], dstBlocks[di]
+		n := sb.Len - so
+		if rem := db.Len - do; rem < n {
+			n = rem
+		}
+		copy(dst[db.Offset+do:db.Offset+do+n], src[sb.Offset+so:sb.Offset+so+n])
+		so += n
+		do += n
+		if so == sb.Len {
+			si, so = si+1, 0
+		}
+		if do == db.Len {
+			di, do = di+1, 0
+		}
+	}
+	if si < len(srcBlocks) || di < len(dstBlocks) {
+		panic("pack: block lists cover different byte counts")
+	}
+}
+
+// KernelSpec converts the job into a single-kernel launch description.
+func (j *Job) KernelSpec() gpu.KernelSpec {
+	return gpu.KernelSpec{
+		Name:            j.Op.String(),
+		Bytes:           j.Bytes,
+		Segments:        j.Segments,
+		MaxSegmentBytes: j.MaxBlock,
+		MinDurationNs:   j.ipcFloor(),
+		Exec:            j.Execute,
+	}
+}
+
+// FusedWork converts the job into a fused-kernel request; onComplete is the
+// GPU-side response-status update.
+func (j *Job) FusedWork(name string, onComplete func(end int64)) gpu.FusedWork {
+	return gpu.FusedWork{
+		Name:            name,
+		Bytes:           j.Bytes,
+		Segments:        j.Segments,
+		MaxSegmentBytes: j.MaxBlock,
+		MinDurationNs:   j.ipcFloor(),
+		Exec:            j.Execute,
+		OnComplete:      onComplete,
+	}
+}
+
+// ipcFloor returns the GPU-GPU link crossing time for DirectIPC jobs.
+func (j *Job) ipcFloor() int64 {
+	if j.Op != OpDirectIPC || j.PeerBWBytesPerNs <= 0 {
+		return 0
+	}
+	return j.PeerLatencyNs + int64(float64(j.Bytes)/j.PeerBWBytesPerNs)
+}
+
+// GPUEngine launches one kernel per job on a dedicated stream — the
+// GPU-Sync / GPU-Async building block.
+type GPUEngine struct {
+	Stream *gpu.Stream
+}
+
+// Run launches the job's kernel; the caller pays launch overhead and
+// receives the completion handle.
+func (e *GPUEngine) Run(p *sim.Proc, j *Job) *gpu.Completion {
+	return e.Stream.Launch(p, j.KernelSpec())
+}
+
+// CPUEngine packs/unpacks on the host CPU through a GDRCopy-style mapped
+// window: the calling proc blocks for the whole operation (it IS the copy
+// loop), but there is zero driver involvement — no launch, no sync.
+type CPUEngine struct {
+	Dev *gpu.Device
+}
+
+// CostNs models the CPU copy loop duration for a job.
+func (e *CPUEngine) CostNs(j *Job) int64 {
+	a := e.Dev.Arch
+	return a.GdrCopyLatencyNs +
+		int64(a.GdrSegmentFixedNs*float64(j.Segments)) +
+		int64(float64(j.Bytes)/a.GdrCopyBWBytesPerNs)
+}
+
+// Run performs the job synchronously on the calling proc.
+func (e *CPUEngine) Run(p *sim.Proc, j *Job) {
+	p.Sleep(e.CostNs(j))
+	j.Execute()
+}

@@ -1,0 +1,423 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// An Env owns a virtual clock measured in integer nanoseconds and a heap of
+// pending events. Simulation actors are Procs: each runs in its own
+// goroutine but the scheduler resumes exactly one Proc at a time, so the
+// simulation is fully deterministic — ties in the event heap are broken by
+// an ever-increasing sequence number.
+//
+// Procs interact with virtual time through blocking calls (Sleep, Wait,
+// Acquire); while a Proc is running, virtual time does not advance.
+// Callbacks scheduled with Env.At run in the scheduler context and must not
+// block.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Handy duration constants, in virtual nanoseconds.
+const (
+	Nanosecond  int64 = 1
+	Microsecond int64 = 1000
+	Millisecond int64 = 1000 * 1000
+	Second      int64 = 1000 * 1000 * 1000
+)
+
+// FmtDuration renders a virtual duration in engineering units for logs and
+// experiment tables.
+func FmtDuration(ns int64) string {
+	switch {
+	case ns >= Second:
+		return fmt.Sprintf("%.3fs", float64(ns)/float64(Second))
+	case ns >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(ns)/float64(Millisecond))
+	case ns >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(ns)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Env is a simulation environment: a virtual clock plus the machinery to
+// schedule callbacks and cooperatively run Procs.
+type Env struct {
+	now     int64
+	seq     uint64
+	heap    eventHeap
+	procs   []*Proc
+	current *Proc
+	running bool
+	stopped bool
+	panicv  any // re-panicked out of Run
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Env) Now() int64 { return e.now }
+
+// At schedules fn to run at absolute virtual time t (>= Now). fn runs in the
+// scheduler context: it must not block and must not call Proc methods.
+func (e *Env) At(t int64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%d) is in the past (now=%d)", t, e.now))
+	}
+	e.push(t, fn)
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Env) After(d int64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After(%d) negative delay", d))
+	}
+	e.push(e.now+d, fn)
+}
+
+func (e *Env) push(t int64, fn func()) {
+	e.seq++
+	heap.Push(&e.heap, &schedItem{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop halts the simulation after the current event finishes. Blocked Procs
+// are left in place; Run returns without error.
+func (e *Env) Stop() { e.stopped = true }
+
+// Run executes scheduled events in time order until the heap drains, Stop is
+// called, or every Proc has finished. It returns an error if any Proc is
+// still blocked when the event heap drains (a deadlock in the modeled
+// system) and names the stuck Procs.
+func (e *Env) Run() error {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && e.heap.Len() > 0 {
+		it := heap.Pop(&e.heap).(*schedItem)
+		if it.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = it.at
+		it.fn()
+		if e.panicv != nil {
+			v := e.panicv
+			e.panicv = nil
+			panic(v)
+		}
+	}
+	if e.stopped {
+		return nil
+	}
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.done && p.started {
+			stuck = append(stuck, p.name)
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return fmt.Errorf("sim: deadlock, %d proc(s) still blocked: %v", len(stuck), stuck)
+	}
+	return nil
+}
+
+// RunUntil runs the simulation but stops once virtual time would exceed t.
+func (e *Env) RunUntil(t int64) error {
+	e.push(t, func() { e.Stop() })
+	return e.Run()
+}
+
+// schedItem is a single heap entry.
+type schedItem struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*schedItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*schedItem)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Proc is a simulated sequential process (for example, a CPU thread of one
+// MPI rank). Its body function runs in a dedicated goroutine; the scheduler
+// guarantees at most one Proc executes at a time.
+type Proc struct {
+	env     *Env
+	name    string
+	id      int
+	resume  chan struct{}
+	yielded chan yieldKind
+	done    bool
+	started bool
+}
+
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota
+	yieldFinished
+	yieldPanicked
+)
+
+// Spawn creates a Proc named name whose body starts at the current virtual
+// time. The body receives the Proc for time-consuming calls.
+func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		env:     e,
+		name:    name,
+		id:      len(e.procs),
+		resume:  make(chan struct{}),
+		yielded: make(chan yieldKind),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.done = true
+				e.panicv = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+				p.yielded <- yieldPanicked
+				return
+			}
+			p.done = true
+			p.yielded <- yieldFinished
+		}()
+		body(p)
+	}()
+	e.push(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// SpawnAt is Spawn with the body delayed until absolute time t.
+func (e *Env) SpawnAt(t int64, name string, body func(p *Proc)) *Proc {
+	if t < e.now {
+		panic("sim: SpawnAt in the past")
+	}
+	p := &Proc{
+		env:     e,
+		name:    name,
+		id:      len(e.procs),
+		resume:  make(chan struct{}),
+		yielded: make(chan yieldKind),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.done = true
+				e.panicv = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+				p.yielded <- yieldPanicked
+				return
+			}
+			p.done = true
+			p.yielded <- yieldFinished
+		}()
+		body(p)
+	}()
+	e.push(t, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch resumes p and waits for it to block or finish. Runs in scheduler
+// context.
+func (e *Env) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	p.started = true
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-p.yielded
+	e.current = prev
+}
+
+// yield suspends the calling Proc until the scheduler resumes it again.
+// Must be called from within the Proc's own goroutine.
+func (p *Proc) yield() {
+	p.yielded <- yieldBlocked
+	<-p.resume
+}
+
+// Name returns the Proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() int64 { return p.env.now }
+
+// Sleep advances the Proc by d nanoseconds of virtual time. d == 0 yields
+// the processor to other work scheduled at the same instant.
+func (p *Proc) Sleep(d int64) {
+	if d < 0 {
+		panic("sim: Sleep negative duration")
+	}
+	p.env.push(p.env.now+d, func() { p.env.dispatch(p) })
+	p.yield()
+}
+
+// Wait blocks the Proc until ev fires. If ev already fired, Wait returns
+// immediately without advancing time.
+func (p *Proc) Wait(ev *Event) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.yield()
+}
+
+// Event is a one-shot level-triggered signal. Once fired it stays fired;
+// waiters arriving afterwards do not block. Fire may be called from either
+// a Proc or a scheduler callback.
+type Event struct {
+	env     *Env
+	name    string
+	fired   bool
+	at      int64 // time of firing, valid once fired
+	waiters []*Proc
+	hooks   []func()
+}
+
+// NewEvent creates an unfired event.
+func (e *Env) NewEvent(name string) *Event {
+	return &Event{env: e, name: name}
+}
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// FiredAt returns the virtual time the event fired; it panics if unfired.
+func (ev *Event) FiredAt() int64 {
+	if !ev.fired {
+		panic("sim: FiredAt on unfired event " + ev.name)
+	}
+	return ev.at
+}
+
+// OnFire registers fn to run (in scheduler context) when the event fires.
+// If the event already fired, fn is scheduled to run at the current time.
+func (ev *Event) OnFire(fn func()) {
+	if ev.fired {
+		ev.env.push(ev.env.now, fn)
+		return
+	}
+	ev.hooks = append(ev.hooks, fn)
+}
+
+// Fire marks the event fired at the current virtual time and wakes all
+// waiters. Firing twice panics: one-shot semantics are load-bearing for the
+// request/response status protocol built on top.
+func (ev *Event) Fire() {
+	if ev.fired {
+		panic("sim: event fired twice: " + ev.name)
+	}
+	ev.fired = true
+	ev.at = ev.env.now
+	waiters := ev.waiters
+	ev.waiters = nil
+	for _, w := range waiters {
+		w := w
+		ev.env.push(ev.env.now, func() { ev.env.dispatch(w) })
+	}
+	hooks := ev.hooks
+	ev.hooks = nil
+	for _, h := range hooks {
+		ev.env.push(ev.env.now, h)
+	}
+}
+
+// FireAt schedules the event to fire at absolute time t.
+func (ev *Event) FireAt(t int64) {
+	ev.env.At(t, func() { ev.Fire() })
+}
+
+// FireAfter schedules the event to fire d nanoseconds from now.
+func (ev *Event) FireAfter(d int64) {
+	ev.env.After(d, func() { ev.Fire() })
+}
+
+// WaitAll blocks p until every event in evs has fired.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// Resource is a FIFO-ordered counted resource (a DMA engine, a driver
+// serialization point, ...). Procs Acquire a unit, possibly queueing, and
+// must Release it afterwards.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	queue    []*Proc
+}
+
+// NewResource creates a resource with the given number of units.
+func (e *Env) NewResource(name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: e, name: name, capacity: capacity}
+}
+
+// Acquire takes one unit, blocking in FIFO order until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.yield()
+}
+
+// Release returns one unit and wakes the head of the queue, if any.
+// The woken Proc owns the unit immediately (no re-check race: the scheduler
+// is single-threaded).
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without Acquire on " + r.name)
+	}
+	if len(r.queue) > 0 {
+		head := r.queue[0]
+		copy(r.queue, r.queue[1:])
+		r.queue = r.queue[:len(r.queue)-1]
+		// Unit transfers directly to head; inUse stays the same.
+		r.env.push(r.env.now, func() { r.env.dispatch(head) })
+		return
+	}
+	r.inUse--
+}
+
+// InUse reports how many units are currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports how many Procs are waiting.
+func (r *Resource) QueueLen() int { return len(r.queue) }

@@ -1,0 +1,115 @@
+// Package trace accumulates per-category virtual time, matching the cost
+// taxonomy of the paper's Fig. 11: (Un)Pack kernels, kernel Launching,
+// Scheduling, CPU-GPU Sync, and observed Communication.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category labels one cost bucket.
+type Category int
+
+const (
+	// PackKernel is GPU time in packing/unpacking kernels.
+	PackKernel Category = iota
+	// Launch is CPU time burned launching kernels/copies (driver).
+	Launch
+	// Scheduling is CPU time enqueueing/dequeueing requests (fusion
+	// scheduler) or managing events (GPU-Async).
+	Scheduling
+	// Sync is CPU time waiting on or querying GPU completion.
+	Sync
+	// Comm is observed communication time (not hidden behind kernels).
+	Comm
+	// Other is everything else (layout cache, matching, bookkeeping).
+	Other
+
+	numCategories
+)
+
+var names = [numCategories]string{"(Un)Pack", "Launching", "Scheduling", "Sync", "Comm", "Other"}
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+func (c Category) String() string {
+	if c < 0 || c >= numCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return names[c]
+}
+
+// Breakdown is a per-category tally of virtual nanoseconds. The zero value
+// is ready to use.
+type Breakdown struct {
+	ns [numCategories]int64
+}
+
+// Add accrues d nanoseconds to category c.
+func (b *Breakdown) Add(c Category, d int64) {
+	if c < 0 || c >= numCategories {
+		panic("trace: bad category")
+	}
+	b.ns[c] += d
+}
+
+// Get returns the accrued time for c.
+func (b *Breakdown) Get(c Category) int64 {
+	if c < 0 || c >= numCategories {
+		panic("trace: bad category")
+	}
+	return b.ns[c]
+}
+
+// Total sums all categories.
+func (b *Breakdown) Total() int64 {
+	var sum int64
+	for _, v := range b.ns {
+		sum += v
+	}
+	return sum
+}
+
+// Merge adds other's tallies into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for i := range b.ns {
+		b.ns[i] += other.ns[i]
+	}
+}
+
+// Reset zeroes the breakdown.
+func (b *Breakdown) Reset() { b.ns = [numCategories]int64{} }
+
+// Scale divides every bucket by n (for per-iteration averages).
+func (b *Breakdown) Scale(n int64) Breakdown {
+	if n <= 0 {
+		panic("trace: Scale by non-positive n")
+	}
+	var out Breakdown
+	for i, v := range b.ns {
+		out.ns[i] = v / n
+	}
+	return out
+}
+
+// String renders "cat=val" pairs for non-zero buckets.
+func (b *Breakdown) String() string {
+	var parts []string
+	for i, v := range b.ns {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%dns", names[i], v))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}

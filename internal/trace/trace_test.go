@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddGetTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(PackKernel, 100)
+	b.Add(Launch, 200)
+	b.Add(Launch, 50)
+	if b.Get(PackKernel) != 100 || b.Get(Launch) != 250 {
+		t.Fatalf("get wrong: %s", b.String())
+	}
+	if b.Total() != 350 {
+		t.Fatalf("total = %d", b.Total())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Sync, 10)
+	b.Add(Sync, 5)
+	b.Add(Comm, 7)
+	a.Merge(&b)
+	if a.Get(Sync) != 15 || a.Get(Comm) != 7 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+}
+
+func TestResetAndScale(t *testing.T) {
+	var b Breakdown
+	b.Add(Comm, 1000)
+	b.Add(Other, 501)
+	s := b.Scale(500)
+	if s.Get(Comm) != 2 || s.Get(Other) != 1 {
+		t.Fatalf("scale wrong: %s", s.String())
+	}
+	b.Reset()
+	if b.Total() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestStringNamesCategories(t *testing.T) {
+	var b Breakdown
+	b.Add(Scheduling, 42)
+	if !strings.Contains(b.String(), "Scheduling=42ns") {
+		t.Fatalf("string = %q", b.String())
+	}
+	var empty Breakdown
+	if empty.String() != "(empty)" {
+		t.Fatalf("empty string = %q", empty.String())
+	}
+}
+
+func TestCategoriesComplete(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 6 {
+		t.Fatalf("got %d categories", len(cats))
+	}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		if seen[c.String()] {
+			t.Fatalf("duplicate name %s", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestBadCategoryPanics(t *testing.T) {
+	var b Breakdown
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Add(Category(99), 1)
+}
+
+// Property: Total always equals the sum over Categories of Get.
+func TestPropertyTotalConsistent(t *testing.T) {
+	f := func(vals [6]uint32) bool {
+		var b Breakdown
+		var want int64
+		for i, v := range vals {
+			b.Add(Category(i), int64(v))
+			want += int64(v)
+		}
+		return b.Total() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

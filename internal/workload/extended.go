@@ -1,0 +1,100 @@
+package workload
+
+import "repro/internal/datatype"
+
+// Extended ddtbench workloads beyond the four the paper's figures use.
+// They widen coverage of the datatype engine (struct-of-subarray,
+// indexed-block, fat-block vectors, transpose shapes) and give the fusion
+// framework more layout diversity to chew on.
+
+// WRF is the weather-model x-direction halo: a struct of four 3D subarray
+// fields with different vertical extents, as in ddtbench's WRF_x_vec.
+func WRF() Workload {
+	return Workload{
+		Name: "WRF",
+		Kind: Dense,
+		Dims: []int{8, 12, 16, 24, 32, 48},
+		Build: func(dim int) datatype.Type {
+			// Four fields over (z, y, x) grids; exchange one x-plane.
+			field := func(depth int) datatype.Type {
+				sizes := []int{depth, dim, dim}
+				sub := []int{depth, dim, 2} // two x-columns
+				return datatype.Subarray(sizes, sub, []int{0, 0, 0}, datatype.Float32)
+			}
+			f1 := field(dim)     // full-depth field
+			f2 := field(dim)     // second prognostic variable
+			f3 := field(dim / 2) // soil levels
+			f4 := field(1)       // surface field
+			d1 := int64(0)
+			d2 := d1 + f1.Extent() + 32
+			d3 := d2 + f2.Extent() + 32
+			d4 := d3 + f3.Extent() + 32
+			return datatype.Struct(
+				[]int{1, 1, 1, 1},
+				[]int64{d1, d2, d3, d4},
+				[]datatype.Type{f1, f2, f3, f4},
+			)
+		},
+	}
+}
+
+// LAMMPSFull is the molecular-dynamics exchange of ddtbench's LAMMPS_full:
+// an indexed-block type gathering whole atoms (8 doubles: position,
+// velocity, charge, type) scattered through the atom array.
+func LAMMPSFull() Workload {
+	return Workload{
+		Name: "LAMMPS_full",
+		Kind: Dense,
+		Dims: []int{16, 32, 64, 128, 256, 512},
+		Build: func(dim int) datatype.Type {
+			atom := datatype.Contiguous(8, datatype.Float64) // 64 B
+			n := dim * 4                                     // atoms leaving the domain
+			g := lcg(uint64(dim) * 2027)
+			displs := make([]int, n)
+			pos := 0
+			for i := 0; i < n; i++ {
+				displs[i] = pos
+				pos += 1 + g.next(4) // skip 0-3 atoms between picks
+			}
+			return datatype.IndexedBlock(1, displs, atom)
+		},
+	}
+}
+
+// NASLU is the NAS LU pencil exchange: each grid cell carries five flow
+// variables, so faces are vectors with five-double blocks.
+func NASLU() Workload {
+	return Workload{
+		Name: "NAS_LU",
+		Kind: Dense,
+		Dims: []int{16, 32, 64, 96, 128, 192},
+		Build: func(dim int) datatype.Type {
+			cell := datatype.Contiguous(5, datatype.Float64) // 40 B
+			return datatype.Vector(dim, 1, dim, cell)
+		},
+	}
+}
+
+// FFT2D is the transpose step of a distributed 2D FFT: each rank sends a
+// block-column of its row-slab, a vector of dim blocks of (dim/ranks)
+// complex values.
+func FFT2D() Workload {
+	return Workload{
+		Name: "FFT2D",
+		Kind: Dense,
+		Dims: []int{16, 32, 64, 128, 256, 384},
+		Build: func(dim int) datatype.Type {
+			chunk := dim / 8
+			if chunk < 1 {
+				chunk = 1
+			}
+			return datatype.Vector(dim, chunk, dim, datatype.Complex128)
+		},
+	}
+}
+
+// Extended returns every implemented workload: the paper's four plus the
+// additional ddtbench shapes.
+func Extended() []Workload {
+	return append(All(), WRF(), LAMMPSFull(), NASLU(), FFT2D())
+}

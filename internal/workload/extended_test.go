@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtendedListsEight(t *testing.T) {
+	ext := Extended()
+	if len(ext) != 8 {
+		t.Fatalf("extended = %d workloads, want 8", len(ext))
+	}
+	seen := map[string]bool{}
+	for _, w := range ext {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestWRFIsStructOfSubarrays(t *testing.T) {
+	l := WRF().Layout(16)
+	if l.SizeBytes == 0 || l.NumBlocks() < 4 {
+		t.Fatalf("WRF layout degenerate: %+v", l)
+	}
+	// Four fields, the surface one much smaller than the full-depth ones.
+	full := 16 * 16 * 2 * 4 // depth*y*2 columns*4B
+	if l.SizeBytes != int64(2*full+full/2+full/16) {
+		t.Fatalf("WRF payload = %d", l.SizeBytes)
+	}
+}
+
+func TestLAMMPSAtomsAre64Bytes(t *testing.T) {
+	l := LAMMPSFull().Layout(32)
+	// Adjacent picked atoms coalesce, so blocks are multiples of 64B.
+	for _, b := range l.Blocks {
+		if b.Len%64 != 0 {
+			t.Fatalf("block %+v not atom-aligned", b)
+		}
+	}
+	if l.SizeBytes != int64(32*4*64) {
+		t.Fatalf("payload = %d, want %d", l.SizeBytes, 32*4*64)
+	}
+}
+
+func TestNASLUFiveDoubleBlocks(t *testing.T) {
+	l := NASLU().Layout(64)
+	if l.NumBlocks() != 64 || l.MaxBlockBytes != 40 {
+		t.Fatalf("LU layout: blocks=%d max=%d", l.NumBlocks(), l.MaxBlockBytes)
+	}
+}
+
+func TestFFT2DComplexChunks(t *testing.T) {
+	l := FFT2D().Layout(64)
+	if l.NumBlocks() != 64 {
+		t.Fatalf("blocks = %d", l.NumBlocks())
+	}
+	if l.MaxBlockBytes != 8*16 { // dim/8 complex128s
+		t.Fatalf("chunk = %d", l.MaxBlockBytes)
+	}
+}
+
+func TestExtendedPackUnpackRoundTrip(t *testing.T) {
+	for _, w := range Extended() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			l := w.Layout(w.Dims[1])
+			src := make([]byte, l.ExtentBytes)
+			FillPattern(src, 11)
+			packed := make([]byte, l.SizeBytes)
+			dst := make([]byte, l.ExtentBytes)
+			l.Pack(src, packed)
+			l.Unpack(packed, dst)
+			if err := VerifyBlocks(l, 1, src, dst); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: every extended workload at every swept dim is well-formed and
+// grows monotonically in payload.
+func TestPropertyExtendedWellFormed(t *testing.T) {
+	f := func(wIdx uint8) bool {
+		ext := Extended()
+		w := ext[int(wIdx)%len(ext)]
+		prev := int64(0)
+		for _, d := range w.Dims {
+			l := w.Layout(d)
+			if l.SizeBytes <= prev || l.ExtentBytes < l.SizeBytes {
+				return false
+			}
+			for _, b := range l.Blocks {
+				if b.Offset < 0 || b.Offset+b.Len > l.ExtentBytes {
+					return false
+				}
+			}
+			prev = l.SizeBytes
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 32}); err != nil {
+		t.Fatal(err)
+	}
+}
