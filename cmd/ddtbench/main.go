@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
@@ -25,15 +26,17 @@ import (
 
 var format = flag.String("format", "text", "output format: text or csv")
 
-func emit(tabs []*bench.Table) {
+func emitTo(w io.Writer, format string, tabs []*bench.Table) {
 	for _, t := range tabs {
-		if *format == "csv" {
-			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		if format == "csv" {
+			fmt.Fprintf(w, "# %s\n%s\n", t.Title, t.CSV())
 		} else {
-			fmt.Println(t.String())
+			fmt.Fprintln(w, t.String())
 		}
 	}
 }
+
+func emit(tabs []*bench.Table) { emitTo(os.Stdout, *format, tabs) }
 
 func main() {
 	fig := flag.String("fig", "", "figure id to regenerate (1, 8, 9, 10, 11, 12, 13, 14, or 'all')")
@@ -86,11 +89,13 @@ func main() {
 	}
 }
 
-func run(fig string) error {
+func run(fig string) error { return runTo(os.Stdout, *format, fig) }
+
+func runTo(w io.Writer, format, fig string) error {
 	tabs, err := bench.Run(fig)
 	if err != nil {
 		return err
 	}
-	emit(tabs)
+	emitTo(w, format, tabs)
 	return nil
 }

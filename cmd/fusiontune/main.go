@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
@@ -26,26 +27,32 @@ func main() {
 	system := flag.String("system", "lassen", "system model: lassen or abci")
 	flag.Parse()
 
-	wl, ok := workload.ByName(*wlName)
+	if err := run(os.Stdout, *wlName, *dim, *buffers, *system); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, wlName string, dim, buffers int, system string) error {
+	wl, ok := workload.ByName(wlName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlName)
-		os.Exit(2)
+		return fmt.Errorf("unknown workload %q", wlName)
 	}
 	spec := cluster.Lassen()
-	if *system == "abci" {
+	if system == "abci" {
 		spec = cluster.ABCI()
 	}
 
-	l := wl.Layout(*dim)
-	fmt.Printf("%s on %s: %d blocks, %d B/message, %d buffers/direction\n",
-		wl.Name, spec.Name, l.NumBlocks(), l.SizeBytes, *buffers)
+	l := wl.Layout(dim)
+	fmt.Fprintf(w, "%s on %s: %d blocks, %d B/message, %d buffers/direction\n",
+		wl.Name, spec.Name, l.NumBlocks(), l.SizeBytes, buffers)
 	predicted := fusion.PredictThreshold(spec.GPU, fusion.ModelInput{
 		AvgRequestBytes: l.SizeBytes,
 		AvgSegments:     l.NumBlocks(),
 		NetBWBytesPerNs: spec.InterNode.BWBytesPerNs,
 	})
-	fmt.Printf("model-based prediction (paper §VII): %s\n\n", fmtKB(predicted))
-	fmt.Printf("%-14s %-12s %s\n", "threshold", "latency_us", "verdict")
+	fmt.Fprintf(w, "model-based prediction (paper §VII): %s\n\n", fmtKB(predicted))
+	fmt.Fprintf(w, "%-14s %-12s %s\n", "threshold", "latency_us", "verdict")
 
 	var best int64
 	var bestTh int64
@@ -54,11 +61,10 @@ func main() {
 	for _, th := range thresholds {
 		r := bench.RunBulk(bench.BulkOptions{
 			System: spec, Scheme: "Proposed", Workload: wl,
-			Dim: *dim, Buffers: *buffers, FusionThreshold: th,
+			Dim: dim, Buffers: buffers, FusionThreshold: th,
 		})
 		if r.VerifyErr != nil {
-			fmt.Fprintf(os.Stderr, "verification failed at threshold %d: %v\n", th, r.VerifyErr)
-			os.Exit(1)
+			return fmt.Errorf("verification failed at threshold %d: %v", th, r.VerifyErr)
 		}
 		results[th] = r.AvgNs
 		if best == 0 || r.AvgNs < best {
@@ -75,8 +81,9 @@ func main() {
 		case results[th] > best*12/10 && th > bestTh:
 			verdict = "over-fused"
 		}
-		fmt.Printf("%-14s %-12.1f %s\n", fmtKB(th), float64(results[th])/1000, verdict)
+		fmt.Fprintf(w, "%-14s %-12.1f %s\n", fmtKB(th), float64(results[th])/1000, verdict)
 	}
+	return nil
 }
 
 func fmtKB(b int64) string {

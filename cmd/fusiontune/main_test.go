@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmallSweep drives the full threshold sweep with a small workload
+// and golden-checks the output skeleton: preamble, column header, one row
+// per threshold, exactly one optimum marker.
+func TestRunSmallSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "MILC", 8, 1, "lassen"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "MILC on Lassen:") {
+		t.Errorf("preamble = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	var header string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "threshold") {
+			header = line
+			break
+		}
+	}
+	if !strings.Contains(header, "latency_us") || !strings.Contains(header, "verdict") {
+		t.Errorf("column header = %q, want threshold/latency_us/verdict", header)
+	}
+	for _, th := range []string{"16KB", "512KB", "4MB"} {
+		if !strings.Contains(out, th+" ") {
+			t.Errorf("missing threshold row %q:\n%s", th, out)
+		}
+	}
+	if n := strings.Count(out, "<- optimal"); n != 1 {
+		t.Errorf("want exactly one optimal marker, got %d:\n%s", n, out)
+	}
+}
+
+// TestRunUnknownWorkload: bad input is an error, not a crash.
+func TestRunUnknownWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "no-such-workload", 8, 1, "lassen"); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+}

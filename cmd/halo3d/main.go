@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	dkf "repro"
@@ -36,7 +37,7 @@ func faceLayouts(n int) map[string]*dkf.Layout {
 	}
 }
 
-func run(scheme string, n, steps int, quiet bool) (int64, error) {
+func run(w io.Writer, scheme string, n, steps int, quiet bool) (int64, error) {
 	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: scheme})
 	if err != nil {
 		return 0, err
@@ -87,10 +88,27 @@ func run(scheme string, n, steps int, quiet bool) (int64, error) {
 	}
 	avg := stepNs / int64(steps)
 	if !quiet {
-		fmt.Printf("%-16s grid=%d^3  faces=6x2  avg step latency = %.1f us (simulated)\n",
+		fmt.Fprintf(w, "%-16s grid=%d^3  faces=6x2  avg step latency = %.1f us (simulated)\n",
 			scheme, n, float64(avg)/1000)
 	}
 	return avg, nil
+}
+
+// compareAll runs the scheme shoot-out and reports speedups vs GPU-Sync.
+func compareAll(w io.Writer, n, steps int) error {
+	var base int64
+	for _, s := range []string{"GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed-Tuned"} {
+		avg, err := run(w, s, n, steps, true)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = avg
+		}
+		fmt.Fprintf(w, "%-16s avg step = %8.1f us   speedup vs GPU-Sync = %.2fx\n",
+			s, float64(avg)/1000, float64(base)/float64(avg))
+	}
+	return nil
 }
 
 func main() {
@@ -101,22 +119,13 @@ func main() {
 	flag.Parse()
 
 	if *compare {
-		var base int64
-		for _, s := range []string{"GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed-Tuned"} {
-			avg, err := run(s, *n, *steps, true)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if base == 0 {
-				base = avg
-			}
-			fmt.Printf("%-16s avg step = %8.1f us   speedup vs GPU-Sync = %.2fx\n",
-				s, float64(avg)/1000, float64(base)/float64(avg))
+		if err := compareAll(os.Stdout, *n, *steps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
-	if _, err := run(*scheme, *n, *steps, false); err != nil {
+	if _, err := run(os.Stdout, *scheme, *n, *steps, false); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmallGrid runs one timestep of the 2x2x2 halo exchange on a tiny
+// grid and golden-checks the report line.
+func TestRunSmallGrid(t *testing.T) {
+	var buf bytes.Buffer
+	avg, err := run(&buf, "GPU-Sync", 8, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 {
+		t.Errorf("avg step latency %d ns, want > 0", avg)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "GPU-Sync") ||
+		!strings.Contains(out, "grid=8^3") ||
+		!strings.Contains(out, "avg step latency") {
+		t.Errorf("report line = %q", out)
+	}
+}
+
+// TestCompareAllSmall checks the shoot-out covers all four schemes and
+// reports speedups relative to GPU-Sync (whose own speedup is 1.00x).
+func TestCompareAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full exchanges")
+	}
+	var buf bytes.Buffer
+	if err := compareAll(&buf, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, s := range []string{"GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed-Tuned"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("missing scheme %q:\n%s", s, out)
+		}
+	}
+	if !strings.Contains(out, "speedup vs GPU-Sync = 1.00x") {
+		t.Errorf("GPU-Sync baseline should report 1.00x:\n%s", out)
+	}
+}

@@ -9,6 +9,9 @@ import (
 )
 
 func TestExtendedWorkloadsAllVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full eight-workload sweep")
+	}
 	tab := ExtendedWorkloads(cluster.Lassen())
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d, want 8", len(tab.Rows))

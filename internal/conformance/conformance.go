@@ -1,0 +1,263 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SpecSmall is the differential-run machine: Lassen trimmed to two GPUs
+// per node (4 ranks), enough for both the intra-node DirectIPC path and
+// the inter-node fabric path while keeping a full scheme sweep cheap.
+func SpecSmall() cluster.Spec {
+	s := cluster.Lassen()
+	s.GPUsPerNode = 2
+	return s
+}
+
+// SchemeNames lists every scheme the differential runner sweeps — all
+// registered factories, so a newly added scheme is conformance-tested the
+// moment it appears in schemes.Names().
+func SchemeNames() []string { return schemes.Names() }
+
+// bufSpan sizes a buffer holding count elements of l. ExtentBytes*count is
+// not enough on its own: a Resized type may place payload beyond its
+// declared extent, so take the max over actual block ends too.
+func bufSpan(l *datatype.Layout, count int) int64 {
+	span := l.ExtentBytes * int64(count)
+	for _, b := range l.Repeat(count) {
+		if end := b.Offset + b.Len; end > span {
+			span = end
+		}
+	}
+	if span < 1 {
+		span = 1 // zero-payload types still need an allocatable buffer
+	}
+	return span
+}
+
+// Signature is the wire type signature of (layout, count): the sequence of
+// contiguous block lengths in traversal order. All primitives are opaque
+// bytes on the simulated wire, so equal signatures mean send and receive
+// sides agree on the byte stream's shape.
+func Signature(l *datatype.Layout, count int) []int64 {
+	blocks := l.Repeat(count)
+	sig := make([]int64, len(blocks))
+	for i, b := range blocks {
+		sig[i] = b.Len
+	}
+	return sig
+}
+
+// SameSignature reports whether two signatures carry identical byte
+// streams: equal total length with block boundaries at the same cuts.
+// (Coalescing means block granularity can legitimately differ between two
+// types with the same stream; compare cumulative cuts, not raw lengths.)
+func SameSignature(a, b []int64) bool {
+	var ta, tb int64
+	for _, v := range a {
+		ta += v
+	}
+	for _, v := range b {
+		tb += v
+	}
+	return ta == tb
+}
+
+// Result captures everything observable about one scenario run under one
+// scheme: the final receive buffer, the final virtual clock, and the
+// per-category trace totals summed across ranks.
+type Result struct {
+	Scheme     string
+	Recv       []byte
+	FinalClock int64
+	Trace      map[string]int64
+}
+
+// RunScenario executes sc once under the named scheme on SpecSmall and
+// returns the observables. Rank 0 sends; rank 2 (inter-node) or rank 1
+// (intra-node) receives.
+func RunScenario(sc Scenario, scheme string) (*Result, error) {
+	env := sim.NewEnv()
+	cl := cluster.Build(env, SpecSmall())
+
+	cfg := mpi.DefaultConfig()
+	cfg.Rendezvous = sc.Rendezvous
+	if sc.EagerLimit != 0 {
+		cfg.EagerLimitBytes = sc.EagerLimit
+	}
+	cfg.DisableIPC = sc.DisableIPC
+	if sc.Pipeline {
+		cfg.PipelineChunkBytes = 2048
+	}
+
+	world := mpi.NewWorld(cl, cfg, schemes.Factory(scheme))
+
+	const src = 0
+	dst := 2
+	if sc.IntraNode {
+		dst = 1
+	}
+
+	sbuf := world.Rank(src).Dev.Alloc("conf-send", int(bufSpan(sc.Send, sc.Count)))
+	rbuf := world.Rank(dst).Dev.Alloc("conf-recv", int(bufSpan(sc.Recv, sc.Count)))
+	workload.FillPattern(sbuf.Data, sc.Seed)
+	workload.FillPattern(rbuf.Data, ^sc.Seed)
+
+	err := world.Run(func(r *mpi.Rank, p *sim.Proc) {
+		switch r.ID() {
+		case src:
+			q := r.Isend(p, dst, 7, sbuf, sc.Send, sc.Count)
+			r.Waitall(p, []*mpi.Request{q})
+		case dst:
+			q := r.Irecv(p, src, 7, rbuf, sc.Recv, sc.Count)
+			r.Waitall(p, []*mpi.Request{q})
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+	}
+
+	res := &Result{
+		Scheme:     scheme,
+		Recv:       append([]byte(nil), rbuf.Data...),
+		FinalClock: env.Now(),
+		Trace:      make(map[string]int64),
+	}
+	for i := 0; i < world.Size(); i++ {
+		for _, c := range trace.Categories() {
+			res.Trace[c.String()] += world.Rank(i).Trace.Get(c)
+		}
+	}
+	return res, nil
+}
+
+// Expected computes the model receive buffer for sc with plain sequential
+// code, independent of every engine under test: pack the send blocks into
+// a wire stream, scatter the stream through the receive blocks into a
+// buffer pre-filled exactly like the real run's. Bytes no scheme should
+// touch are therefore compared too.
+func Expected(sc Scenario) []byte {
+	src := make([]byte, bufSpan(sc.Send, sc.Count))
+	workload.FillPattern(src, sc.Seed)
+	dst := make([]byte, bufSpan(sc.Recv, sc.Count))
+	workload.FillPattern(dst, ^sc.Seed)
+
+	var wire []byte
+	for _, b := range sc.Send.Repeat(sc.Count) {
+		wire = append(wire, src[b.Offset:b.Offset+b.Len]...)
+	}
+	var pos int64
+	for _, b := range sc.Recv.Repeat(sc.Count) {
+		copy(dst[b.Offset:b.Offset+b.Len], wire[pos:pos+b.Len])
+		pos += b.Len
+	}
+	return dst
+}
+
+// Divergence reports the first byte at which two runs disagree.
+type Divergence struct {
+	SchemeA, SchemeB string
+	Offset           int64
+	A, B             byte
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("conformance: %s and %s diverge at recv offset %d (0x%02x vs 0x%02x)",
+		d.SchemeA, d.SchemeB, d.Offset, d.A, d.B)
+}
+
+// firstDiff returns the first differing offset of a and b, or -1. A length
+// mismatch diverges at the shorter length.
+func firstDiff(a, b []byte) int64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return int64(i)
+		}
+	}
+	if len(a) != len(b) {
+		return int64(n)
+	}
+	return -1
+}
+
+func compare(nameA, nameB string, a, b []byte) error {
+	if off := firstDiff(a, b); off >= 0 {
+		var ba, bb byte
+		if off < int64(len(a)) {
+			ba = a[off]
+		}
+		if off < int64(len(b)) {
+			bb = b[off]
+		}
+		return &Divergence{SchemeA: nameA, SchemeB: nameB, Offset: off, A: ba, B: bb}
+	}
+	return nil
+}
+
+// Differential runs sc under every scheme and asserts (1) the send and
+// receive type signatures carry the same byte stream, (2) every scheme's
+// receive buffer is byte-identical to the sequential model, and (3) all
+// schemes agree with each other. The returned error names the first
+// diverging (offset, scheme-pair).
+func Differential(sc Scenario) error {
+	if !SameSignature(Signature(sc.Send, sc.Count), Signature(sc.Recv, sc.Count)) {
+		return fmt.Errorf("conformance: send/recv type signatures disagree (%d vs %d wire bytes)",
+			sc.Send.SizeBytes*int64(sc.Count), sc.Recv.SizeBytes*int64(sc.Count))
+	}
+	want := Expected(sc)
+	var first *Result
+	for _, name := range SchemeNames() {
+		res, err := RunScenario(sc, name)
+		if err != nil {
+			return err
+		}
+		if err := compare("model", name, want, res.Recv); err != nil {
+			return err
+		}
+		if first == nil {
+			first = res
+		} else if err := compare(first.Scheme, name, first.Recv, res.Recv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckDeterminism runs sc twice under one scheme and asserts bit-identical
+// observables: final sim clock, receive bytes, and per-category trace
+// totals — the DESIGN §5 same-seed ⇒ same-timings invariant.
+func CheckDeterminism(sc Scenario, scheme string) error {
+	a, err := RunScenario(sc, scheme)
+	if err != nil {
+		return err
+	}
+	b, err := RunScenario(sc, scheme)
+	if err != nil {
+		return err
+	}
+	if a.FinalClock != b.FinalClock {
+		return fmt.Errorf("conformance: %s nondeterministic final clock: %d vs %d ns",
+			scheme, a.FinalClock, b.FinalClock)
+	}
+	if err := compare(scheme+"#1", scheme+"#2", a.Recv, b.Recv); err != nil {
+		return err
+	}
+	for cat, ns := range a.Trace {
+		if b.Trace[cat] != ns {
+			return fmt.Errorf("conformance: %s nondeterministic trace[%s]: %d vs %d ns",
+				scheme, cat, ns, b.Trace[cat])
+		}
+	}
+	return nil
+}

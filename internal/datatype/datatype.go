@@ -275,6 +275,11 @@ func (s subarray) TypeName() string {
 	return fmt.Sprintf("subarray(%v of %v)", s.subsizes, s.sizes)
 }
 func (s subarray) flatten(base int64, out *[]Block) {
+	for _, v := range s.subsizes {
+		if v == 0 {
+			return // empty slab in any dimension: zero payload, no blocks
+		}
+	}
 	ext := s.base.Extent()
 	nd := len(s.sizes)
 	// Row-major strides in elements.

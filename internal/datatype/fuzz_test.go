@@ -1,0 +1,116 @@
+package datatype_test
+
+// Fuzzing lives in an external test package so it can reuse the bounded
+// type decoder from internal/conformance without an import cycle.
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/datatype"
+)
+
+// FuzzFlattenRoundTrip decodes arbitrary bytes into a bounded nested
+// datatype and checks the flattening invariants Commit relies on:
+//
+//   - Commit itself must not panic ("flatten lost bytes" fires when a
+//     constructor's flatten disagrees with its Size — the exact failure
+//     mode of the subarray empty-slab bug);
+//   - coalescing is canonical: no zero-length blocks, no two sequentially
+//     adjacent blocks left unmerged, sum of lengths equals SizeBytes,
+//     MaxBlockBytes is the true maximum;
+//   - Repeat(n) carries exactly n times the payload;
+//   - for layouts without overlapping blocks, gather followed by scatter
+//     followed by gather reproduces the wire stream bit-for-bit.
+func FuzzFlattenRoundTrip(f *testing.F) {
+	for _, in := range conformance.SeedInputs {
+		f.Add(in)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			t.Skip("bounded decoder input")
+		}
+		typ := conformance.DecodeType(data)
+		l := datatype.Commit(typ)
+
+		var sum, max int64
+		for i, b := range l.Blocks {
+			if b.Len <= 0 {
+				t.Fatalf("%s: block %d has non-positive length %d", typ.TypeName(), i, b.Len)
+			}
+			if b.Offset < 0 {
+				t.Fatalf("%s: block %d has negative offset %d", typ.TypeName(), i, b.Offset)
+			}
+			if i > 0 && l.Blocks[i-1].Offset+l.Blocks[i-1].Len == b.Offset {
+				t.Fatalf("%s: blocks %d,%d are adjacent but uncoalesced", typ.TypeName(), i-1, i)
+			}
+			sum += b.Len
+			if b.Len > max {
+				max = b.Len
+			}
+		}
+		if sum != l.SizeBytes {
+			t.Fatalf("%s: block lengths sum to %d, SizeBytes is %d", typ.TypeName(), sum, l.SizeBytes)
+		}
+		if max != l.MaxBlockBytes {
+			t.Fatalf("%s: max block %d, MaxBlockBytes %d", typ.TypeName(), max, l.MaxBlockBytes)
+		}
+
+		const count = 3
+		rep := l.Repeat(count)
+		var repSum int64
+		span := l.ExtentBytes * count
+		for _, b := range rep {
+			repSum += b.Len
+			if end := b.Offset + b.Len; end > span {
+				span = end
+			}
+		}
+		if repSum != count*l.SizeBytes {
+			t.Fatalf("%s: Repeat(%d) carries %d bytes, want %d",
+				typ.TypeName(), count, repSum, count*l.SizeBytes)
+		}
+
+		if overlaps(rep) {
+			return // gather/scatter is not invertible over overlapping extents
+		}
+		src := make([]byte, span)
+		for i := range src {
+			src[i] = byte(i*131 + 17)
+		}
+		var wire []byte
+		for _, b := range rep {
+			wire = append(wire, src[b.Offset:b.Offset+b.Len]...)
+		}
+		dst := make([]byte, span)
+		var pos int64
+		for _, b := range rep {
+			copy(dst[b.Offset:b.Offset+b.Len], wire[pos:pos+b.Len])
+			pos += b.Len
+		}
+		pos = 0
+		for _, b := range rep {
+			for i := int64(0); i < b.Len; i++ {
+				if dst[b.Offset+i] != wire[pos+i] {
+					t.Fatalf("%s: round-trip mismatch at block offset %d byte %d",
+						typ.TypeName(), b.Offset, i)
+				}
+			}
+			pos += b.Len
+		}
+	})
+}
+
+// overlaps reports whether any two blocks share a byte.
+func overlaps(blocks []datatype.Block) bool {
+	s := make([]datatype.Block, len(blocks))
+	copy(s, blocks)
+	sort.Slice(s, func(i, j int) bool { return s[i].Offset < s[j].Offset })
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Offset+s[i-1].Len > s[i].Offset {
+			return true
+		}
+	}
+	return false
+}

@@ -452,7 +452,7 @@ func TestPropertyExchangeIntegrity(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: propertyRuns(t, 40)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -521,7 +521,7 @@ func TestPropertyNonOvertakingMixedSends(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: propertyRuns(t, 30)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -734,4 +734,17 @@ func TestPipelineLateReceiverOrphanChunks(t *testing.T) {
 			t.Fatalf("block %+v corrupted", b)
 		}
 	}
+}
+
+// propertyRuns scales a property test's case count: the full matrix in CI,
+// a fast sample under `go test -short`.
+func propertyRuns(t *testing.T, full int) int {
+	t.Helper()
+	if testing.Short() {
+		if full > 5 {
+			return full / 5
+		}
+		return full
+	}
+	return full
 }

@@ -406,7 +406,7 @@ func TestPropertyResourceConservation(t *testing.T) {
 		}
 		return finish == total
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: propertyRuns(t, 50)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -440,7 +440,7 @@ func TestPropertyEventTiming(t *testing.T) {
 		}
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: propertyRuns(t, 40)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -455,4 +455,17 @@ func BenchmarkSpawnRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// propertyRuns scales a property test's case count: the full matrix in CI,
+// a fast sample under `go test -short`.
+func propertyRuns(t *testing.T, full int) int {
+	t.Helper()
+	if testing.Short() {
+		if full > 5 {
+			return full / 5
+		}
+		return full
+	}
+	return full
 }
