@@ -1,0 +1,29 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReproDeadlock(t *testing.T) {
+	sc := DecodeScenario([]byte("11zz000000000"))
+	fmt.Printf("send=%s size=%d extent=%d count=%d eager=%d rdv=%v ipcOff=%v intra=%v pipe=%v\n",
+		sc.SendType.TypeName(), sc.Send.SizeBytes, sc.Send.ExtentBytes, sc.Count,
+		sc.EagerLimit, sc.Rendezvous, sc.DisableIPC, sc.IntraNode, sc.Pipeline)
+	for _, name := range SchemeNames() {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					fmt.Printf("scheme %s: PANIC %v\n", name, r)
+				}
+			}()
+			res, err := RunScenario(sc, name)
+			if err != nil {
+				fmt.Printf("scheme %s: err %v\n", name, err)
+				return
+			}
+			_ = res
+			fmt.Printf("scheme %s: ok clock=%d\n", name, res.FinalClock)
+		}()
+	}
+}
