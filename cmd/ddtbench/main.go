@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -47,11 +48,19 @@ func main() {
 	scaling := flag.Bool("scaling", false, "ring-exchange node scaling")
 	table1 := flag.Bool("table1", false, "quantified Table I scheme comparison")
 	system := flag.String("system", "lassen", "system for -approaches/-extended/-scaling: lassen or abci")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every measurement to this file (load in Perfetto / chrome://tracing)")
 	flag.Parse()
 
 	spec := cluster.Lassen()
 	if *system == "abci" {
 		spec = cluster.ABCI()
+	}
+
+	var coll *timeline.Collector
+	if *tracePath != "" {
+		coll = timeline.NewCollector()
+		bench.SetCollector(coll)
+		defer writeTrace(coll, *tracePath)
 	}
 
 	switch {
@@ -87,6 +96,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeTrace dumps the collected timelines as Chrome trace-event JSON.
+func writeTrace(coll *timeline.Collector, path string) {
+	if coll.Empty() {
+		fmt.Fprintln(os.Stderr, "ddtbench: -trace: no measurements ran, nothing to write")
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddtbench: -trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := coll.WriteChrome(f); err != nil {
+		fmt.Fprintln(os.Stderr, "ddtbench: -trace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ddtbench: wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", path)
 }
 
 func run(fig string) error { return runTo(os.Stdout, *format, fig) }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/fusion"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -25,11 +26,30 @@ func main() {
 	dim := flag.Int("dim", 32, "dimension size")
 	buffers := flag.Int("buffers", 16, "outstanding buffers per direction")
 	system := flag.String("system", "lassen", "system model: lassen or abci")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every sweep point to this file")
 	flag.Parse()
 
+	var coll *timeline.Collector
+	if *tracePath != "" {
+		coll = timeline.NewCollector()
+		bench.SetCollector(coll)
+	}
 	if err := run(os.Stdout, *wlName, *dim, *buffers, *system); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if coll != nil && !coll.Empty() {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fusiontune: -trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := coll.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fusiontune: -trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fusiontune: wrote Chrome trace to %s\n", *tracePath)
 	}
 }
 

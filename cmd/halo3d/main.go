@@ -37,11 +37,16 @@ func faceLayouts(n int) map[string]*dkf.Layout {
 	}
 }
 
-func run(w io.Writer, scheme string, n, steps int, quiet bool) (int64, error) {
-	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: scheme})
+func run(w io.Writer, scheme string, n, steps int, quiet bool, tracePath string) (int64, error) {
+	cfg := dkf.SessionConfig{Scheme: dkf.Scheme(scheme)}
+	if tracePath != "" {
+		cfg.Trace = &dkf.TraceOptions{}
+	}
+	sess, err := dkf.NewSession(cfg)
 	if err != nil {
 		return 0, err
 	}
+	defer sess.Close()
 	cart := sess.CartCreate([]int{2, 2, 2}, []bool{true, true, true})
 	faces := faceLayouts(n)
 	gridBytes := n * n * n * 8
@@ -91,6 +96,17 @@ func run(w io.Writer, scheme string, n, steps int, quiet bool) (int64, error) {
 		fmt.Fprintf(w, "%-16s grid=%d^3  faces=6x2  avg step latency = %.1f us (simulated)\n",
 			scheme, n, float64(avg)/1000)
 	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if err := sess.Timeline().WriteChrome(f); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "halo3d: wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", tracePath)
+	}
 	return avg, nil
 }
 
@@ -98,7 +114,7 @@ func run(w io.Writer, scheme string, n, steps int, quiet bool) (int64, error) {
 func compareAll(w io.Writer, n, steps int) error {
 	var base int64
 	for _, s := range []string{"GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed-Tuned"} {
-		avg, err := run(w, s, n, steps, true)
+		avg, err := run(w, s, n, steps, true, "")
 		if err != nil {
 			return err
 		}
@@ -116,16 +132,21 @@ func main() {
 	steps := flag.Int("steps", 5, "timesteps")
 	scheme := flag.String("scheme", "Proposed-Tuned", "DDT scheme")
 	compare := flag.Bool("compare", false, "compare all schemes")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (single-scheme mode only)")
 	flag.Parse()
 
 	if *compare {
+		if *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "halo3d: -trace is not supported with -compare")
+			os.Exit(2)
+		}
 		if err := compareAll(os.Stdout, *n, *steps); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if _, err := run(os.Stdout, *scheme, *n, *steps, false); err != nil {
+	if _, err := run(os.Stdout, *scheme, *n, *steps, false, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -10,7 +10,7 @@ import (
 // grid and golden-checks the report line.
 func TestRunSmallGrid(t *testing.T) {
 	var buf bytes.Buffer
-	avg, err := run(&buf, "GPU-Sync", 8, 1, false)
+	avg, err := run(&buf, "GPU-Sync", 8, 1, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,84 @@
+// Command tracecheck validates a Chrome trace-event JSON file as emitted
+// by ddtbench/halo3d/fusiontune -trace: it must parse, carry at least one
+// duration event, and every event must satisfy the trace-event contract
+// (known phase, non-negative timestamps and durations, named). Used by CI
+// as a smoke check; exits non-zero with a diagnostic on the first
+// violation.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no traceEvents", path)
+	}
+	var spans, metas int
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Ts < 0 || e.Dur < 0 {
+				return fmt.Errorf("%s: event %d (%s): negative ts/dur", path, i, e.Name)
+			}
+		case "i":
+			spans++
+			if e.Ts < 0 {
+				return fmt.Errorf("%s: event %d (%s): negative ts", path, i, e.Name)
+			}
+		case "M":
+			metas++
+		default:
+			return fmt.Errorf("%s: event %d (%s): unknown phase %q", path, i, e.Name, e.Ph)
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: only metadata events, no spans", path)
+	}
+	fmt.Printf("%s: OK (%d span/instant events, %d metadata events)\n", path, spans, metas)
+	return nil
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}

@@ -21,6 +21,7 @@ package dkf
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/schemes"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -137,16 +139,67 @@ const (
 	AnyTag    = mpi.AnyTag
 )
 
+// Scheme identifies a DDT-processing scheme. It is string-backed, so the
+// paper-legend names keep working verbatim; prefer the typed constants below.
+type Scheme string
+
+// Typed scheme constants, matching SchemeNames() one to one.
+const (
+	// SchemeGPUSync launches one kernel per operation and synchronizes.
+	SchemeGPUSync Scheme = "GPU-Sync"
+	// SchemeGPUAsync polls CUDA events instead of synchronizing.
+	SchemeGPUAsync Scheme = "GPU-Async"
+	// SchemeCPUGPUHybrid packs small dense layouts on the CPU (GDRCopy).
+	SchemeCPUGPUHybrid Scheme = "CPU-GPU-Hybrid"
+	// SchemeNaiveMemcpy issues one cudaMemcpyAsync per contiguous block.
+	SchemeNaiveMemcpy Scheme = "NaiveMemcpy"
+	// SchemeStagedHost stages packed data through host memory.
+	SchemeStagedHost Scheme = "StagedHost"
+	// SchemeProposed is dynamic kernel fusion with the untuned threshold.
+	SchemeProposed Scheme = "Proposed"
+	// SchemeProposedTuned is the paper's tuned fusion configuration.
+	SchemeProposedTuned Scheme = "Proposed-Tuned"
+	// SchemeProposedAuto seeds the threshold from the cost model and
+	// adapts it online.
+	SchemeProposedAuto Scheme = "Proposed-Auto"
+)
+
+// Production-library aliases (Fig. 14 legends); they resolve to the
+// baseline scheme that models the library's datatype path.
+const (
+	SchemeMVAPICH2GDR Scheme = "MVAPICH2-GDR" // -> CPU-GPU-Hybrid
+	SchemeSpectrumMPI Scheme = "SpectrumMPI"  // -> NaiveMemcpy
+	SchemeOpenMPI     Scheme = "OpenMPI"      // -> NaiveMemcpy
+)
+
+// validSchemes lists every accepted Scheme value: the canonical names in
+// SchemeNames() order plus the production-library aliases.
+func validSchemes() []string {
+	return append(schemes.Names(), string(SchemeMVAPICH2GDR), string(SchemeSpectrumMPI), string(SchemeOpenMPI))
+}
+
+// TraceOptions configures timeline recording (SessionConfig.Trace).
+type TraceOptions = timeline.Options
+
+// Timeline is the per-rank event timeline of a traced session.
+type Timeline = timeline.Timeline
+
+// TimelineCollector merges timelines from several sessions/worlds into one
+// Chrome trace.
+type TimelineCollector = timeline.Collector
+
 // SessionConfig configures a simulated cluster session.
 type SessionConfig struct {
 	// System picks the machine model (default Lassen). CustomSpec, if
 	// non-nil, overrides it entirely.
 	System     System
 	CustomSpec *cluster.Spec
-	// Scheme names the DDT-processing scheme: "GPU-Sync", "GPU-Async",
-	// "CPU-GPU-Hybrid", "NaiveMemcpy", "Proposed", "Proposed-Tuned"
-	// (default "Proposed-Tuned").
-	Scheme string
+	// Scheme selects the DDT-processing scheme (default
+	// SchemeProposedTuned). Use the typed Scheme constants; raw strings
+	// such as "GPU-Sync" still convert and are accepted for backward
+	// compatibility, but that path is deprecated — new code should write
+	// dkf.SchemeGPUSync.
+	Scheme Scheme
 	// FusionThreshold overrides the fused-kernel flush threshold in
 	// bytes (0 = scheme default; only affects the Proposed schemes).
 	FusionThreshold int64
@@ -157,6 +210,47 @@ type SessionConfig struct {
 	// PipelineChunk enables chunked rendezvous for non-contiguous RGET
 	// sends larger than this many bytes (0 = whole-message rendezvous).
 	PipelineChunk int64
+	// Trace, when non-nil, enables per-rank event-timeline recording;
+	// retrieve the result with Session.Timeline after Run. The default
+	// (nil) keeps the communication hot paths allocation-free.
+	Trace *TraceOptions
+}
+
+// validate rejects configurations that would misbehave downstream.
+func (cfg *SessionConfig) validate() error {
+	if cfg.FusionThreshold < 0 {
+		return fmt.Errorf("dkf: negative FusionThreshold %d", cfg.FusionThreshold)
+	}
+	if cfg.EagerLimit < 0 {
+		return fmt.Errorf("dkf: negative EagerLimit %d", cfg.EagerLimit)
+	}
+	if cfg.PipelineChunk < 0 {
+		return fmt.Errorf("dkf: negative PipelineChunk %d", cfg.PipelineChunk)
+	}
+	if cfg.CustomSpec == nil {
+		if cfg.System < SystemLassen || cfg.System > SystemABCI {
+			return fmt.Errorf("dkf: unknown System %d (valid: SystemLassen, SystemABCI)", int(cfg.System))
+		}
+	} else {
+		if cfg.CustomSpec.Nodes < 1 {
+			return fmt.Errorf("dkf: CustomSpec needs at least one node, got %d", cfg.CustomSpec.Nodes)
+		}
+		if cfg.CustomSpec.GPUsPerNode < 1 {
+			return fmt.Errorf("dkf: CustomSpec needs at least one GPU per node, got %d", cfg.CustomSpec.GPUsPerNode)
+		}
+	}
+	known := false
+	for _, n := range validSchemes() {
+		if n == string(cfg.Scheme) {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("dkf: unknown scheme %q (valid: %s)",
+			cfg.Scheme, strings.Join(validSchemes(), ", "))
+	}
+	return nil
 }
 
 // Session is a simulated cluster plus MPI world, ready to Run rank bodies.
@@ -165,23 +259,19 @@ type Session struct {
 	env     *sim.Env
 	cluster *cluster.Cluster
 	world   *mpi.World
+	closed  bool
 }
 
-// NewSession builds the cluster and world. It returns an error for unknown
-// scheme names.
+// NewSession builds the cluster and world. It returns a descriptive error
+// for any invalid configuration: unknown scheme (the message lists the valid
+// names), out-of-range System, negative tuning knobs, or a degenerate
+// CustomSpec.
 func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.Scheme == "" {
-		cfg.Scheme = "Proposed-Tuned"
+		cfg.Scheme = SchemeProposedTuned
 	}
-	known := false
-	for _, n := range append(schemes.Names(), "MVAPICH2-GDR", "SpectrumMPI", "OpenMPI") {
-		if n == cfg.Scheme {
-			known = true
-			break
-		}
-	}
-	if !known {
-		return nil, fmt.Errorf("dkf: unknown scheme %q", cfg.Scheme)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	spec := cfg.System.Spec()
 	if cfg.CustomSpec != nil {
@@ -198,7 +288,8 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	mcfg.DisableIPC = cfg.DisableIPC
 	mcfg.PipelineChunkBytes = cfg.PipelineChunk
-	factory := schemes.Factory(cfg.Scheme)
+	mcfg.Timeline = cfg.Trace
+	factory := schemes.Factory(string(cfg.Scheme))
 	if cfg.FusionThreshold > 0 {
 		th := cfg.FusionThreshold
 		factory = func(r *mpi.Rank) mpi.Scheme {
@@ -218,21 +309,66 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 // NumRanks reports the number of ranks (one per GPU).
 func (s *Session) NumRanks() int { return s.world.Size() }
 
-// Alloc allocates a device buffer on rank r's GPU before Run starts.
+// Alloc allocates a device buffer on rank r's GPU before Run starts. It
+// panics — naming the rank and buffer — on a non-positive size or a
+// duplicate name; use AllocE to handle those as errors.
 func (s *Session) Alloc(r int, name string, bytes int) *Buffer {
-	return s.world.Rank(r).Dev.Alloc(name, bytes)
+	b, err := s.AllocE(r, name, bytes)
+	if err != nil {
+		panic(err.Error())
+	}
+	return b
+}
+
+// AllocE is Alloc returning an error instead of panicking.
+func (s *Session) AllocE(r int, name string, bytes int) (*Buffer, error) {
+	if s.closed {
+		return nil, fmt.Errorf("dkf: Alloc %q on closed session", name)
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("dkf: rank %d: non-positive allocation of %d bytes for buffer %q", r, bytes, name)
+	}
+	b, err := s.world.Rank(r).Dev.AllocE(name, bytes)
+	if err != nil {
+		return nil, fmt.Errorf("dkf: rank %d: %w", r, err)
+	}
+	return b, nil
 }
 
 // TraceOf returns rank r's accumulated cost breakdown.
 func (s *Session) TraceOf(r int) *Breakdown { return s.world.Rank(r).Trace }
 
+// Timeline returns the session's event timeline, or nil when the session
+// was built without SessionConfig.Trace.
+func (s *Session) Timeline() *Timeline { return s.world.Timeline() }
+
 // DeviceStats returns rank r's GPU activity counters.
 func (s *Session) DeviceStats(r int) gpu.Stats { return s.world.Rank(r).Dev.Stats }
+
+// Close releases every device buffer the session allocated (including
+// internal staging buffers) so long-lived callers don't hold the arenas
+// alive. Further Run/Alloc calls fail; Close is idempotent. Traces,
+// timelines, and device stats stay readable after Close.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, node := range s.cluster.Devices {
+		for _, d := range node {
+			d.FreeAll()
+		}
+	}
+	return nil
+}
 
 // Run executes body once per rank (each on its own simulated CPU thread)
 // and drives the simulation until all ranks finish. A deadlock in the
 // communication pattern surfaces as an error naming the stuck ranks.
 func (s *Session) Run(body func(c *RankCtx)) error {
+	if s.closed {
+		return fmt.Errorf("dkf: Run on closed session")
+	}
 	return s.world.Run(func(r *mpi.Rank, p *sim.Proc) {
 		body(&RankCtx{rank: r, proc: p, sess: s})
 	})
@@ -261,9 +397,20 @@ func (c *RankCtx) Now() int64 { return c.proc.Now() }
 // Sleep advances this rank's virtual time (compute phases).
 func (c *RankCtx) Sleep(ns int64) { c.proc.Sleep(ns) }
 
-// Alloc allocates a device buffer on this rank's GPU.
+// Alloc allocates a device buffer on this rank's GPU. It panics — naming
+// the rank and buffer — on a non-positive size or a duplicate name; use
+// AllocE to handle those as errors.
 func (c *RankCtx) Alloc(name string, bytes int) *Buffer {
-	return c.rank.Dev.Alloc(name, bytes)
+	b, err := c.AllocE(name, bytes)
+	if err != nil {
+		panic(err.Error())
+	}
+	return b
+}
+
+// AllocE is Alloc returning an error instead of panicking.
+func (c *RankCtx) AllocE(name string, bytes int) (*Buffer, error) {
+	return c.sess.AllocE(c.ID(), name, bytes)
 }
 
 // Isend posts a non-blocking send of count elements of layout l.
@@ -321,8 +468,20 @@ func RunFigure(id string) ([]*ExperimentTable, error) { return bench.Run(id) }
 // Figures lists the reproducible figure ids.
 func Figures() []string { return bench.Figures() }
 
-// SchemeNames lists the available scheme names.
+// SchemeNames lists the available scheme names, matching the typed Scheme
+// constants one to one (aliases like "MVAPICH2-GDR" are additionally
+// accepted by NewSession but not listed here).
 func SchemeNames() []string { return schemes.Names() }
+
+// Schemes lists the typed scheme constants in SchemeNames() order.
+func Schemes() []Scheme {
+	names := schemes.Names()
+	out := make([]Scheme, len(names))
+	for i, n := range names {
+		out[i] = Scheme(n)
+	}
+	return out
+}
 
 // Resized is MPI_Type_create_resized (lb = 0): overrides the extent.
 func Resized(base Type, extent int64) Type { return datatype.Resized(base, extent) }

@@ -46,7 +46,7 @@ func TestSessionAllSchemesAndSystems(t *testing.T) {
 	l := dkf.Commit(dkf.Indexed([]int{1, 2, 1}, []int{0, 4, 9}, dkf.Float32))
 	for _, sys := range []dkf.System{dkf.SystemLassen, dkf.SystemABCI} {
 		for _, scheme := range dkf.SchemeNames() {
-			sess, err := dkf.NewSession(dkf.SessionConfig{System: sys, Scheme: scheme})
+			sess, err := dkf.NewSession(dkf.SessionConfig{System: sys, Scheme: dkf.Scheme(scheme)})
 			if err != nil {
 				t.Fatal(err)
 			}

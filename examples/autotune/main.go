@@ -23,7 +23,7 @@ const (
 
 func run(scheme string, threshold int64) (int64, error) {
 	sess, err := dkf.NewSession(dkf.SessionConfig{
-		Scheme:          scheme,
+		Scheme:          dkf.Scheme(scheme),
 		FusionThreshold: threshold,
 	})
 	if err != nil {

@@ -24,7 +24,7 @@ func right(r int) int { return r ^ 1 }
 func below(r int) int { return r ^ 2 }
 
 func run(scheme string) (int64, error) {
-	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: scheme})
+	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: dkf.Scheme(scheme)})
 	if err != nil {
 		return 0, err
 	}

@@ -14,7 +14,7 @@ import (
 )
 
 func exchange(scheme string, dim, buffers int) (int64, error) {
-	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: scheme})
+	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: dkf.Scheme(scheme)})
 	if err != nil {
 		return 0, err
 	}

@@ -118,8 +118,8 @@ func AblationPartitioning() *Table {
 		env.Spawn("pe", func(p *sim.Proc) {
 			var uids []int64
 			enq := func(bytes int64, segs int, max int64) {
-				src := dev.Alloc("s", 1)
-				dst := dev.Alloc("d", 1)
+				src := dev.Alloc(fmt.Sprintf("s%d", len(uids)), 1)
+				dst := dev.Alloc(fmt.Sprintf("d%d", len(uids)), 1)
 				j := &pack.Job{Op: pack.OpPack, Origin: src, Target: dst, Bytes: bytes, Segments: segs, MaxBlock: max}
 				uids = append(uids, sched.Enqueue(p, j))
 			}

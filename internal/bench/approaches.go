@@ -25,15 +25,15 @@ import (
 //	Algorithm 3 — MPI-level implicit: non-contiguous buffers passed
 //	              straight to Isend/Irecv; the runtime's DDT scheme
 //	              (including the proposed fusion) handles packing.
-type approachFn func(w *mpi.World, l *datatype.Layout, nbuf int, sb, rb []*gpu.Buffer, r *mpi.Rank, p *sim.Proc, peer int, sender bool)
+type approachFn func(w *mpi.World, l *datatype.Layout, nbuf, it int, sb, rb []*gpu.Buffer, r *mpi.Rank, p *sim.Proc, peer int, sender bool)
 
 // Algorithm 1: MPI-level explicit pack/unpack.
-func algorithm1(w *mpi.World, l *datatype.Layout, nbuf int, sb, rb []*gpu.Buffer, r *mpi.Rank, p *sim.Proc, peer int, sender bool) {
+func algorithm1(w *mpi.World, l *datatype.Layout, nbuf, it int, sb, rb []*gpu.Buffer, r *mpi.Rank, p *sim.Proc, peer int, sender bool) {
 	packedType := datatype.Commit(datatype.Contiguous(int(l.SizeBytes), datatype.Byte))
 	var reqs []*mpi.Request
 	if sender {
 		for i := 0; i < nbuf; i++ {
-			staging := r.Dev.Alloc(fmt.Sprintf("alg1-s%d", i), int(l.SizeBytes))
+			staging := r.Dev.Alloc(fmt.Sprintf("alg1-s%d-%d", it, i), int(l.SizeBytes))
 			var pos int64
 			r.Pack(p, sb[i], l, 1, staging, &pos) // blocking (red line in Fig. 4a)
 			reqs = append(reqs, r.Isend(p, peer, i, staging, packedType, 1))
@@ -43,7 +43,7 @@ func algorithm1(w *mpi.World, l *datatype.Layout, nbuf int, sb, rb []*gpu.Buffer
 	}
 	stagings := make([]*gpu.Buffer, nbuf)
 	for i := 0; i < nbuf; i++ {
-		stagings[i] = r.Dev.Alloc(fmt.Sprintf("alg1-r%d", i), int(l.SizeBytes))
+		stagings[i] = r.Dev.Alloc(fmt.Sprintf("alg1-r%d-%d", it, i), int(l.SizeBytes))
 		reqs = append(reqs, r.Irecv(p, peer, i, stagings[i], packedType, 1))
 	}
 	r.Waitall(p, reqs)
@@ -55,14 +55,14 @@ func algorithm1(w *mpi.World, l *datatype.Layout, nbuf int, sb, rb []*gpu.Buffer
 
 // Algorithm 2: application-level explicit pack/unpack — custom kernels,
 // one synchronization per phase, no overlap with communication.
-func algorithm2(w *mpi.World, l *datatype.Layout, nbuf int, sb, rb []*gpu.Buffer, r *mpi.Rank, p *sim.Proc, peer int, sender bool) {
+func algorithm2(w *mpi.World, l *datatype.Layout, nbuf, it int, sb, rb []*gpu.Buffer, r *mpi.Rank, p *sim.Proc, peer int, sender bool) {
 	packedType := datatype.Commit(datatype.Contiguous(int(l.SizeBytes), datatype.Byte))
 	st := r.Dev.NewStream("app-pack")
 	var reqs []*mpi.Request
 	if sender {
 		stagings := make([]*gpu.Buffer, nbuf)
 		for i := 0; i < nbuf; i++ {
-			stagings[i] = r.Dev.Alloc(fmt.Sprintf("alg2-s%d", i), int(l.SizeBytes))
+			stagings[i] = r.Dev.Alloc(fmt.Sprintf("alg2-s%d-%d", it, i), int(l.SizeBytes))
 			job := pack.NewJob(pack.OpPack, sb[i], stagings[i], l.Blocks)
 			st.Launch(p, job.KernelSpec())
 		}
@@ -75,7 +75,7 @@ func algorithm2(w *mpi.World, l *datatype.Layout, nbuf int, sb, rb []*gpu.Buffer
 	}
 	stagings := make([]*gpu.Buffer, nbuf)
 	for i := 0; i < nbuf; i++ {
-		stagings[i] = r.Dev.Alloc(fmt.Sprintf("alg2-r%d", i), int(l.SizeBytes))
+		stagings[i] = r.Dev.Alloc(fmt.Sprintf("alg2-r%d-%d", it, i), int(l.SizeBytes))
 		reqs = append(reqs, r.Irecv(p, peer, i, stagings[i], packedType, 1))
 	}
 	r.Waitall(p, reqs)
@@ -87,7 +87,7 @@ func algorithm2(w *mpi.World, l *datatype.Layout, nbuf int, sb, rb []*gpu.Buffer
 }
 
 // Algorithm 3: MPI-level implicit — the 10-line productive version.
-func algorithm3(w *mpi.World, l *datatype.Layout, nbuf int, sb, rb []*gpu.Buffer, r *mpi.Rank, p *sim.Proc, peer int, sender bool) {
+func algorithm3(w *mpi.World, l *datatype.Layout, nbuf, it int, sb, rb []*gpu.Buffer, r *mpi.Rank, p *sim.Proc, peer int, sender bool) {
 	var reqs []*mpi.Request
 	if sender {
 		for i := 0; i < nbuf; i++ {
@@ -124,9 +124,9 @@ func runApproach(system cluster.Spec, scheme string, wl workload.Workload, dim, 
 			t0 := p.Now()
 			switch r.ID() {
 			case a:
-				fn(w, l, nbuf, sb, rb, r, p, bPeer, true)
+				fn(w, l, nbuf, it, sb, rb, r, p, bPeer, true)
 			case bPeer:
-				fn(w, l, nbuf, sb, rb, r, p, a, false)
+				fn(w, l, nbuf, it, sb, rb, r, p, a, false)
 			}
 			w.Barrier(p)
 			if r.ID() == a && it >= warmup {

@@ -19,9 +19,20 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/schemes"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// collector, when non-nil, receives every RunBulk measurement's event
+// timeline (one entry per world, labeled "<scheme>/<workload>/dim<N>").
+// Nil keeps tracing disabled and the hot paths allocation-free.
+var collector *timeline.Collector
+
+// SetCollector installs (or, with nil, removes) the timeline collector
+// that subsequent RunBulk calls feed. Not safe for concurrent use with
+// RunBulk; the harness is single-threaded.
+func SetCollector(c *timeline.Collector) { collector = c }
 
 // Table is a formatted experiment result.
 type Table struct {
@@ -132,7 +143,17 @@ func RunBulk(opt BulkOptions) BulkResult {
 	if opt.MutateMPI != nil {
 		opt.MutateMPI(&cfg)
 	}
+	if collector != nil {
+		cfg.Timeline = &timeline.Options{}
+	}
 	w := mpi.NewWorld(cl, cfg, factoryFor(opt.Scheme, opt.FusionThreshold))
+	if collector != nil {
+		label := fmt.Sprintf("%s/%s/dim%d", opt.Scheme, opt.Workload.Name, opt.Dim)
+		if opt.FusionThreshold > 0 {
+			label += fmt.Sprintf("/th%d", opt.FusionThreshold)
+		}
+		collector.Add(label, w.Timeline())
+	}
 
 	l := opt.Workload.Layout(opt.Dim)
 	a, bPeer := 0, opt.System.GPUsPerNode // rank on node 0, rank on node 1
@@ -169,6 +190,7 @@ func RunBulk(opt BulkOptions) BulkResult {
 		for it := 0; it < opt.Warmup+opt.Iterations; it++ {
 			if it == opt.Warmup && mine {
 				r.Trace.Reset()
+				r.Timeline().Reset()
 			}
 			w.Barrier(p)
 			t0 := p.Now()

@@ -88,6 +88,11 @@ func RunScenario(sc Scenario, scheme string) (*Result, error) {
 	cl := cluster.Build(env, SpecSmall())
 
 	cfg := mpi.DefaultConfig()
+	// Fuzzed scenarios can legitimately take hundreds of virtual ms under
+	// the slowest baselines (e.g. NaiveMemcpy posting tens of thousands of
+	// cudaMemcpyAsync calls); give them headroom past the default stall
+	// guard without affecting how passing cases are timed.
+	cfg.StallTimeoutNs = 2 * sim.Second
 	cfg.Rendezvous = sc.Rendezvous
 	if sc.EagerLimit != 0 {
 		cfg.EagerLimitBytes = sc.EagerLimit

@@ -19,10 +19,12 @@ package fusion
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/gpu"
 	"repro/internal/pack"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -132,6 +134,9 @@ type Scheduler struct {
 	Stats Stats
 	// Trace, if non-nil, accrues Scheduling/Launch/PackKernel costs.
 	Trace *trace.Breakdown
+	// TL, if non-nil, records fusion-layer timeline events (enqueues,
+	// threshold trips, flushes, fused launches) mirroring every Trace charge.
+	TL *timeline.Recorder
 	// tuner, if set, adapts ThresholdBytes online from observed request
 	// latencies (the model-based prediction of the paper's future work).
 	tuner *AutoTuner
@@ -181,8 +186,9 @@ func (s *Scheduler) PendingCount() int { return len(s.pending) }
 // flush policy fires (scenario 2 of Section IV-C); the launch overhead is
 // charged to the calling proc, exactly like the real runtime.
 func (s *Scheduler) Enqueue(p *sim.Proc, job *pack.Job) int64 {
+	t0 := p.Now()
 	p.Sleep(s.cfg.EnqueueCostNs)
-	s.addTrace(trace.Scheduling, s.cfg.EnqueueCostNs)
+	s.addTraceAt(trace.Scheduling, "enqueue", t0, s.cfg.EnqueueCostNs)
 	e := s.freeEntry()
 	if e == nil {
 		s.Stats.Rejected++
@@ -204,9 +210,18 @@ func (s *Scheduler) Enqueue(p *sim.Proc, job *pack.Job) int64 {
 
 	if s.cfg.ThresholdBytes > 0 && s.pendingBytes >= s.cfg.ThresholdBytes {
 		s.Stats.ThresholdFlushes++
+		if s.TL != nil {
+			s.TL.Instant(timeline.LayerFusion, "", "threshold-trip", s.env.Now(),
+				timeline.Arg{Key: "pending", Val: strconv.Itoa(len(s.pending))},
+				timeline.Arg{Key: "bytes", Val: strconv.FormatInt(s.pendingBytes, 10)})
+		}
 		s.launch(p)
 	} else if s.cfg.MaxPending > 0 && len(s.pending) >= s.cfg.MaxPending {
 		s.Stats.CapFlushes++
+		if s.TL != nil {
+			s.TL.Instant(timeline.LayerFusion, "", "cap-trip", s.env.Now(),
+				timeline.Arg{Key: "pending", Val: strconv.Itoa(len(s.pending))})
+		}
 		s.launch(p)
 	}
 	return e.uid
@@ -221,6 +236,11 @@ func (s *Scheduler) Flush(p *sim.Proc) {
 		return
 	}
 	s.Stats.ExplicitFlushes++
+	if s.TL != nil {
+		s.TL.Instant(timeline.LayerFusion, "", "flush", s.env.Now(),
+			timeline.Arg{Key: "pending", Val: strconv.Itoa(len(s.pending))},
+			timeline.Arg{Key: "bytes", Val: strconv.FormatInt(s.pendingBytes, 10)})
+	}
 	s.launch(p)
 }
 
@@ -253,16 +273,17 @@ func (s *Scheduler) launch(p *sim.Proc) {
 		s.Stats.MaxBatch = len(batch)
 	}
 	fc := s.stream.LaunchFused(p, fmt.Sprintf("batch-%d", s.Stats.FusedLaunches), works)
-	s.addTrace(trace.Launch, s.dev.Arch.LaunchOverheadNs)
-	s.addTrace(trace.PackKernel, fc.End-fc.Start)
+	s.addTraceAt(trace.Launch, "fused-launch", s.env.Now()-s.dev.Arch.LaunchOverheadNs, s.dev.Arch.LaunchOverheadNs)
+	s.addTraceAt(trace.PackKernel, "fused-kernel", fc.Start, fc.End-fc.Start)
 }
 
 // Done (④) answers a status query for uid: the scheduler compares the
 // request status with the response status. A true return releases the
 // request-list entry. Unknown UIDs (already released) report true.
 func (s *Scheduler) Done(p *sim.Proc, uid int64) bool {
+	t0 := p.Now()
 	p.Sleep(s.cfg.QueryCostNs)
-	s.addTrace(trace.Scheduling, s.cfg.QueryCostNs)
+	s.addTraceAt(trace.Scheduling, "query", t0, s.cfg.QueryCostNs)
 	e, ok := s.byUID[uid]
 	if !ok {
 		return true
@@ -328,8 +349,14 @@ func (s *Scheduler) RequestLatency(uid int64) (int64, bool) {
 	return e.doneAt - e.enqueuedAt, true
 }
 
-func (s *Scheduler) addTrace(c trace.Category, d int64) {
+// addTraceAt accrues a cost to the Breakdown and mirrors it as a
+// fusion-layer timeline span — the pairing that keeps timeline sums equal to
+// the Breakdown.
+func (s *Scheduler) addTraceAt(c trace.Category, name string, start, d int64) {
 	if s.Trace != nil {
 		s.Trace.Add(c, d)
+		if s.TL != nil {
+			s.TL.Span(timeline.LayerFusion, c, "", name, start, d)
+		}
 	}
 }

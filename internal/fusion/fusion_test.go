@@ -21,6 +21,10 @@ func newSched(cfg Config) (*sim.Env, *gpu.Device, *Scheduler) {
 	return env, dev, NewScheduler(dev, dev.NewStream("fusion"), cfg)
 }
 
+// jobSeq makes buffer names unique across mkPackJob calls on one device
+// (the device rejects duplicate names).
+var jobSeq int
+
 // mkPackJob builds a sparse pack job with real buffers and returns the job
 // plus a verifier closure.
 func mkPackJob(dev *gpu.Device, seed int64, blocks, blockLen int) (*pack.Job, func() error) {
@@ -31,8 +35,9 @@ func mkPackJob(dev *gpu.Device, seed int64, blocks, blockLen int) (*pack.Job, fu
 		displs[i] = i * (blockLen + 3)
 	}
 	l := datatype.Commit(datatype.Indexed(lens, displs, datatype.Float32))
-	src := dev.Alloc("src", int(l.ExtentBytes))
-	dst := dev.Alloc("dst", int(l.SizeBytes))
+	jobSeq++
+	src := dev.Alloc(fmt.Sprintf("src%d", jobSeq), int(l.ExtentBytes))
+	dst := dev.Alloc(fmt.Sprintf("dst%d", jobSeq), int(l.SizeBytes))
 	rng := rand.New(rand.NewSource(seed))
 	rng.Read(src.Data)
 	job := pack.NewJob(pack.OpPack, src, dst, l.Blocks)

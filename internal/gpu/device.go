@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/timeline"
 )
 
 // Space says where a buffer's bytes live.
@@ -64,9 +65,14 @@ type Device struct {
 	// ID is unique within a cluster; Node is the owning node index.
 	ID   int
 	Node int
+	// TL, when non-nil, receives machine-view timeline events (kernel and
+	// copy occupancy per stream, sync waits).
+	TL *timeline.Recorder
 
 	env   *sim.Env
 	alloc int64
+	names map[string]struct{}
+	bufs  []*Buffer
 	Stats Stats
 }
 
@@ -80,10 +86,48 @@ func NewDevice(env *sim.Env, arch Arch, id, node int) *Device {
 // Env returns the simulation environment the device is bound to.
 func (d *Device) Env() *sim.Env { return d.env }
 
-// Alloc allocates device global memory.
+// Alloc allocates device global memory. It panics on a negative size or a
+// duplicate buffer name; see AllocE for the error-returning variant.
 func (d *Device) Alloc(name string, n int) *Buffer {
+	b, err := d.AllocE(name, n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return b
+}
+
+// AllocE allocates device global memory, returning an error (naming the
+// device and buffer) on a negative size or a duplicate name. Zero-size
+// buffers are legal: empty datatypes produce them.
+func (d *Device) AllocE(name string, n int) (*Buffer, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gpu: negative allocation of %d bytes for buffer %q on device %d (node %d)",
+			n, name, d.ID, d.Node)
+	}
+	if _, dup := d.names[name]; dup {
+		return nil, fmt.Errorf("gpu: duplicate buffer name %q on device %d (node %d)",
+			name, d.ID, d.Node)
+	}
+	if d.names == nil {
+		d.names = make(map[string]struct{})
+	}
+	d.names[name] = struct{}{}
 	d.alloc += int64(n)
-	return &Buffer{Name: name, Space: SpaceDevice, Data: make([]byte, n), Dev: d}
+	b := &Buffer{Name: name, Space: SpaceDevice, Data: make([]byte, n), Dev: d}
+	d.bufs = append(d.bufs, b)
+	return b, nil
+}
+
+// FreeAll releases every buffer allocated on the device: backing storage is
+// dropped and all names become available again. Buffers handed out earlier
+// must not be used afterwards.
+func (d *Device) FreeAll() {
+	for _, b := range d.bufs {
+		b.Data = nil
+	}
+	d.bufs = nil
+	d.names = nil
+	d.alloc = 0
 }
 
 // AllocatedBytes reports the total device memory allocated so far.
@@ -256,6 +300,9 @@ func (s *Stream) enqueue(p *sim.Proc, name string, dur, bytes int64, segments in
 	d.Stats.KernelBusyNs += dur
 	d.Stats.BytesMoved += bytes
 	d.Stats.SegmentsMoved += int64(segments)
+	if d.TL != nil {
+		d.TL.Span(timeline.LayerGPU, timeline.CostNone, s.name, name, start, dur)
+	}
 	c := &Completion{
 		Ev:    d.env.NewEvent(fmt.Sprintf("%s@%s", name, s.name)),
 		Start: start,
@@ -363,6 +410,9 @@ func (s *Stream) Synchronize(p *sim.Proc) {
 	until := s.busyUntil
 	if until <= d.env.Now() {
 		return
+	}
+	if d.TL != nil {
+		d.TL.Span(timeline.LayerGPU, timeline.CostNone, s.name, "sync-wait", d.env.Now(), until-d.env.Now())
 	}
 	ev := d.env.NewEvent("streamsync:" + s.name)
 	ev.FireAt(until)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/timeline"
 )
 
 // FusedWork is one request folded into a fused kernel: an independent
@@ -88,10 +89,18 @@ func (s *Stream) LaunchFused(p *sim.Proc, name string, reqs []FusedWork) *FusedC
 		End:    end,
 		ReqEnd: make([]int64, len(reqs)),
 	}
+	if d.TL != nil {
+		d.TL.Span(timeline.LayerGPU, timeline.CostNone, s.name, "fused:"+name, start, kernelDur,
+			timeline.Arg{Key: "requests", Val: fmt.Sprintf("%d", len(reqs))},
+			timeline.Arg{Key: "bytes", Val: fmt.Sprintf("%d", totalBytes)})
+	}
 	for i, r := range reqs {
 		i, r := i, r
 		reqEnd := start + durs[i]
 		fc.ReqEnd[i] = reqEnd
+		if d.TL != nil {
+			d.TL.Span(timeline.LayerGPU, timeline.CostNone, s.name, "fused-req:"+r.Name, start, durs[i])
+		}
 		d.env.At(reqEnd, func() {
 			if r.Exec != nil {
 				r.Exec()

@@ -3,6 +3,7 @@ package mpi_test
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math"
 	"testing"
 
@@ -157,7 +158,7 @@ func TestNeighborExchange3DHalo(t *testing.T) {
 	for i := range grids {
 		grids[i] = w.Rank(i).Dev.Alloc("g", n*n*n*8)
 		for a := 0; a < 3; a++ {
-			halos[i] = append(halos[i], w.Rank(i).Dev.Alloc("h", n*n*n*8))
+			halos[i] = append(halos[i], w.Rank(i).Dev.Alloc(fmt.Sprintf("h%d", a), n*n*n*8))
 		}
 		for j := range grids[i].Data {
 			grids[i].Data[j] = byte((i + 1) * (j%127 + 1))

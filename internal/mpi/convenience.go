@@ -44,7 +44,7 @@ func (r *Rank) Waitany(p *sim.Proc, reqs []*Request) int {
 				return i
 			}
 		}
-		r.Trace.Add(trace.Comm, r.world.Cfg.PollIntervalNs)
+		r.Charge(trace.Comm, "poll", p.Now(), r.world.Cfg.PollIntervalNs)
 		p.Sleep(r.world.Cfg.PollIntervalNs)
 	}
 }

@@ -11,6 +11,7 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/cluster"
 	"repro/internal/datatype"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/layoutcache"
 	"repro/internal/pack"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
@@ -74,6 +76,10 @@ type Config struct {
 	// its own request and transfers as soon as it is ready. Zero
 	// disables pipelining.
 	PipelineChunkBytes int64
+	// Timeline, when non-nil, enables per-rank event tracing: every rank
+	// gets a ring-buffered recorder wired through the sim, gpu, mpi, and
+	// fusion layers. Nil (the default) keeps the hot paths allocation-free.
+	Timeline *timeline.Options
 }
 
 // DefaultConfig mirrors common GPU-aware MPI settings.
@@ -121,10 +127,14 @@ type World struct {
 	Cluster *cluster.Cluster
 	Cfg     Config
 	ranks   []*Rank
+	tl      *timeline.Timeline
 
 	barrierEv    *sim.Event
 	barrierCount int
 }
+
+// Timeline returns the world's event timeline, or nil when tracing is off.
+func (w *World) Timeline() *timeline.Timeline { return w.tl }
 
 // NewWorld creates one rank per GPU of the cluster, each with its own
 // layout cache, trace breakdown, and scheme instance.
@@ -133,6 +143,9 @@ func NewWorld(c *cluster.Cluster, cfg Config, factory SchemeFactory) *World {
 		cfg.PollIntervalNs = DefaultConfig().PollIntervalNs
 	}
 	w := &World{Env: c.Env, Cluster: c, Cfg: cfg}
+	if cfg.Timeline != nil {
+		w.tl = timeline.New(c.Spec.Nodes*c.Spec.GPUsPerNode, cfg.Timeline.Capacity)
+	}
 	id := 0
 	for n := 0; n < c.Spec.Nodes; n++ {
 		for g := 0; g < c.Spec.GPUsPerNode; g++ {
@@ -143,7 +156,9 @@ func NewWorld(c *cluster.Cluster, cfg Config, factory SchemeFactory) *World {
 				Dev:   c.Device(n, g),
 				cache: layoutcache.New(cfg.CacheCapacity),
 				Trace: &trace.Breakdown{},
+				tl:    w.tl.Rank(id),
 			}
+			r.Dev.TL = r.tl
 			w.ranks = append(w.ranks, r)
 			id++
 		}
@@ -169,6 +184,7 @@ func (w *World) Run(body func(r *Rank, p *sim.Proc)) error {
 		r := r
 		w.Env.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			r.proc = p
+			p.SetTimeline(r.tl)
 			body(r, p)
 		})
 	}
@@ -187,6 +203,8 @@ type Rank struct {
 
 	// Trace accrues the Fig. 11 cost taxonomy for this rank.
 	Trace *trace.Breakdown
+	// tl is the rank's timeline recorder; nil when tracing is disabled.
+	tl *timeline.Recorder
 
 	posted     []*Request // posted receives awaiting a match
 	unexpected []*message // arrived messages with no posted receive
@@ -249,6 +267,23 @@ func (r *Rank) ID() int       { return r.id }
 func (r *Rank) Node() int     { return r.node }
 func (r *Rank) World() *World { return r.world }
 
+// Timeline returns the rank's recorder (nil when tracing is disabled). A nil
+// recorder is valid and fully disabled, so callers may use it unguarded for
+// emission — but must guard any event-name/arg construction behind Enabled.
+func (r *Rank) Timeline() *timeline.Recorder { return r.tl }
+
+// Charge accrues d nanoseconds of category cat to the rank's Breakdown and,
+// when tracing is on, mirrors it as a cost-carrying timeline span starting at
+// start. All Breakdown charges in the runtime and the schemes route through
+// here (or through the fusion scheduler's equivalent), which is what makes
+// timeline per-category sums reconcile exactly with TraceOf.
+func (r *Rank) Charge(cat trace.Category, name string, start, d int64) {
+	r.Trace.Add(cat, d)
+	if r.tl != nil {
+		r.tl.Span(timeline.LayerMPI, cat, "", name, start, d)
+	}
+}
+
 // SchemeName reports the active DDT scheme.
 func (r *Rank) SchemeName() string { return r.scheme.Name() }
 
@@ -284,6 +319,15 @@ const (
 	mkCTS
 	mkFIN
 )
+
+var msgKindNames = [...]string{"eager", "rts", "rts-chunk", "cts", "fin"}
+
+func (m msgKind) String() string {
+	if int(m) < len(msgKindNames) {
+		return msgKindNames[m]
+	}
+	return "msg?"
+}
 
 // message is an in-flight or queued wire message.
 type message struct {
@@ -354,8 +398,9 @@ func (r *Rank) lookupLayout(p *sim.Proc, l *datatype.Layout, count int) *layoutc
 		hit = false // always pay the full flattening cost
 	}
 	c := r.world.Cfg.CacheCost.Lookup(hit, e.Segments)
+	t0 := p.Now()
 	p.Sleep(c)
-	r.Trace.Add(trace.Other, c)
+	r.Charge(trace.Other, "layout-lookup", t0, c)
 	return e
 }
 
@@ -370,6 +415,12 @@ func (r *Rank) Isend(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.La
 	}
 	r.active = append(r.active, q)
 	r.assignSeq(q)
+	if r.tl != nil {
+		r.tl.Instant(timeline.LayerMPI, "", "isend", p.Now(),
+			timeline.Arg{Key: "dst", Val: strconv.Itoa(dest)},
+			timeline.Arg{Key: "tag", Val: strconv.Itoa(tag)},
+			timeline.Arg{Key: "bytes", Val: strconv.FormatInt(e.Bytes, 10)})
+	}
 
 	destRank := r.world.ranks[dest]
 	if !r.world.Cfg.DisableIPC && destRank.node == r.node && dest != r.id {
@@ -420,6 +471,12 @@ func (r *Rank) Irecv(p *sim.Proc, src, tag int, buf *gpu.Buffer, l *datatype.Lay
 		doneEv: r.world.Env.NewEvent(fmt.Sprintf("recv-%d<-%d-tag%d", r.id, src, tag)),
 	}
 	r.active = append(r.active, q)
+	if r.tl != nil {
+		r.tl.Instant(timeline.LayerMPI, "", "irecv", p.Now(),
+			timeline.Arg{Key: "src", Val: strconv.Itoa(src)},
+			timeline.Arg{Key: "tag", Val: strconv.Itoa(tag)},
+			timeline.Arg{Key: "bytes", Val: strconv.FormatInt(e.Bytes, 10)})
+	}
 	// Check the unexpected queue first (arrival order preserved).
 	for i, m := range r.unexpected {
 		if q.matches(m) {
@@ -453,9 +510,15 @@ func (r *Rank) postCtrl(p *sim.Proc, m *message) {
 	net := r.world.Cluster.Net
 	net.Post(p)
 	fromNode, toNode := r.node, r.world.ranks[m.to].node
-	net.Send(fromNode, toNode, net.Spec.CtrlBytes, func() {
+	t0 := p.Now()
+	arrive := net.Send(fromNode, toNode, net.Spec.CtrlBytes, func() {
 		r.world.ranks[m.to].arrive(m)
 	})
+	if r.tl != nil {
+		r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", "ctrl:"+m.kind.String(), t0, arrive-t0,
+			timeline.Arg{Key: "peer", Val: strconv.Itoa(m.to)},
+			timeline.Arg{Key: "tag", Val: strconv.Itoa(m.tag)})
+	}
 }
 
 // arrive runs in scheduler context when a message lands at this rank.
@@ -541,9 +604,15 @@ func (r *Rank) startTransfer(p *sim.Proc, q *Request) {
 			payload := append([]byte(nil), q.srcSpan()...)
 			net.Post(p)
 			m := &message{kind: mkEager, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, payload: payload}
-			net.Send(r.node, toNode, q.bytes+64, func() {
+			t0 := p.Now()
+			arrive := net.Send(r.node, toNode, q.bytes+64, func() {
 				r.world.ranks[q.peer].arrive(m)
 			})
+			if r.tl != nil {
+				r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", "eager", t0, arrive-t0,
+					timeline.Arg{Key: "peer", Val: strconv.Itoa(q.peer)},
+					timeline.Arg{Key: "bytes", Val: strconv.FormatInt(q.bytes, 10)})
+			}
 			r.complete(q)
 		})
 		return
@@ -617,12 +686,18 @@ func (r *Rank) progressSend(p *sim.Proc, q *Request) {
 				net.Post(p)
 				peer := r.world.ranks[q.peer]
 				recvReq := q.matchedRecv()
+				t0 := p.Now()
 				net.RDMAWrite(r.node, peer.node, q.bytes, func() {
 					if recvReq != nil {
 						copy(recvReq.packed.Data, q.srcSpan())
 						recvReq.dataHere = true
 					}
 					q.finHere = true // local write completion
+					if r.tl != nil {
+						r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", "rdma-write", t0, r.world.Env.Now()-t0,
+							timeline.Arg{Key: "peer", Val: strconv.Itoa(q.peer)},
+							timeline.Arg{Key: "bytes", Val: strconv.FormatInt(q.bytes, 10)})
+					}
 				})
 			}
 			return
@@ -670,9 +745,15 @@ func (r *Rank) progressRecv(p *sim.Proc, q *Request) {
 			net := r.world.Cluster.Net
 			net.Post(p)
 			sender := m.sender
+			t0 := p.Now()
 			net.RDMARead(r.node, r.world.ranks[m.from].node, q.bytes, func() {
 				copy(q.packed.Data, sender.srcSpan())
 				q.dataHere = true
+				if r.tl != nil {
+					r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", "rdma-read", t0, r.world.Env.Now()-t0,
+						timeline.Arg{Key: "peer", Val: strconv.Itoa(m.from)},
+						timeline.Arg{Key: "bytes", Val: strconv.FormatInt(q.bytes, 10)})
+				}
 			})
 			return
 		}
@@ -740,7 +821,8 @@ type alwaysIPCFallback struct{ r *Rank }
 func (f alwaysIPCFallback) run(p *sim.Proc, job *pack.Job) (Handle, bool) {
 	st := f.r.Dev.NewStream("ipc-fallback")
 	c := st.Launch(p, job.KernelSpec())
-	f.r.Trace.Add(trace.Launch, f.r.Dev.Arch.LaunchOverheadNs)
+	over := f.r.Dev.Arch.LaunchOverheadNs
+	f.r.Charge(trace.Launch, "ipc-fallback-launch", p.Now()-over, over)
 	return completionHandle{c}, true
 }
 
@@ -808,7 +890,7 @@ func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) {
 				break
 			}
 		}
-		r.Trace.Add(cat, r.world.Cfg.PollIntervalNs)
+		r.Charge(cat, "poll", p.Now(), r.world.Cfg.PollIntervalNs)
 		p.Sleep(r.world.Cfg.PollIntervalNs)
 	}
 }

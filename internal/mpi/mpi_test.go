@@ -319,8 +319,8 @@ func TestFusionBeatsSyncOnBulkSparse(t *testing.T) {
 		const nbuf = 16
 		var sbufs, rbufs [nbuf]*gpu.Buffer
 		for i := 0; i < nbuf; i++ {
-			sbufs[i] = w.Rank(0).Dev.Alloc("s", int(l.ExtentBytes))
-			rbufs[i] = w.Rank(4).Dev.Alloc("r", int(l.ExtentBytes))
+			sbufs[i] = w.Rank(0).Dev.Alloc(fmt.Sprintf("s%d", i), int(l.ExtentBytes))
+			rbufs[i] = w.Rank(4).Dev.Alloc(fmt.Sprintf("r%d", i), int(l.ExtentBytes))
 		}
 		var done int64
 		err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
@@ -489,8 +489,8 @@ func TestPropertyNonOvertakingMixedSends(t *testing.T) {
 		rbufs := make([]*gpu.Buffer, n)
 		for i := 0; i < n; i++ {
 			layouts[i] = mkLayout(rng)
-			sbufs[i] = w.Rank(0).Dev.Alloc("s", int(layouts[i].ExtentBytes))
-			rbufs[i] = w.Rank(4).Dev.Alloc("r", int(layouts[i].ExtentBytes))
+			sbufs[i] = w.Rank(0).Dev.Alloc(fmt.Sprintf("s%d", i), int(layouts[i].ExtentBytes))
+			rbufs[i] = w.Rank(4).Dev.Alloc(fmt.Sprintf("r%d", i), int(layouts[i].ExtentBytes))
 			rand.New(rand.NewSource(seed + int64(i))).Read(sbufs[i].Data)
 		}
 		err := w.Run(func(r *mpi.Rank, p *sim.Proc) {

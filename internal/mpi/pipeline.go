@@ -1,10 +1,13 @@
 package mpi
 
 import (
+	"strconv"
+
 	"repro/internal/datatype"
 	"repro/internal/gpu"
 	"repro/internal/pack"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 )
 
 // Chunked (pipelined) rendezvous: large non-contiguous RGET sends are
@@ -153,12 +156,18 @@ func (r *Rank) progressPipelinedRecv(p *sim.Proc, q *Request) bool {
 	for _, m := range chunks {
 		m := m
 		net.Post(p)
+		t0 := p.Now()
 		net.RDMARead(r.node, fromNode, m.chunkBytes, func() {
 			copy(q.packed.Data[m.chunkOff:m.chunkOff+m.chunkBytes],
 				sender.packed.Data[m.chunkOff:m.chunkOff+m.chunkBytes])
 			q.recvdBytes += m.chunkBytes
 			if q.recvdBytes == q.bytes {
 				q.dataHere = true
+			}
+			if r.tl != nil {
+				r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", "rdma-read-chunk", t0, r.world.Env.Now()-t0,
+					timeline.Arg{Key: "off", Val: strconv.FormatInt(m.chunkOff, 10)},
+					timeline.Arg{Key: "bytes", Val: strconv.FormatInt(m.chunkBytes, 10)})
 			}
 		})
 		q.pulledChunks++

@@ -44,11 +44,12 @@ func (s *GPUSync) Name() string { return "GPU-Sync" }
 
 func (s *GPUSync) run(p *sim.Proc, job *pack.Job) mpi.Handle {
 	c := s.st.Launch(p, job.KernelSpec())
-	s.r.Trace.Add(trace.Launch, s.r.Dev.Arch.LaunchOverheadNs)
-	s.r.Trace.Add(trace.PackKernel, c.End-c.Start)
+	over := s.r.Dev.Arch.LaunchOverheadNs
+	s.r.Charge(trace.Launch, "launch", p.Now()-over, over)
+	s.r.Charge(trace.PackKernel, "kernel", c.Start, c.End-c.Start)
 	before := p.Now()
 	s.st.Synchronize(p)
-	s.r.Trace.Add(trace.Sync, p.Now()-before)
+	s.r.Charge(trace.Sync, "stream-sync", before, p.Now()-before)
 	return doneHandle{}
 }
 
@@ -98,7 +99,7 @@ type asyncHandle struct {
 func (h asyncHandle) Done(p *sim.Proc) bool {
 	before := p.Now()
 	fired := h.ev.Query(p)
-	h.r.Trace.Add(trace.Sync, p.Now()-before)
+	h.r.Charge(trace.Sync, "event-query", before, p.Now()-before)
 	return fired
 }
 
@@ -108,11 +109,12 @@ func (s *GPUAsync) run(p *sim.Proc, job *pack.Job) mpi.Handle {
 	st := s.streams[s.next%len(s.streams)]
 	s.next++
 	c := st.Launch(p, job.KernelSpec())
-	s.r.Trace.Add(trace.Launch, s.r.Dev.Arch.LaunchOverheadNs)
-	s.r.Trace.Add(trace.PackKernel, c.End-c.Start)
+	over := s.r.Dev.Arch.LaunchOverheadNs
+	s.r.Charge(trace.Launch, "launch", p.Now()-over, over)
+	s.r.Charge(trace.PackKernel, "kernel", c.Start, c.End-c.Start)
 	before := p.Now()
 	ev := st.Record(p, job.Op.String())
-	s.r.Trace.Add(trace.Scheduling, p.Now()-before)
+	s.r.Charge(trace.Scheduling, "event-record", before, p.Now()-before)
 	return asyncHandle{r: s.r, ev: ev}
 }
 
@@ -191,7 +193,7 @@ func (s *CPUGPUHybrid) run(p *sim.Proc, job *pack.Job) mpi.Handle {
 		s.UsedCPU++
 		before := p.Now()
 		s.cpu.Run(p, job)
-		s.r.Trace.Add(trace.PackKernel, p.Now()-before)
+		s.r.Charge(trace.PackKernel, "gdrcopy", before, p.Now()-before)
 		return doneHandle{}
 	}
 	s.UsedGPU++
@@ -250,13 +252,13 @@ func (s *NaiveMemcpy) run(p *sim.Proc, job *pack.Job) mpi.Handle {
 		}
 		before := p.Now()
 		last = s.st.MemcpyAsync(p, gpu.CopyD2D, bytes, exec)
-		s.r.Trace.Add(trace.Launch, p.Now()-before)
+		s.r.Charge(trace.Launch, "memcpy-post", before, p.Now()-before)
 	}
 	before := p.Now()
 	s.st.Synchronize(p)
-	s.r.Trace.Add(trace.Sync, p.Now()-before)
+	s.r.Charge(trace.Sync, "stream-sync", before, p.Now()-before)
 	if last != nil {
-		s.r.Trace.Add(trace.PackKernel, last.End-last.Start)
+		s.r.Charge(trace.PackKernel, "memcpy", last.Start, last.End-last.Start)
 	}
 	return doneHandle{}
 }
@@ -296,6 +298,7 @@ func NewFusion(r *mpi.Rank) mpi.Scheme {
 func NewFusionWith(r *mpi.Rank, cfg fusion.Config) mpi.Scheme {
 	sched := fusion.NewScheduler(r.Dev, r.Dev.NewStream("fusion"), cfg)
 	sched.Trace = r.Trace
+	sched.TL = r.Timeline()
 	return &Fusion{
 		r:        r,
 		Sched:    sched,
@@ -426,26 +429,27 @@ func (s *StagedHost) run(p *sim.Proc, job *pack.Job, toHost bool) mpi.Handle {
 	if !toHost {
 		kind = gpu.CopyH2D
 	}
+	over := s.r.Dev.Arch.LaunchOverheadNs
 	if toHost {
 		// Pack on device, then stage the packed bytes down to host.
 		c := s.st.Launch(p, job.KernelSpec())
-		s.r.Trace.Add(trace.Launch, s.r.Dev.Arch.LaunchOverheadNs)
-		s.r.Trace.Add(trace.PackKernel, c.End-c.Start)
+		s.r.Charge(trace.Launch, "launch", p.Now()-over, over)
+		s.r.Charge(trace.PackKernel, "kernel", c.Start, c.End-c.Start)
 		before := p.Now()
 		s.st.MemcpyAsync(p, kind, job.Bytes, nil)
-		s.r.Trace.Add(trace.Launch, p.Now()-before)
+		s.r.Charge(trace.Launch, "stage-copy", before, p.Now()-before)
 	} else {
 		// Stage up to device, then unpack.
 		before := p.Now()
 		s.st.MemcpyAsync(p, kind, job.Bytes, nil)
-		s.r.Trace.Add(trace.Launch, p.Now()-before)
+		s.r.Charge(trace.Launch, "stage-copy", before, p.Now()-before)
 		c := s.st.Launch(p, job.KernelSpec())
-		s.r.Trace.Add(trace.Launch, s.r.Dev.Arch.LaunchOverheadNs)
-		s.r.Trace.Add(trace.PackKernel, c.End-c.Start)
+		s.r.Charge(trace.Launch, "launch", p.Now()-over, over)
+		s.r.Charge(trace.PackKernel, "kernel", c.Start, c.End-c.Start)
 	}
 	before := p.Now()
 	s.st.Synchronize(p)
-	s.r.Trace.Add(trace.Sync, p.Now()-before)
+	s.r.Charge(trace.Sync, "stream-sync", before, p.Now()-before)
 	return doneHandle{}
 }
 

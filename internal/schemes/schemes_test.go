@@ -1,6 +1,7 @@
 package schemes_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
@@ -23,6 +24,10 @@ func rig(factory mpi.SchemeFactory) (*mpi.World, *mpi.Rank) {
 	return w, w.Rank(0)
 }
 
+// jobSeq makes buffer names unique across sparseJob calls on one device
+// (the device rejects duplicate names).
+var jobSeq int
+
 // sparseJob returns a pack job with the given segment geometry.
 func sparseJob(r *mpi.Rank, segments, blockBytes int) *pack.Job {
 	lens := make([]int, segments)
@@ -32,8 +37,9 @@ func sparseJob(r *mpi.Rank, segments, blockBytes int) *pack.Job {
 		displs[i] = i * (blockBytes + 5)
 	}
 	l := datatype.Commit(datatype.Indexed(lens, displs, datatype.Byte))
-	src := r.Dev.Alloc("src", int(l.ExtentBytes))
-	dst := r.Dev.Alloc("dst", int(l.SizeBytes))
+	jobSeq++
+	src := r.Dev.Alloc(fmt.Sprintf("src%d", jobSeq), int(l.ExtentBytes))
+	dst := r.Dev.Alloc(fmt.Sprintf("dst%d", jobSeq), int(l.SizeBytes))
 	return pack.NewJob(pack.OpPack, src, dst, l.Blocks)
 }
 

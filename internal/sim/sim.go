@@ -17,6 +17,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"repro/internal/timeline"
 )
 
 // Handy duration constants, in virtual nanoseconds.
@@ -172,7 +174,13 @@ type Proc struct {
 	yielded chan yieldKind
 	done    bool
 	started bool
+	startAt int64
+	tl      *timeline.Recorder
 }
+
+// SetTimeline attaches a timeline recorder to the Proc. A nil recorder (the
+// default) disables tracing: the hot paths then skip all event construction.
+func (p *Proc) SetTimeline(tl *timeline.Recorder) { p.tl = tl }
 
 type yieldKind int
 
@@ -192,6 +200,7 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 		resume:  make(chan struct{}),
 		yielded: make(chan yieldKind),
 	}
+	p.startAt = e.now
 	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume
@@ -203,6 +212,9 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 				return
 			}
 			p.done = true
+			if p.tl != nil {
+				p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "proc:"+p.name, p.startAt, e.now-p.startAt)
+			}
 			p.yielded <- yieldFinished
 		}()
 		body(p)
@@ -223,6 +235,7 @@ func (e *Env) SpawnAt(t int64, name string, body func(p *Proc)) *Proc {
 		resume:  make(chan struct{}),
 		yielded: make(chan yieldKind),
 	}
+	p.startAt = t
 	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume
@@ -234,6 +247,9 @@ func (e *Env) SpawnAt(t int64, name string, body func(p *Proc)) *Proc {
 				return
 			}
 			p.done = true
+			if p.tl != nil {
+				p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "proc:"+p.name, p.startAt, e.now-p.startAt)
+			}
 			p.yielded <- yieldFinished
 		}()
 		body(p)
@@ -278,6 +294,9 @@ func (p *Proc) Sleep(d int64) {
 	if d < 0 {
 		panic("sim: Sleep negative duration")
 	}
+	if p.tl != nil && d > 0 {
+		p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "sleep", p.env.now, d)
+	}
 	p.env.push(p.env.now+d, func() { p.env.dispatch(p) })
 	p.yield()
 }
@@ -288,8 +307,12 @@ func (p *Proc) Wait(ev *Event) {
 	if ev.fired {
 		return
 	}
+	t0 := p.env.now
 	ev.waiters = append(ev.waiters, p)
 	p.yield()
+	if p.tl != nil && p.env.now > t0 {
+		p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "wait:"+ev.name, t0, p.env.now-t0)
+	}
 }
 
 // Event is a one-shot level-triggered signal. Once fired it stays fired;

@@ -31,6 +31,11 @@ const (
 
 var names = [numCategories]string{"(Un)Pack", "Launching", "Scheduling", "Sync", "Comm", "Other"}
 
+// NumCategories reports how many cost categories exist. Consumers that keep
+// per-category tallies of their own (the timeline recorder) size their arrays
+// with it.
+func NumCategories() int { return int(numCategories) }
+
 // Categories lists all categories in display order.
 func Categories() []Category {
 	out := make([]Category, numCategories)
