@@ -169,7 +169,7 @@ func BenchmarkTab02_SystemBuild(b *testing.B) {
 		b.Run(spec.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				env := sim.NewEnv()
-				c := cluster.Build(env, spec)
+				c := cluster.MustBuild(env, spec)
 				if c.TotalGPUs() != 8 {
 					b.Fatal("bad build")
 				}

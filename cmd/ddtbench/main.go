@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/timeline"
 	"repro/internal/workload"
 )
@@ -49,11 +50,22 @@ func main() {
 	table1 := flag.Bool("table1", false, "quantified Table I scheme comparison")
 	system := flag.String("system", "lassen", "system for -approaches/-extended/-scaling: lassen or abci")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of every measurement to this file (load in Perfetto / chrome://tracing)")
+	faultSpec := flag.String("faults", "", "run every measurement under deterministic fault injection: a preset name (mixed, drop-heavy, corrupt-heavy, flappy-link, kernel-failure), optionally with overrides, or a key=value spec (e.g. 'mixed,seed=7' or 'drop=0.05,corrupt=0.02')")
 	flag.Parse()
 
 	spec := cluster.Lassen()
 	if *system == "abci" {
 		spec = cluster.ABCI()
+	}
+
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddtbench: -faults:", err)
+			os.Exit(2)
+		}
+		bench.SetFaultPlan(plan)
+		fmt.Fprintf(os.Stderr, "ddtbench: fault injection active (%s); recovery cost appears in the Retrans column\n", *faultSpec)
 	}
 
 	var coll *timeline.Collector

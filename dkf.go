@@ -26,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/datatype"
+	"repro/internal/fault"
 	"repro/internal/fusion"
 	"repro/internal/gpu"
 	"repro/internal/mpi"
@@ -178,6 +179,49 @@ func validSchemes() []string {
 	return append(schemes.Names(), string(SchemeMVAPICH2GDR), string(SchemeSpectrumMPI), string(SchemeOpenMPI))
 }
 
+// --- fault injection & reliability ---
+
+// FaultPlan configures deterministic seeded fault injection
+// (SessionConfig.Faults). Zero-valued fields disable the corresponding
+// fault class; see FaultPreset and ParseFaultPlan for ready-made plans.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one recorded injected-fault or recovery event
+// (Session.FaultEvents).
+type FaultEvent = fault.Event
+
+// FaultPreset returns a named built-in fault plan ("drop-heavy",
+// "corrupt-heavy", "flappy-link", "kernel-failure", "mixed") seeded for
+// deterministic replay.
+func FaultPreset(name string, seed uint64) (*FaultPlan, error) { return fault.Preset(name, seed) }
+
+// FaultPresetNames lists the built-in fault-plan preset names.
+func FaultPresetNames() []string { return fault.PresetNames() }
+
+// ParseFaultPlan parses a CLI-style fault spec such as
+// "seed=7,drop=0.02,corrupt=0.01,delay=0.05,delayns=2000" or
+// "preset=mixed,seed=3".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// StallError is the watchdog's deadlock diagnosis; Session.Run returns one
+// (wrapped) when no request completes for SessionConfig.StallTimeout.
+type StallError = sim.StallError
+
+// OpError is the typed terminal error of a failed request, returned from
+// Wait/Waitall when a fault plan is active. Inspect the cause with
+// errors.Is against the sentinels below.
+type OpError = mpi.OpError
+
+// Typed failure sentinels carried inside *OpError.
+var (
+	// ErrRetriesExhausted: bounded retransmission gave up on a message.
+	ErrRetriesExhausted = mpi.ErrRetriesExhausted
+	// ErrPeerAborted: the matching request on the peer rank failed first.
+	ErrPeerAborted = mpi.ErrPeerAborted
+	// ErrTruncate: a matched message exceeded the posted receive.
+	ErrTruncate = mpi.ErrTruncate
+)
+
 // TraceOptions configures timeline recording (SessionConfig.Trace).
 type TraceOptions = timeline.Options
 
@@ -214,6 +258,19 @@ type SessionConfig struct {
 	// retrieve the result with Session.Timeline after Run. The default
 	// (nil) keeps the communication hot paths allocation-free.
 	Trace *TraceOptions
+	// Faults, when non-nil, injects deterministic faults (drops,
+	// corruption, delays, link flaps, NIC post errors, kernel-launch
+	// failures) and activates the MPI reliability layer: checksummed,
+	// acked transport with timeout/backoff retransmission and typed
+	// request errors from Wait/Waitall. Build plans with FaultPreset or
+	// ParseFaultPlan. The default (nil) keeps every fault-free fast path
+	// byte-identical.
+	Faults *FaultPlan
+	// StallTimeout bounds, in virtual nanoseconds, how long the
+	// simulation may run without any request completing before the
+	// watchdog declares a deadlock (Session.Run returns a *StallError).
+	// Zero selects the 100 ms default; negative disables the watchdog.
+	StallTimeout int64
 }
 
 // validate rejects configurations that would misbehave downstream.
@@ -226,6 +283,11 @@ func (cfg *SessionConfig) validate() error {
 	}
 	if cfg.PipelineChunk < 0 {
 		return fmt.Errorf("dkf: negative PipelineChunk %d", cfg.PipelineChunk)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return fmt.Errorf("dkf: %w", err)
+		}
 	}
 	if cfg.CustomSpec == nil {
 		if cfg.System < SystemLassen || cfg.System > SystemABCI {
@@ -278,7 +340,10 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		spec = *cfg.CustomSpec
 	}
 	env := sim.NewEnv()
-	cl := cluster.Build(env, spec)
+	cl, err := cluster.Build(env, spec)
+	if err != nil {
+		return nil, fmt.Errorf("dkf: %w", err)
+	}
 	mcfg := mpi.DefaultConfig()
 	if cfg.EagerLimit > 0 {
 		mcfg.EagerLimitBytes = cfg.EagerLimit
@@ -289,6 +354,8 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	mcfg.DisableIPC = cfg.DisableIPC
 	mcfg.PipelineChunkBytes = cfg.PipelineChunk
 	mcfg.Timeline = cfg.Trace
+	mcfg.Faults = cfg.Faults
+	mcfg.StallTimeoutNs = cfg.StallTimeout
 	factory := schemes.Factory(string(cfg.Scheme))
 	if cfg.FusionThreshold > 0 {
 		th := cfg.FusionThreshold
@@ -344,6 +411,14 @@ func (s *Session) Timeline() *Timeline { return s.world.Timeline() }
 
 // DeviceStats returns rank r's GPU activity counters.
 func (s *Session) DeviceStats(r int) gpu.Stats { return s.world.Rank(r).Dev.Stats }
+
+// FaultEvents returns the chronological injected-fault/recovery event log
+// (nil when the session was built without SessionConfig.Faults).
+func (s *Session) FaultEvents() []FaultEvent { return s.world.FaultEvents() }
+
+// LeakedRequests counts requests still registered in-flight after Run — a
+// recovery-path leak detector; a clean run reports zero.
+func (s *Session) LeakedRequests() int { return s.world.LeakedRequests() }
 
 // Close releases every device buffer the session allocated (including
 // internal staging buffers) so long-lived callers don't hold the arenas
@@ -423,11 +498,13 @@ func (c *RankCtx) Irecv(src, tag int, buf *Buffer, l *Layout, count int) *Reques
 	return c.rank.Irecv(c.proc, src, tag, buf, l, count)
 }
 
-// Wait blocks until the request completes.
-func (c *RankCtx) Wait(q *Request) { c.rank.Wait(c.proc, q) }
+// Wait blocks until the request settles and returns its terminal error:
+// nil on success, a *OpError when a fault plan exhausted recovery.
+func (c *RankCtx) Wait(q *Request) error { return c.rank.Wait(c.proc, q) }
 
-// Waitall blocks until all requests complete (flushing fused work first).
-func (c *RankCtx) Waitall(qs []*Request) { c.rank.Waitall(c.proc, qs) }
+// Waitall blocks until all requests settle (flushing fused work first) and
+// returns the joined errors of any failed ones (nil when all succeeded).
+func (c *RankCtx) Waitall(qs []*Request) error { return c.rank.Waitall(c.proc, qs) }
 
 // Test advances the progress engine once and reports completion.
 func (c *RankCtx) Test(q *Request) bool { return c.rank.Test(c.proc, q) }

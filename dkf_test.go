@@ -1,7 +1,7 @@
 package dkf_test
 
 import (
-	"fmt"
+	"errors"
 	"strings"
 	"testing"
 
@@ -78,22 +78,22 @@ func TestSessionDeadlockSurfaces(t *testing.T) {
 	}
 	l := dkf.Commit(dkf.Contiguous(8, dkf.Byte))
 	rbuf := sess.Alloc(0, "r", int(l.ExtentBytes))
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("expected stall panic")
-		}
-		got := strings.ToLower(fmt.Sprint(r))
-		if !strings.Contains(got, "stalled") || !strings.Contains(got, "rank0") {
-			t.Fatalf("panic %q should name the stalled rank", got)
-		}
-	}()
-	_ = sess.Run(func(c *dkf.RankCtx) {
+	err = sess.Run(func(c *dkf.RankCtx) {
 		if c.ID() == 0 {
 			c.Wait(c.Irecv(7, 0, rbuf, l, 1)) // nobody sends
 		}
 	})
-	t.Fatal("Run returned despite deadlock")
+	if err == nil {
+		t.Fatal("Run returned nil despite deadlock")
+	}
+	var stall *dkf.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("Run error %T is not a *StallError: %v", err, err)
+	}
+	got := strings.ToLower(err.Error())
+	if !strings.Contains(got, "stalled") || !strings.Contains(got, "rank0") {
+		t.Fatalf("error %q should name the stalled rank", got)
+	}
 }
 
 func TestSessionFusionThresholdOverride(t *testing.T) {

@@ -208,7 +208,7 @@ func Ablations() []*Table {
 func runBulkWithFactory(opt BulkOptions, factory mpi.SchemeFactory) BulkResult {
 	opt.defaults()
 	env := sim.NewEnv()
-	cl := cluster.Build(env, opt.System)
+	cl := cluster.MustBuild(env, opt.System)
 	cfg := mpi.DefaultConfig()
 	if opt.MutateMPI != nil {
 		opt.MutateMPI(&cfg)

@@ -105,7 +105,7 @@ func algorithm3(w *mpi.World, l *datatype.Layout, nbuf, it int, sb, rb []*gpu.Bu
 func runApproach(system cluster.Spec, scheme string, wl workload.Workload, dim, nbuf int, fn approachFn) BulkResult {
 	const warmup, iters = 2, 3
 	env := sim.NewEnv()
-	cl := cluster.Build(env, system)
+	cl := cluster.MustBuild(env, system)
 	w := mpi.NewWorld(cl, mpi.DefaultConfig(), schemes.Factory(scheme))
 	l := wl.Layout(dim)
 	a, bPeer := 0, system.GPUsPerNode

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/fusion"
 	"repro/internal/gpu"
 	"repro/internal/mpi"
@@ -33,6 +34,17 @@ var collector *timeline.Collector
 // that subsequent RunBulk calls feed. Not safe for concurrent use with
 // RunBulk; the harness is single-threaded.
 func SetCollector(c *timeline.Collector) { collector = c }
+
+// faultPlan, when non-nil, is threaded into every RunBulk world so the
+// whole experiment suite runs under deterministic fault injection (the
+// ddtbench -faults flag). Recovery costs then show up in the Retrans
+// column of the breakdowns.
+var faultPlan *fault.Plan
+
+// SetFaultPlan installs (or, with nil, removes) the fault plan applied to
+// subsequent RunBulk measurements. Not safe for concurrent use with
+// RunBulk; the harness is single-threaded.
+func SetFaultPlan(p *fault.Plan) { faultPlan = p }
 
 // Table is a formatted experiment result.
 type Table struct {
@@ -138,10 +150,13 @@ func factoryFor(name string, threshold int64) mpi.SchemeFactory {
 func RunBulk(opt BulkOptions) BulkResult {
 	opt.defaults()
 	env := sim.NewEnv()
-	cl := cluster.Build(env, opt.System)
+	cl := cluster.MustBuild(env, opt.System)
 	cfg := mpi.DefaultConfig()
 	if opt.MutateMPI != nil {
 		opt.MutateMPI(&cfg)
+	}
+	if faultPlan != nil {
+		cfg.Faults = faultPlan
 	}
 	if collector != nil {
 		cfg.Timeline = &timeline.Options{}
@@ -178,6 +193,7 @@ func RunBulk(opt BulkOptions) BulkResult {
 
 	res := BulkResult{Scheme: opt.Scheme, MsgBytes: l.SizeBytes, Blocks: l.NumBlocks()}
 	var total int64
+	var opErr error
 	body := func(r *mpi.Rank, p *sim.Proc) {
 		mine := r.ID() == a || r.ID() == bPeer
 		var sd side
@@ -202,7 +218,9 @@ func RunBulk(opt BulkOptions) BulkResult {
 				for i := 0; i < nbuf; i++ {
 					reqs = append(reqs, r.Isend(p, peer, i, sd.s[i], l, 1))
 				}
-				r.Waitall(p, reqs)
+				if err := r.Waitall(p, reqs); err != nil && opErr == nil {
+					opErr = fmt.Errorf("iteration %d: %w", it, err)
+				}
 			}
 			w.Barrier(p)
 			if r.ID() == a && it >= opt.Warmup {
@@ -212,6 +230,10 @@ func RunBulk(opt BulkOptions) BulkResult {
 	}
 	if err := w.Run(body); err != nil {
 		res.VerifyErr = err
+		return res
+	}
+	if opErr != nil {
+		res.VerifyErr = opErr
 		return res
 	}
 	res.AvgNs = total / int64(opt.Iterations)

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -237,4 +239,33 @@ func mustF(t *testing.T, s string) float64 {
 func mustX(t *testing.T, s string) float64 {
 	t.Helper()
 	return mustF(t, strings.TrimSuffix(s, "x"))
+}
+
+func TestRunBulkUnderFaultPlan(t *testing.T) {
+	plan, err := fault.Preset("mixed", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetFaultPlan(plan)
+	defer SetFaultPlan(nil)
+	opt := BulkOptions{
+		System: cluster.Lassen(), Scheme: "Proposed-Tuned",
+		Workload: workload.MILC(), Dim: 8, Buffers: 4,
+	}
+	a := RunBulk(opt)
+	if a.VerifyErr != nil {
+		t.Fatal(a.VerifyErr)
+	}
+	if a.Breakdown.Get(trace.Retrans) == 0 {
+		t.Fatal("mixed plan injected nothing into the bulk measurement")
+	}
+	b := RunBulk(opt)
+	if a.AvgNs != b.AvgNs {
+		t.Fatalf("chaos measurement non-deterministic: %d vs %d", a.AvgNs, b.AvgNs)
+	}
+	SetFaultPlan(nil)
+	c := RunBulk(opt)
+	if c.Breakdown.Get(trace.Retrans) != 0 {
+		t.Fatal("fault plan leaked into a faults-off measurement")
+	}
 }

@@ -89,7 +89,7 @@ func Scaling(base cluster.Spec, wl workload.Workload, dim int) *Table {
 func runRing(spec cluster.Spec, scheme string, wl workload.Workload, dim int) int64 {
 	const nbuf, warmup, iters = 8, 2, 3
 	env := sim.NewEnv()
-	cl := cluster.Build(env, spec)
+	cl := cluster.MustBuild(env, spec)
 	w := mpi.NewWorld(cl, mpi.DefaultConfig(), schemes.Factory(scheme))
 	l := wl.Layout(dim)
 	g := spec.GPUsPerNode

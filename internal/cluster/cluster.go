@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/fabric"
@@ -190,20 +191,44 @@ type Cluster struct {
 	PeerLinks []*fabric.Link
 }
 
-// Build instantiates the machine on env.
-func Build(env *sim.Env, spec Spec) *Cluster {
-	if spec.Nodes <= 0 || spec.GPUsPerNode <= 0 {
-		panic("cluster: need at least one node and one GPU")
+// Validate reports an error for an unbuildable spec; configuration paths
+// (dkf.NewSession) surface it instead of panicking.
+func (s Spec) Validate() error {
+	if s.Nodes <= 0 || s.GPUsPerNode <= 0 {
+		return errors.New("cluster: need at least one node and one GPU")
 	}
-	c := &Cluster{
-		Spec: spec,
-		Env:  env,
-		Net: fabric.NewNetwork(env, fabric.NetworkSpec{
-			Nodes:      spec.Nodes,
-			Link:       spec.InterNode,
-			PostCostNs: spec.NICPostNs,
-		}),
+	if err := s.GPU.Check(); err != nil {
+		return fmt.Errorf("cluster %s: %w", s.Name, err)
 	}
+	if err := s.InterNode.Validate(); err != nil {
+		return fmt.Errorf("cluster %s: %w", s.Name, err)
+	}
+	if s.NICPostNs < 0 {
+		return fmt.Errorf("cluster %s: negative NIC post cost", s.Name)
+	}
+	if s.GPUPeerBWBytesPerNs <= 0 {
+		return fmt.Errorf("cluster %s: GPU peer bandwidth must be positive", s.Name)
+	}
+	if s.GPUPeerLatencyNs < 0 {
+		return fmt.Errorf("cluster %s: negative GPU peer latency", s.Name)
+	}
+	return nil
+}
+
+// Build instantiates the machine on env, validating the spec first.
+func Build(env *sim.Env, spec Spec) (*Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := fabric.NewNetwork(env, fabric.NetworkSpec{
+		Nodes:      spec.Nodes,
+		Link:       spec.InterNode,
+		PostCostNs: spec.NICPostNs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Spec: spec, Env: env, Net: net}
 	id := 0
 	for n := 0; n < spec.Nodes; n++ {
 		var devs []*gpu.Device
@@ -212,12 +237,26 @@ func Build(env *sim.Env, spec Spec) *Cluster {
 			id++
 		}
 		c.Devices = append(c.Devices, devs)
-		c.PeerLinks = append(c.PeerLinks, fabric.NewLink(env, fabric.LinkSpec{
+		peer, err := fabric.NewLink(env, fabric.LinkSpec{
 			Name:         fmt.Sprintf("nvlink-peer[node%d]", n),
 			LatencyNs:    spec.GPUPeerLatencyNs,
 			BWBytesPerNs: spec.GPUPeerBWBytesPerNs,
 			PerMessageNs: 120,
-		}))
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.PeerLinks = append(c.PeerLinks, peer)
+	}
+	return c, nil
+}
+
+// MustBuild is Build for callers with known-good specs (benchmarks, tests);
+// it panics on error.
+func MustBuild(env *sim.Env, spec Spec) *Cluster {
+	c, err := Build(env, spec)
+	if err != nil {
+		panic(err.Error())
 	}
 	return c
 }

@@ -51,7 +51,7 @@ func TestLassenVsABCILinks(t *testing.T) {
 
 func TestBuildWiresEverything(t *testing.T) {
 	env := sim.NewEnv()
-	c := Build(env, Lassen())
+	c := MustBuild(env, Lassen())
 	if c.TotalGPUs() != 8 {
 		t.Fatalf("total GPUs = %d, want 8", c.TotalGPUs())
 	}
@@ -81,19 +81,22 @@ func TestWithNodes(t *testing.T) {
 		t.Fatalf("WithNodes: %d", s.Nodes)
 	}
 	env := sim.NewEnv()
-	c := Build(env, s)
+	c := MustBuild(env, s)
 	if c.TotalGPUs() != 16 {
 		t.Fatalf("total GPUs = %d", c.TotalGPUs())
 	}
 }
 
 func TestBuildRejectsEmptySpec(t *testing.T) {
+	if _, err := Build(sim.NewEnv(), Spec{}); err == nil {
+		t.Fatal("expected error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("expected MustBuild panic")
 		}
 	}()
-	Build(sim.NewEnv(), Spec{})
+	MustBuild(sim.NewEnv(), Spec{})
 }
 
 func TestLaunchDominatesPackOnAllGenerations(t *testing.T) {
@@ -101,7 +104,7 @@ func TestLaunchDominatesPackOnAllGenerations(t *testing.T) {
 	// workload shapes (sparse specfem-like, dense MILC-like).
 	env := sim.NewEnv()
 	for _, arch := range FigureOneArchs() {
-		d := Build(env, Spec{
+		d := MustBuild(env, Spec{
 			Name: "t", Nodes: 1, GPUsPerNode: 1, GPU: arch,
 			InterNode:           Lassen().InterNode,
 			GPUPeerBWBytesPerNs: 50,

@@ -72,27 +72,41 @@ func SameSignature(a, b []int64) bool {
 
 // Result captures everything observable about one scenario run under one
 // scheme: the final receive buffer, the final virtual clock, and the
-// per-category trace totals summed across ranks.
+// per-category trace totals summed across ranks. Under a fault plan it
+// additionally carries the recovery observables the chaos suite asserts.
 type Result struct {
 	Scheme     string
 	Recv       []byte
 	FinalClock int64
 	Trace      map[string]int64
+	// SendErr/RecvErr are the typed Waitall errors of the two endpoints
+	// (nil on success; only ever non-nil under a fault plan).
+	SendErr, RecvErr error
+	// FaultEvents counts injected-fault/recovery events; Leaked counts
+	// requests still registered in-flight after the run (must be zero).
+	FaultEvents int
+	Leaked      int
 }
 
 // RunScenario executes sc once under the named scheme on SpecSmall and
 // returns the observables. Rank 0 sends; rank 2 (inter-node) or rank 1
-// (intra-node) receives.
+// (intra-node) receives. On a sim error (e.g. the watchdog's StallError)
+// the partially populated Result is returned alongside the error so chaos
+// tests can still inspect the endpoint errors.
 func RunScenario(sc Scenario, scheme string) (*Result, error) {
 	env := sim.NewEnv()
-	cl := cluster.Build(env, SpecSmall())
+	cl := cluster.MustBuild(env, SpecSmall())
 
 	cfg := mpi.DefaultConfig()
 	// Fuzzed scenarios can legitimately take hundreds of virtual ms under
 	// the slowest baselines (e.g. NaiveMemcpy posting tens of thousands of
 	// cudaMemcpyAsync calls); give them headroom past the default stall
-	// guard without affecting how passing cases are timed.
+	// guard without affecting how passing cases are timed. The watchdog
+	// itself is the sim-level one armed by World.Run.
 	cfg.StallTimeoutNs = 2 * sim.Second
+	if sc.StallTimeoutNs != 0 {
+		cfg.StallTimeoutNs = sc.StallTimeoutNs
+	}
 	cfg.Rendezvous = sc.Rendezvous
 	if sc.EagerLimit != 0 {
 		cfg.EagerLimitBytes = sc.EagerLimit
@@ -101,6 +115,7 @@ func RunScenario(sc Scenario, scheme string) (*Result, error) {
 	if sc.Pipeline {
 		cfg.PipelineChunkBytes = 2048
 	}
+	cfg.Faults = sc.Faults
 
 	world := mpi.NewWorld(cl, cfg, schemes.Factory(scheme))
 
@@ -115,25 +130,29 @@ func RunScenario(sc Scenario, scheme string) (*Result, error) {
 	workload.FillPattern(sbuf.Data, sc.Seed)
 	workload.FillPattern(rbuf.Data, ^sc.Seed)
 
+	res := &Result{Scheme: scheme, Trace: make(map[string]int64)}
 	err := world.Run(func(r *mpi.Rank, p *sim.Proc) {
 		switch r.ID() {
 		case src:
 			q := r.Isend(p, dst, 7, sbuf, sc.Send, sc.Count)
-			r.Waitall(p, []*mpi.Request{q})
+			res.SendErr = r.Waitall(p, []*mpi.Request{q})
 		case dst:
 			q := r.Irecv(p, src, 7, rbuf, sc.Recv, sc.Count)
-			r.Waitall(p, []*mpi.Request{q})
+			res.RecvErr = r.Waitall(p, []*mpi.Request{q})
 		}
 	})
+	res.Recv = append([]byte(nil), rbuf.Data...)
+	res.FinalClock = env.Now()
+	res.FaultEvents = len(world.FaultEvents())
+	res.Leaked = world.LeakedRequests()
 	if err != nil {
-		return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+		return res, fmt.Errorf("scheme %s: %w", scheme, err)
 	}
-
-	res := &Result{
-		Scheme:     scheme,
-		Recv:       append([]byte(nil), rbuf.Data...),
-		FinalClock: env.Now(),
-		Trace:      make(map[string]int64),
+	if res.SendErr != nil {
+		return res, fmt.Errorf("scheme %s: send: %w", scheme, res.SendErr)
+	}
+	if res.RecvErr != nil {
+		return res, fmt.Errorf("scheme %s: recv: %w", scheme, res.RecvErr)
 	}
 	for i := 0; i < world.Size(); i++ {
 		for _, c := range trace.Categories() {

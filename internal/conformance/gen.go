@@ -21,6 +21,7 @@ package conformance
 
 import (
 	"repro/internal/datatype"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 )
 
@@ -243,6 +244,13 @@ type Scenario struct {
 	Pipeline bool
 	// Seed drives the deterministic buffer fill patterns.
 	Seed uint64
+	// Faults, when non-nil, injects deterministic fabric/NIC/GPU faults
+	// and activates the MPI reliability layer (chaos conformance).
+	Faults *fault.Plan
+	// StallTimeoutNs overrides the sim watchdog timeout for this run.
+	// Zero keeps the runner's default (2 s of virtual time, generous
+	// enough for the slowest fuzzed baselines); negative disables it.
+	StallTimeoutNs int64
 }
 
 // DecodeScenario decodes an arbitrary byte string into a bounded scenario.

@@ -7,12 +7,22 @@
 // The model corresponds to the systems in the paper's Table II: dual-rail
 // InfiniBand EDR between nodes, NVLink2 or PCIe Gen3 between CPU and GPU,
 // and NVLink2 between GPUs inside a node.
+//
+// Fault injection: InjectFaults threads a fault.Injector through the
+// crossbar. Each directional link owns an independent draw site; every
+// transfer then rolls (in fixed order) flap, degrade, drop, corrupt, delay,
+// and duplicate faults per the plan. A link with no site installed keeps
+// the exact fault-free arithmetic, so fault-free runs are byte-identical to
+// builds without the injector.
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -24,14 +34,24 @@ type LinkSpec struct {
 	PerMessageNs int64   // per-message NIC/DMA processing cost
 }
 
-// Validate panics on nonsense parameters.
-func (s LinkSpec) Validate() {
+// Validate reports an error on nonsense parameters.
+func (s LinkSpec) Validate() error {
 	if s.BWBytesPerNs <= 0 {
-		panic("fabric: link bandwidth must be positive: " + s.Name)
+		return fmt.Errorf("fabric: link bandwidth must be positive: %s", s.Name)
 	}
 	if s.LatencyNs < 0 || s.PerMessageNs < 0 {
-		panic("fabric: negative link costs: " + s.Name)
+		return fmt.Errorf("fabric: negative link costs: %s", s.Name)
 	}
+	return nil
+}
+
+// Delivery describes how one message actually arrived.
+type Delivery struct {
+	// Corrupt marks the payload as damaged in flight; receivers that
+	// checksum must discard and rely on retransmission.
+	Corrupt bool
+	// Dup marks the second arrival of a duplicated message.
+	Dup bool
 }
 
 // Link is a directional channel instance with an occupancy cursor.
@@ -40,16 +60,43 @@ type Link struct {
 	env       *sim.Env
 	busyUntil int64
 
+	// Fault state (nil site = fault-free fast path).
+	faults        *fault.Site
+	downUntil     int64 // link flapped; serialization queues behind this
+	degradedUntil int64 // bandwidth divided by DegradeFactor until this
+
 	// Stats
 	Messages int64
 	Bytes    int64
+	Drops    int64
+	Dups     int64
+	Corrupts int64
+	Delays   int64
+	Flaps    int64
+	Degrades int64
 }
 
 // NewLink builds a link on the simulation environment.
-func NewLink(env *sim.Env, spec LinkSpec) *Link {
-	spec.Validate()
-	return &Link{Spec: spec, env: env}
+func NewLink(env *sim.Env, spec LinkSpec) (*Link, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Link{Spec: spec, env: env}, nil
 }
+
+// MustLink is NewLink panicking on an invalid spec, for callers whose spec
+// is statically known-good (tests, table-driven benchmarks).
+func MustLink(env *sim.Env, spec LinkSpec) *Link {
+	l, err := NewLink(env, spec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return l
+}
+
+// InjectFaults installs the link's draw site. Nil restores the fault-free
+// fast path.
+func (l *Link) InjectFaults(site *fault.Site) { l.faults = site }
 
 // Transfer schedules bytes onto the link. The payload occupies the link for
 // its serialization time starting when the link frees up; onArrive runs (in
@@ -57,18 +104,83 @@ func NewLink(env *sim.Env, spec LinkSpec) *Link {
 // itself costs the caller nothing — callers model their own CPU posting
 // cost. It returns the arrival time.
 func (l *Link) Transfer(bytes int64, onArrive func()) int64 {
+	var deliver func(Delivery)
+	if onArrive != nil {
+		deliver = func(Delivery) { onArrive() }
+	}
+	return l.TransferF(bytes, deliver)
+}
+
+// TransferF is Transfer with fault visibility: deliver receives a Delivery
+// describing corruption and duplication. Under an installed fault site the
+// message may be dropped (deliver never runs), duplicated (deliver runs
+// twice, the second with Dup set), delayed, or corrupted; the link itself
+// may flap (traffic queues until it returns) or degrade (reduced bandwidth
+// window). Returns the nominal arrival time.
+func (l *Link) TransferF(bytes int64, deliver func(Delivery)) int64 {
 	now := l.env.Now()
 	start := now
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
-	ser := l.Spec.PerMessageNs + int64(math.Ceil(float64(bytes)/l.Spec.BWBytesPerNs))
+	bw := l.Spec.BWBytesPerNs
+	if s := l.faults; s != nil {
+		lp := &s.Plan().Link
+		if s.Roll(lp.FlapProb) {
+			l.downUntil = now + lp.FlapDownNs
+			l.Flaps++
+			s.Recordf(fault.Flap, "down for %dns", lp.FlapDownNs)
+		}
+		if l.downUntil > start {
+			// Link-layer retransmission: traffic queues behind the outage
+			// rather than vanishing.
+			start = l.downUntil
+		}
+		if s.Roll(lp.DegradeProb) {
+			l.degradedUntil = now + lp.DegradeNs
+			l.Degrades++
+			s.Recordf(fault.Degrade, "bw/%g for %dns", lp.DegradeFactor, lp.DegradeNs)
+		}
+		if start < l.degradedUntil {
+			bw /= lp.DegradeFactor
+		}
+	}
+	ser := l.Spec.PerMessageNs + int64(math.Ceil(float64(bytes)/bw))
 	l.busyUntil = start + ser
 	arrive := start + ser + l.Spec.LatencyNs
 	l.Messages++
 	l.Bytes += bytes
-	if onArrive != nil {
-		l.env.At(arrive, onArrive)
+	d := Delivery{}
+	dup := false
+	if s := l.faults; s != nil {
+		lp := &s.Plan().Link
+		if s.Roll(lp.DropProb) {
+			l.Drops++
+			s.Recordf(fault.Drop, "%dB", bytes)
+			return arrive
+		}
+		if s.Roll(lp.CorruptProb) {
+			d.Corrupt = true
+			l.Corrupts++
+			s.Recordf(fault.Corrupt, "%dB", bytes)
+		}
+		if s.Roll(lp.DelayProb) {
+			extra := 1 + s.Int63n(lp.DelayMaxNs)
+			arrive += extra
+			l.Delays++
+			s.Recordf(fault.Delay, "+%dns", extra)
+		}
+		dup = s.Roll(lp.DupProb)
+	}
+	if deliver != nil {
+		l.env.At(arrive, func() { deliver(d) })
+		if dup {
+			l.Dups++
+			l.faults.Recordf(fault.Duplicate, "%dB", bytes)
+			d2 := d
+			d2.Dup = true
+			l.env.At(arrive+l.Spec.PerMessageNs, func() { deliver(d2) })
+		}
 	}
 	return arrive
 }
@@ -88,19 +200,37 @@ type NetworkSpec struct {
 	CtrlBytes int64
 }
 
+// Validate reports an error on nonsense parameters.
+func (s NetworkSpec) Validate() error {
+	if s.Nodes <= 0 {
+		return errors.New("fabric: network needs at least one node")
+	}
+	if err := s.Link.Validate(); err != nil {
+		return err
+	}
+	if s.PostCostNs < 0 || s.CtrlBytes < 0 {
+		return errors.New("fabric: negative network costs")
+	}
+	return nil
+}
+
+// ErrNICPost is the transient verb-post failure injected by a NIC fault
+// plan; callers retry with backoff.
+var ErrNICPost = errors.New("fabric: transient NIC verb post failure")
+
 // Network is a full crossbar of directional links between nodes.
 type Network struct {
 	Spec  NetworkSpec
 	env   *sim.Env
 	links map[[2]int]*Link
+	nic   *fault.Site // verb-post fault site (nil = fault-free)
 }
 
 // NewNetwork builds the crossbar.
-func NewNetwork(env *sim.Env, spec NetworkSpec) *Network {
-	if spec.Nodes <= 0 {
-		panic("fabric: network needs at least one node")
+func NewNetwork(env *sim.Env, spec NetworkSpec) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	spec.Link.Validate()
 	if spec.CtrlBytes <= 0 {
 		spec.CtrlBytes = 64
 	}
@@ -112,11 +242,64 @@ func NewNetwork(env *sim.Env, spec NetworkSpec) *Network {
 			}
 			ls := spec.Link
 			ls.Name = fmt.Sprintf("%s[%d->%d]", ls.Name, i, j)
-			n.links[[2]int{i, j}] = NewLink(env, ls)
+			l, err := NewLink(env, ls)
+			if err != nil {
+				return nil, err
+			}
+			n.links[[2]int{i, j}] = l
 		}
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork panicking on an invalid spec.
+func MustNetwork(env *sim.Env, spec NetworkSpec) *Network {
+	n, err := NewNetwork(env, spec)
+	if err != nil {
+		panic(err.Error())
 	}
 	return n
 }
+
+// InjectFaults installs per-link and NIC draw sites from inj (nil removes
+// them). Links are wired in sorted order so site creation order — and hence
+// nothing at all, since sites are independently seeded — cannot perturb
+// determinism.
+func (n *Network) InjectFaults(inj *fault.Injector) {
+	if inj == nil {
+		n.nic = nil
+		for _, l := range n.links {
+			l.InjectFaults(nil)
+		}
+		return
+	}
+	n.nic = inj.Site("nic")
+	for _, l := range n.sortedLinks() {
+		l.InjectFaults(inj.Site("link:" + l.Spec.Name))
+	}
+}
+
+// sortedLinks returns the crossbar's links ordered by (from, to).
+func (n *Network) sortedLinks() []*Link {
+	keys := make([][2]int, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]*Link, len(keys))
+	for i, k := range keys {
+		out[i] = n.links[k]
+	}
+	return out
+}
+
+// Links returns all directional links in deterministic order.
+func (n *Network) Links() []*Link { return n.sortedLinks() }
 
 // LinkBetween returns the directional link from node a to node b.
 func (n *Network) LinkBetween(a, b int) *Link {
@@ -132,47 +315,92 @@ func (n *Network) Post(p *sim.Proc) {
 	p.Sleep(n.Spec.PostCostNs)
 }
 
+// PostV charges the posting cost and, under a NIC fault plan, may fail
+// transiently with ErrNICPost (the cost is paid either way, as a rejected
+// verb still burns the CPU round trip).
+func (n *Network) PostV(p *sim.Proc) error {
+	p.Sleep(n.Spec.PostCostNs)
+	if s := n.nic; s != nil && s.Roll(s.Plan().NIC.PostErrorProb) {
+		s.Record(fault.NICError, "post")
+		return ErrNICPost
+	}
+	return nil
+}
+
 // Send ships bytes from node `from` to node `to`. deliver runs at the
 // receiver when the message arrives. The caller should have paid Post.
 // Loopback (from == to) delivers after a small constant memcpy-like delay.
 func (n *Network) Send(from, to int, bytes int64, deliver func()) int64 {
+	var df func(Delivery)
+	if deliver != nil {
+		df = func(Delivery) { deliver() }
+	}
+	return n.SendF(from, to, bytes, df)
+}
+
+// SendF is Send with fault visibility (see Link.TransferF). Loopback is a
+// shared-memory copy and never faults.
+func (n *Network) SendF(from, to int, bytes int64, deliver func(Delivery)) int64 {
 	if from == to {
 		arrive := n.env.Now() + n.Spec.Link.PerMessageNs
 		if deliver != nil {
-			n.env.At(arrive, deliver)
+			n.env.At(arrive, func() { deliver(Delivery{}) })
 		}
 		return arrive
 	}
-	return n.LinkBetween(from, to).Transfer(bytes, deliver)
+	return n.LinkBetween(from, to).TransferF(bytes, deliver)
 }
 
 // RDMARead issues a one-sided read of `bytes` from node `target` into node
 // `reader`: a control request travels reader->target, then the payload
 // travels target->reader. onDone runs at the reader when data lands.
 func (n *Network) RDMARead(reader, target int, bytes int64, onDone func()) {
+	var df func(Delivery)
+	if onDone != nil {
+		df = func(Delivery) { onDone() }
+	}
+	n.RDMAReadF(reader, target, bytes, df)
+}
+
+// RDMAReadF is RDMARead with fault visibility. A dropped or corrupted
+// control leg silently aborts the read (the HCA's CRC rejects the request);
+// payload-leg faults surface through the Delivery.
+func (n *Network) RDMAReadF(reader, target int, bytes int64, onDone func(Delivery)) {
 	if reader == target {
 		arrive := n.env.Now() + n.Spec.Link.PerMessageNs
 		if onDone != nil {
-			n.env.At(arrive, onDone)
+			n.env.At(arrive, func() { onDone(Delivery{}) })
 		}
 		return
 	}
-	n.LinkBetween(reader, target).Transfer(n.Spec.CtrlBytes, func() {
-		n.LinkBetween(target, reader).Transfer(bytes, onDone)
+	n.LinkBetween(reader, target).TransferF(n.Spec.CtrlBytes, func(d Delivery) {
+		if d.Corrupt || d.Dup {
+			return // corrupted ctrl request rejected; dup ctrl ignored
+		}
+		n.LinkBetween(target, reader).TransferF(bytes, onDone)
 	})
 }
 
 // RDMAWrite issues a one-sided write of `bytes` from node `writer` to node
 // `target`. onPlaced runs at the target when data lands.
 func (n *Network) RDMAWrite(writer, target int, bytes int64, onPlaced func()) {
+	var df func(Delivery)
+	if onPlaced != nil {
+		df = func(Delivery) { onPlaced() }
+	}
+	n.RDMAWriteF(writer, target, bytes, df)
+}
+
+// RDMAWriteF is RDMAWrite with fault visibility.
+func (n *Network) RDMAWriteF(writer, target int, bytes int64, onPlaced func(Delivery)) {
 	if writer == target {
 		arrive := n.env.Now() + n.Spec.Link.PerMessageNs
 		if onPlaced != nil {
-			n.env.At(arrive, onPlaced)
+			n.env.At(arrive, func() { onPlaced(Delivery{}) })
 		}
 		return
 	}
-	n.LinkBetween(writer, target).Transfer(bytes, onPlaced)
+	n.LinkBetween(writer, target).TransferF(bytes, onPlaced)
 }
 
 // TotalBytes sums payload bytes across all links (for tests/metrics).
@@ -191,4 +419,20 @@ func (n *Network) TotalMessages() int64 {
 		sum += l.Messages
 	}
 	return sum
+}
+
+// FaultCounts sums per-link fault stats across the crossbar, rendered as
+// "drops=N dups=N corrupts=N delays=N flaps=N degrades=N" (zeros included),
+// for diagnostics.
+func (n *Network) FaultCounts() string {
+	var dr, du, co, de, fl, dg int64
+	for _, l := range n.links {
+		dr += l.Drops
+		du += l.Dups
+		co += l.Corrupts
+		de += l.Delays
+		fl += l.Flaps
+		dg += l.Degrades
+	}
+	return fmt.Sprintf("drops=%d dups=%d corrupts=%d delays=%d flaps=%d degrades=%d", dr, du, co, de, fl, dg)
 }

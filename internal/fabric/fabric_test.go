@@ -13,7 +13,7 @@ func edrSpec() LinkSpec {
 
 func TestLinkTransferTiming(t *testing.T) {
 	env := sim.NewEnv()
-	l := NewLink(env, edrSpec())
+	l := MustLink(env, edrSpec())
 	var arrived int64 = -1
 	env.Spawn("sender", func(p *sim.Proc) {
 		l.Transfer(25_000, func() { arrived = env.Now() })
@@ -29,7 +29,7 @@ func TestLinkTransferTiming(t *testing.T) {
 
 func TestLinkSerializesBackToBack(t *testing.T) {
 	env := sim.NewEnv()
-	l := NewLink(env, edrSpec())
+	l := MustLink(env, edrSpec())
 	var first, second int64
 	env.Spawn("sender", func(p *sim.Proc) {
 		l.Transfer(25_000, func() { first = env.Now() })
@@ -46,7 +46,7 @@ func TestLinkSerializesBackToBack(t *testing.T) {
 func TestLatencyPipelines(t *testing.T) {
 	// Two small messages: the second's latency overlaps the first's.
 	env := sim.NewEnv()
-	l := NewLink(env, LinkSpec{Name: "x", LatencyNs: 10_000, BWBytesPerNs: 25, PerMessageNs: 100})
+	l := MustLink(env, LinkSpec{Name: "x", LatencyNs: 10_000, BWBytesPerNs: 25, PerMessageNs: 100})
 	var a1, a2 int64
 	env.Spawn("sender", func(p *sim.Proc) {
 		l.Transfer(25, func() { a1 = env.Now() })
@@ -61,18 +61,21 @@ func TestLatencyPipelines(t *testing.T) {
 }
 
 func TestBadLinkSpecPanics(t *testing.T) {
+	if err := (LinkSpec{Name: "bad", BWBytesPerNs: 0}).Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("expected MustLink panic")
 		}
 	}()
-	LinkSpec{Name: "bad", BWBytesPerNs: 0}.Validate()
+	MustLink(sim.NewEnv(), LinkSpec{Name: "bad", BWBytesPerNs: 0})
 }
 
 func newTestNetwork(t *testing.T) (*sim.Env, *Network) {
 	t.Helper()
 	env := sim.NewEnv()
-	n := NewNetwork(env, NetworkSpec{
+	n := MustNetwork(env, NetworkSpec{
 		Nodes:      3,
 		Link:       edrSpec(),
 		PostCostNs: 200,
@@ -208,7 +211,7 @@ func TestPropertyTransferMonotone(t *testing.T) {
 			return true
 		}
 		env := sim.NewEnv()
-		l := NewLink(env, edrSpec())
+		l := MustLink(env, edrSpec())
 		var expected int64
 		for _, s := range sizes {
 			b := int64(s) + 1

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/pack"
 	"repro/internal/sim"
@@ -79,6 +80,13 @@ type Config struct {
 	// most ~2 µs per message).
 	EnqueueCostNs int64
 	QueryCostNs   int64
+	// LaunchRetries bounds retries of a failed (fused or unfused) kernel
+	// launch under a GPU fault plan before the scheduler degrades — a
+	// failed fused batch is re-issued as unfused per-request launches;
+	// a request whose unfused launches also exhaust retries fails with a
+	// typed error surfaced through Done. Zero selects the default (3).
+	// Irrelevant without fault injection: launches then never fail.
+	LaunchRetries int
 }
 
 // DefaultConfig mirrors the tuned settings used for "Proposed-Tuned".
@@ -89,6 +97,7 @@ func DefaultConfig() Config {
 		MaxPending:     0,
 		EnqueueCostNs:  350,
 		QueryCostNs:    60,
+		LaunchRetries:  3,
 	}
 }
 
@@ -103,6 +112,11 @@ type Stats struct {
 	ExplicitFlushes  int64
 	EmptyFlushes     int64
 	MaxBatch         int
+	// Fault-recovery counters (all zero without a GPU fault plan).
+	FailedLaunches    int64 // kernel launches that returned ErrLaunchFailed
+	DegradedBatches   int64 // fused batches re-issued as unfused launches
+	UnfusedRecoveries int64 // requests recovered by an unfused launch
+	FailedRequests    int64 // requests that failed even unfused
 }
 
 // entry is one request-list slot.
@@ -114,6 +128,9 @@ type entry struct {
 	enqueuedAt int64
 	doneAt     int64
 	doneEv     *sim.Event
+	// err marks a permanently failed request (degraded launch also
+	// exhausted its retries); surfaced through Done.
+	err error
 }
 
 // Scheduler is the fusion scheduler of Fig. 5. One scheduler serves one
@@ -160,6 +177,9 @@ func NewScheduler(dev *gpu.Device, stream *gpu.Stream, cfg Config) *Scheduler {
 	}
 	if cfg.QueryCostNs <= 0 {
 		cfg.QueryCostNs = DefaultConfig().QueryCostNs
+	}
+	if cfg.LaunchRetries <= 0 {
+		cfg.LaunchRetries = DefaultConfig().LaunchRetries
 	}
 	return &Scheduler{
 		env:    dev.Env(),
@@ -272,27 +292,115 @@ func (s *Scheduler) launch(p *sim.Proc) {
 	if len(batch) > s.Stats.MaxBatch {
 		s.Stats.MaxBatch = len(batch)
 	}
-	fc := s.stream.LaunchFused(p, fmt.Sprintf("batch-%d", s.Stats.FusedLaunches), works)
+	name := fmt.Sprintf("batch-%d", s.Stats.FusedLaunches)
+	var fc *gpu.FusedCompletion
+	for attempt := 0; ; attempt++ {
+		t0 := s.env.Now()
+		var err error
+		fc, err = s.stream.LaunchFusedE(p, name, works)
+		if err == nil {
+			break
+		}
+		// The failed launch still burned the driver overhead; charge
+		// it to the recovery category.
+		s.Stats.FailedLaunches++
+		s.chargeRetrans("fused-relaunch", t0)
+		if attempt >= s.cfg.LaunchRetries {
+			s.degrade(p, batch)
+			return
+		}
+	}
 	s.addTraceAt(trace.Launch, "fused-launch", s.env.Now()-s.dev.Arch.LaunchOverheadNs, s.dev.Arch.LaunchOverheadNs)
 	s.addTraceAt(trace.PackKernel, "fused-kernel", fc.Start, fc.End-fc.Start)
 }
 
+// degrade re-issues a persistently failing fused batch as unfused
+// per-request launches — graceful degradation: the batch loses the fusion
+// win but the transfers still happen. Each unfused launch itself retries
+// under the fault plan; a request whose unfused launches also exhaust
+// retries fails permanently with a typed error surfaced through Done.
+func (s *Scheduler) degrade(p *sim.Proc, batch []*entry) {
+	s.Stats.DegradedBatches++
+	if s.dev.Faults != nil {
+		s.dev.Faults.Recordf(fault.Fallback, "batch of %d re-issued unfused", len(batch))
+	}
+	if s.TL != nil {
+		s.TL.Instant(timeline.LayerFault, "", "degrade-unfused", s.env.Now(),
+			timeline.Arg{Key: "requests", Val: strconv.Itoa(len(batch))})
+	}
+	for _, e := range batch {
+		e := e
+		var c *gpu.Completion
+		var err error
+		for attempt := 0; ; attempt++ {
+			t0 := s.env.Now()
+			c, err = s.stream.LaunchE(p, e.job.KernelSpec())
+			if err == nil {
+				break
+			}
+			s.Stats.FailedLaunches++
+			s.chargeRetrans("unfused-relaunch", t0)
+			if attempt >= s.cfg.LaunchRetries {
+				break
+			}
+		}
+		if err != nil {
+			s.Stats.FailedRequests++
+			e.err = fmt.Errorf("fusion: request %d: unfused fallback failed after %d attempts: %w",
+				e.uid, s.cfg.LaunchRetries+1, err)
+			e.doneAt = s.env.Now()
+			e.doneEv.Fire()
+			continue
+		}
+		s.Stats.UnfusedRecoveries++
+		s.addTraceAt(trace.Launch, "unfused-launch", s.env.Now()-s.dev.Arch.LaunchOverheadNs, s.dev.Arch.LaunchOverheadNs)
+		s.addTraceAt(trace.PackKernel, "unfused-kernel", c.Start, c.End-c.Start)
+		end := c.End
+		s.env.At(end, func() {
+			e.respStatus = StatusCompleted
+			e.doneAt = end
+			e.doneEv.Fire()
+		})
+	}
+}
+
+// chargeRetrans accrues a failed-launch cost to trace.Retrans, mirrored as
+// a fault-layer timeline span (reconciling with timeline sums).
+func (s *Scheduler) chargeRetrans(name string, t0 int64) {
+	d := s.env.Now() - t0
+	if s.Trace == nil || d <= 0 {
+		return
+	}
+	s.Trace.Add(trace.Retrans, d)
+	if s.TL != nil {
+		s.TL.Span(timeline.LayerFault, trace.Retrans, "", name, t0, d)
+	}
+}
+
 // Done (④) answers a status query for uid: the scheduler compares the
 // request status with the response status. A true return releases the
-// request-list entry. Unknown UIDs (already released) report true.
-func (s *Scheduler) Done(p *sim.Proc, uid int64) bool {
+// request-list entry. Unknown UIDs (already released) report true. A
+// non-nil error reports a permanently failed request (fused launch
+// degraded and the unfused fallback also failed); the entry is released
+// and the error is terminal.
+func (s *Scheduler) Done(p *sim.Proc, uid int64) (bool, error) {
 	t0 := p.Now()
 	p.Sleep(s.cfg.QueryCostNs)
 	s.addTraceAt(trace.Scheduling, "query", t0, s.cfg.QueryCostNs)
 	e, ok := s.byUID[uid]
 	if !ok {
-		return true
+		return true, nil
+	}
+	if e.err != nil {
+		err := e.err
+		s.release(e)
+		return false, err
 	}
 	if e.respStatus == StatusCompleted {
 		s.release(e)
-		return true
+		return true, nil
 	}
-	return false
+	return false, nil
 }
 
 // DoneEvent returns an event that fires when uid's request completes, or
@@ -327,6 +435,7 @@ func (s *Scheduler) release(e *entry) {
 	e.respStatus = StatusIdle
 	e.job = nil
 	e.uid = 0
+	e.err = nil
 }
 
 // freeEntry scans the ring for an idle slot.

@@ -90,7 +90,7 @@ func TestExplicitFlushRunsAllAndSignalsCompletion(t *testing.T) {
 				continue
 			}
 			p.Wait(ev)
-			if !s.Done(p, uid) {
+			if ok, _ := s.Done(p, uid); !ok {
 				t.Errorf("uid %d not done after event", uid)
 			}
 		}
@@ -197,7 +197,7 @@ func TestEntriesRecycleAfterRelease(t *testing.T) {
 func TestDoneOnUnknownUIDIsTrue(t *testing.T) {
 	env, _, s := newSched(Config{})
 	env.Spawn("pe", func(p *sim.Proc) {
-		if !s.Done(p, 9999) {
+		if ok, _ := s.Done(p, 9999); !ok {
 			t.Error("unknown uid should report done")
 		}
 	})
@@ -227,7 +227,10 @@ func TestNoKernelBoundarySync(t *testing.T) {
 		j, _ := mkPackJob(dev, 7, 500, 2)
 		uid := s.Enqueue(p, j)
 		s.Flush(p)
-		for !s.Done(p, uid) {
+		for {
+			if ok, _ := s.Done(p, uid); ok {
+				break
+			}
 			p.Sleep(500)
 		}
 	})
@@ -357,7 +360,7 @@ func TestPropertyAllRequestsComplete(t *testing.T) {
 				if ev := s.DoneEvent(u); ev != nil {
 					p.Wait(ev)
 				}
-				if !s.Done(p, u) {
+				if done, _ := s.Done(p, u); !done {
 					ok = false
 				}
 			}

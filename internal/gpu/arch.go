@@ -13,6 +13,8 @@
 // paper), not absolute device timings.
 package gpu
 
+import "errors"
+
 // Arch holds the performance parameters of one GPU generation.
 //
 // All times are virtual nanoseconds; all bandwidths are bytes per
@@ -91,19 +93,29 @@ func (a Arch) MaxResidentBlocks() int {
 	return a.SMCount * a.MaxBlocksPerSM
 }
 
-// Validate reports whether the parameter set is usable and panics with a
-// descriptive message otherwise. Building a Device validates implicitly.
-func (a Arch) Validate() {
+// Check reports an error for an unusable parameter set; configuration
+// paths (cluster.Spec.Validate, dkf.NewSession) surface it instead of
+// panicking.
+func (a Arch) Check() error {
 	switch {
 	case a.Name == "":
-		panic("gpu: Arch.Name empty")
+		return errors.New("gpu: Arch.Name empty")
 	case a.LaunchOverheadNs <= 0:
-		panic("gpu: LaunchOverheadNs must be positive: " + a.Name)
+		return errors.New("gpu: LaunchOverheadNs must be positive: " + a.Name)
 	case a.SMCount <= 0 || a.MaxBlocksPerSM <= 0:
-		panic("gpu: SM geometry must be positive: " + a.Name)
+		return errors.New("gpu: SM geometry must be positive: " + a.Name)
 	case a.MemBWBytesPerNs <= 0 || a.BlockCopyBWBytesPerNs <= 0:
-		panic("gpu: bandwidths must be positive: " + a.Name)
+		return errors.New("gpu: bandwidths must be positive: " + a.Name)
 	case a.CPUGPULinkBWBytesPerNs <= 0:
-		panic("gpu: CPU-GPU link bandwidth must be positive: " + a.Name)
+		return errors.New("gpu: CPU-GPU link bandwidth must be positive: " + a.Name)
+	}
+	return nil
+}
+
+// Validate panics on an unusable parameter set (see Check for the
+// error-returning variant). Building a Device validates implicitly.
+func (a Arch) Validate() {
+	if err := a.Check(); err != nil {
+		panic(err.Error())
 	}
 }

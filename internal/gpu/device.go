@@ -1,9 +1,11 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 )
@@ -57,6 +59,7 @@ type Stats struct {
 	StreamSyncs    int64
 	BytesMoved     int64 // bytes moved by kernels
 	SegmentsMoved  int64 // contiguous segments processed by kernels
+	FailedLaunches int64 // transient launch failures injected by a fault plan
 }
 
 // Device is one simulated GPU.
@@ -68,6 +71,11 @@ type Device struct {
 	// TL, when non-nil, receives machine-view timeline events (kernel and
 	// copy occupancy per stream, sync waits).
 	TL *timeline.Recorder
+	// Faults, when non-nil, injects transient launch failures into the
+	// fault-aware launch paths (LaunchE, LaunchFusedE). The plain Launch
+	// variants never fail, so baseline schemes without a retry story keep
+	// their fault-free semantics.
+	Faults *fault.Site
 
 	env   *sim.Env
 	alloc int64
@@ -271,20 +279,53 @@ func (d *Device) gridFor(bytes int64, segments, requested int) int {
 	return blocks
 }
 
+// ErrLaunchFailed is the transient kernel-launch failure injected by a GPU
+// fault plan; callers retry or degrade.
+var ErrLaunchFailed = errors.New("gpu: transient kernel-launch failure")
+
+// launchFault pays the driver overhead and rolls the device's launch-fault
+// site when faultable. Returns ErrLaunchFailed on an injected failure (the
+// overhead is burned either way, as a rejected launch still makes the
+// driver round trip).
+func (s *Stream) launchFault(p *sim.Proc, name string, faultable bool) error {
+	d := s.dev
+	p.Sleep(d.Arch.LaunchOverheadNs)
+	d.Stats.LaunchCPUNs += d.Arch.LaunchOverheadNs
+	if faultable && d.Faults != nil && d.Faults.Roll(d.Faults.Plan().GPU.LaunchFailProb) {
+		d.Stats.FailedLaunches++
+		d.Faults.Record(fault.LaunchFail, name)
+		return ErrLaunchFailed
+	}
+	return nil
+}
+
 // Launch issues one kernel from proc p. The calling proc pays the driver
 // launch overhead; the kernel then executes in stream order. Exec runs when
 // the kernel retires.
 func (s *Stream) Launch(p *sim.Proc, spec KernelSpec) *Completion {
+	c, _ := s.launch(p, spec, false)
+	return c
+}
+
+// LaunchE is Launch with transient-fault visibility: under a GPU fault plan
+// the launch may fail with ErrLaunchFailed after burning the driver
+// overhead, and the caller is expected to retry or fall back.
+func (s *Stream) LaunchE(p *sim.Proc, spec KernelSpec) (*Completion, error) {
+	return s.launch(p, spec, true)
+}
+
+func (s *Stream) launch(p *sim.Proc, spec KernelSpec, faultable bool) (*Completion, error) {
 	d := s.dev
-	p.Sleep(d.Arch.LaunchOverheadNs)
-	d.Stats.LaunchCPUNs += d.Arch.LaunchOverheadNs
+	if err := s.launchFault(p, spec.Name, faultable); err != nil {
+		return nil, err
+	}
 	d.Stats.KernelLaunches++
 	blocks := d.gridFor(spec.Bytes, spec.Segments, spec.ThreadBlocks)
 	dur := d.Arch.kernelCost(spec.Bytes, spec.Segments, blocks, spec.MaxSegmentBytes)
 	if dur < spec.MinDurationNs {
 		dur = spec.MinDurationNs
 	}
-	return s.enqueue(p, spec.Name, dur, spec.Bytes, spec.Segments, spec.Exec)
+	return s.enqueue(p, spec.Name, dur, spec.Bytes, spec.Segments, spec.Exec), nil
 }
 
 // enqueue places one operation of duration dur at the stream tail.

@@ -50,12 +50,26 @@ type FusedCompletion struct {
 // (and signalling) independently. The caller pays exactly one launch
 // overhead regardless of len(reqs) — the entire point of the design.
 func (s *Stream) LaunchFused(p *sim.Proc, name string, reqs []FusedWork) *FusedCompletion {
+	fc, _ := s.launchFused(p, name, reqs, false)
+	return fc
+}
+
+// LaunchFusedE is LaunchFused with transient-fault visibility: under a GPU
+// fault plan the fused launch may fail with ErrLaunchFailed after burning
+// the driver overhead. The fusion scheduler retries and then degrades to
+// unfused per-request launches.
+func (s *Stream) LaunchFusedE(p *sim.Proc, name string, reqs []FusedWork) (*FusedCompletion, error) {
+	return s.launchFused(p, name, reqs, true)
+}
+
+func (s *Stream) launchFused(p *sim.Proc, name string, reqs []FusedWork, faultable bool) (*FusedCompletion, error) {
 	if len(reqs) == 0 {
 		panic("gpu: LaunchFused with no requests")
 	}
 	d := s.dev
-	p.Sleep(d.Arch.LaunchOverheadNs)
-	d.Stats.LaunchCPUNs += d.Arch.LaunchOverheadNs
+	if err := s.launchFault(p, "fused:"+name, faultable); err != nil {
+		return nil, err
+	}
 	d.Stats.KernelLaunches++
 	d.Stats.FusedKernels++
 	d.Stats.FusedRequests += int64(len(reqs))
@@ -111,7 +125,7 @@ func (s *Stream) LaunchFused(p *sim.Proc, name string, reqs []FusedWork) *FusedC
 		})
 	}
 	d.env.At(end, func() { fc.Ev.Fire() })
-	return fc
+	return fc, nil
 }
 
 // EstimateFusedNs returns the modeled span of a fused kernel over the given

@@ -10,11 +10,16 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/datatype"
+	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/layoutcache"
 	"repro/internal/pack"
@@ -60,11 +65,21 @@ type Config struct {
 	CacheCapacity int
 	// CacheCost prices layout-cache interactions.
 	CacheCost layoutcache.CostModel
-	// StallTimeoutNs bounds how long Waitall may poll without any of its
-	// requests completing before declaring a deadlock (panicking with
-	// the rank and request states). Zero selects the default (100 ms of
-	// virtual time); negative disables the guard.
+	// StallTimeoutNs bounds how long the simulation may run without any
+	// request completing before the sim-level watchdog declares a
+	// deadlock: World.Run then returns a *sim.StallError naming the stuck
+	// procs and dumping per-rank request states. Zero selects the default
+	// (100 ms of virtual time); negative disables the watchdog.
 	StallTimeoutNs int64
+	// Faults, when non-nil, threads a deterministic fault injector through
+	// the fabric, NIC, and GPU layers AND activates the reliability layer
+	// (reliable.go): acked + checksummed transport with timeout/backoff
+	// retransmission and typed request errors. Nil keeps every fault-free
+	// fast path byte-identical to a build without the layer.
+	Faults *fault.Plan
+	// Retry tunes the reliability layer; zero values select defaults.
+	// Ignored when Faults is nil.
+	Retry RetryPolicy
 	// DisableIPC turns off the DirectIPC fast path even when the scheme
 	// supports it (for ablations).
 	DisableIPC bool
@@ -94,10 +109,14 @@ func DefaultConfig() Config {
 
 // Handle tracks one in-flight datatype-processing operation owned by a
 // Scheme. Done may charge the polling proc (event queries, scheduler
-// queries); DoneEv may return nil if the scheme is poll-only.
+// queries); DoneEv may return nil if the scheme is poll-only. Err reports a
+// terminal processing failure (fused launch degraded and still failed);
+// the progress engine converts it into a typed request error. Fault-free
+// schemes return nil forever.
 type Handle interface {
 	Done(p *sim.Proc) bool
 	DoneEv() *sim.Event
+	Err() error
 }
 
 // Scheme processes derived datatypes for one rank. Implementations decide
@@ -129,6 +148,12 @@ type World struct {
 	ranks   []*Rank
 	tl      *timeline.Timeline
 
+	// inj is the fault injector (nil without a fault plan); its presence
+	// is what switches the reliability layer on.
+	inj       *fault.Injector
+	retry     RetryPolicy
+	nextMsgID int64 // world-unique reliable-message ids
+
 	barrierEv    *sim.Event
 	barrierCount int
 }
@@ -146,6 +171,28 @@ func NewWorld(c *cluster.Cluster, cfg Config, factory SchemeFactory) *World {
 	if cfg.Timeline != nil {
 		w.tl = timeline.New(c.Spec.Nodes*c.Spec.GPUsPerNode, cfg.Timeline.Capacity)
 	}
+	inj, err := fault.NewInjector(cfg.Faults, c.Env.Now)
+	if err != nil {
+		// Configuration front doors (dkf.NewSession) validate the plan
+		// first and surface this as an error.
+		panic("mpi: invalid fault plan: " + err.Error())
+	}
+	w.inj = inj
+	if inj != nil {
+		w.retry = cfg.Retry.normalized()
+		c.Net.InjectFaults(inj)
+		if w.tl != nil {
+			cap := 0
+			if cfg.Timeline != nil {
+				cap = cfg.Timeline.Capacity
+			}
+			rec := w.tl.ExtraTrack("faults", cap)
+			inj.SetHook(func(ev fault.Event) {
+				rec.Instant(timeline.LayerFault, ev.Site, ev.Kind.String(), ev.At,
+					timeline.Arg{Key: "detail", Val: ev.Detail})
+			})
+		}
+	}
 	id := 0
 	for n := 0; n < c.Spec.Nodes; n++ {
 		for g := 0; g < c.Spec.GPUsPerNode; g++ {
@@ -159,6 +206,11 @@ func NewWorld(c *cluster.Cluster, cfg Config, factory SchemeFactory) *World {
 				tl:    w.tl.Rank(id),
 			}
 			r.Dev.TL = r.tl
+			if inj != nil {
+				r.fsite = inj.Site(fmt.Sprintf("mpi:rank%d", id))
+				r.Dev.Faults = inj.Site(fmt.Sprintf("gpu:rank%d", id))
+				r.seen = make(map[int64]bool)
+			}
 			w.ranks = append(w.ranks, r)
 			id++
 		}
@@ -178,8 +230,16 @@ func (w *World) Size() int { return len(w.ranks) }
 func (w *World) Rank(i int) *Rank { return w.ranks[i] }
 
 // Run spawns one proc per rank executing body and drives the simulation to
-// completion. It returns the sim error (deadlocks surface here).
+// completion. It returns the sim error: deadlocks surface here as a
+// *sim.StallError from the watchdog (armed from Config.StallTimeoutNs),
+// carrying per-rank request-state diagnostics.
 func (w *World) Run(body func(r *Rank, p *sim.Proc)) error {
+	if stall := w.Cfg.StallTimeoutNs; stall >= 0 {
+		if stall == 0 {
+			stall = 100 * sim.Millisecond
+		}
+		w.Env.SetWatchdog(stall, w.stallDiag)
+	}
 	for _, r := range w.ranks {
 		r := r
 		w.Env.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
@@ -189,6 +249,31 @@ func (w *World) Run(body func(r *Rank, p *sim.Proc)) error {
 		})
 	}
 	return w.Env.Run()
+}
+
+// stallDiag renders the per-rank request states (plus fault counters, when
+// injecting) for the watchdog's StallError.
+func (w *World) stallDiag() string {
+	var b strings.Builder
+	for _, r := range w.ranks {
+		if len(r.active) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "rank%d:", r.id)
+		for _, q := range r.active {
+			dir := "recv"
+			if q.isSend {
+				dir = "send"
+			}
+			fmt.Fprintf(&b, " [%s peer=%d tag=%d state=%s]", dir, q.peer, q.tag, q.state)
+		}
+		b.WriteString("\n")
+	}
+	if w.inj != nil {
+		fmt.Fprintf(&b, "faults injected: %v\n", w.inj.Counts())
+		fmt.Fprintf(&b, "fabric faults: %v\n", w.Cluster.Net.FaultCounts())
+	}
+	return b.String()
 }
 
 // Rank is one MPI process bound to one GPU.
@@ -224,6 +309,13 @@ type Rank struct {
 	// before their envelope matched.
 	orphanChunks []*message
 
+	// Reliability-layer state (reliable.go); all nil/false without a
+	// fault plan.
+	fsite     *fault.Site    // this rank's recovery-event site
+	seen      map[int64]bool // receiver-side duplicate suppression
+	pending   []*pendingMsg  // sender-side unacked messages
+	needDrain bool           // envelope FIFO advanced from scheduler context
+
 	stagingSeq int
 }
 
@@ -250,7 +342,13 @@ func (r *Rank) emitInOrder(p *sim.Proc, q *Request, emit func(p *sim.Proc)) {
 	if r.emitWait[dest] == nil {
 		r.emitWait[dest] = make(map[int64]func(*sim.Proc))
 	}
+	q.emitted = true
 	r.emitWait[dest][q.seq] = emit
+	r.drainEmits(p, dest)
+}
+
+// drainEmits runs every emission that is now in sequence for dest.
+func (r *Rank) drainEmits(p *sim.Proc, dest int) {
 	for {
 		fn, ok := r.emitWait[dest][r.emitNext[dest]]
 		if !ok {
@@ -307,7 +405,20 @@ const (
 	stUnpacking                   // recv: waiting for unpack handle
 	stIPC                         // recv: DirectIPC in flight
 	stDone
+	stFailed // terminal failure (reliability layer); Request.err is set
 )
+
+var reqStateNames = [...]string{
+	"packing", "ready-to-send", "rts-sent", "writing", "wait-fin",
+	"wait-match", "wait-data", "unpacking", "ipc", "done", "failed",
+}
+
+func (s reqState) String() string {
+	if int(s) < len(reqStateNames) {
+		return reqStateNames[s]
+	}
+	return "state?"
+}
 
 // msgKind tags control/data messages.
 type msgKind int
@@ -318,9 +429,11 @@ const (
 	mkRTSChunk
 	mkCTS
 	mkFIN
+	mkAck // reliability layer: firmware-level acknowledgment
+	mkErr // reliability layer: best-effort peer-abort notification
 )
 
-var msgKindNames = [...]string{"eager", "rts", "rts-chunk", "cts", "fin"}
+var msgKindNames = [...]string{"eager", "rts", "rts-chunk", "cts", "fin", "ack", "err"}
 
 func (m msgKind) String() string {
 	if int(m) < len(msgKindNames) {
@@ -349,6 +462,11 @@ type message struct {
 	chunks     int
 	chunkOff   int64
 	chunkBytes int64
+	// id is the reliability-layer message id (nonzero only for tracked
+	// messages; acks echo the id they acknowledge). sum is the payload
+	// checksum the receiver verifies.
+	id  int64
+	sum uint64
 }
 
 // Request is a non-blocking operation handle (MPI_Request).
@@ -380,14 +498,35 @@ type Request struct {
 	rtsSent       bool        // send rendezvous: RTS already posted
 	rdmaStarted   bool        // recv: RDMA/CTS/IPC already initiated
 	ipcDone       bool
+	finSent       bool // recv: rendezvous FIN already posted (one-shot)
+
+	// Reliability-layer state (reliable.go); inert without a fault plan.
+	err           error     // terminal *OpError once state == stFailed
+	unacked       int       // emitted reliable messages not yet acked
+	wantDone      bool      // protocol done, waiting for last acks
+	emitted       bool      // send: envelope FIFO slot consumed
+	errSent       bool      // peer-abort notification already sent
+	reads         []*readOp // recv RGET: checksummed read spans
+	writeDeadline int64     // send RPUT: rewrite deadline
+	writeAttempts int       // send RPUT: write issues so far
 
 	doneEv *sim.Event
-	// DoneAt is the completion time (valid once done).
+	// DoneAt is the completion/failure time (valid once settled).
 	DoneAt int64
 }
 
-// Done reports completion without charging any cost.
+// Done reports successful completion without charging any cost.
 func (q *Request) Done() bool { return q.state == stDone }
+
+// Failed reports terminal failure; Err carries the typed cause.
+func (q *Request) Failed() bool { return q.state == stFailed }
+
+// Err returns the request's terminal error: nil while in flight or on
+// success, a *OpError after the reliability layer gave up.
+func (q *Request) Err() error { return q.err }
+
+// settled reports that q reached a terminal state (done or failed).
+func (q *Request) settled() bool { return q.state == stDone || q.state == stFailed }
 
 // --- posting operations ---
 
@@ -428,7 +567,7 @@ func (r *Rank) Isend(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.La
 		// a zero-copy gather/scatter kernel and FINs us.
 		q.state = stWaitFin
 		r.emitInOrder(p, q, func(p *sim.Proc) {
-			r.postCtrl(p, &message{kind: mkRTS, from: r.id, to: dest, tag: tag, bytes: e.Bytes, sender: q, ipc: true})
+			r.postCtrl(p, q, &message{kind: mkRTS, from: r.id, to: dest, tag: tag, bytes: e.Bytes, sender: q, ipc: true})
 		})
 		return q
 	}
@@ -454,7 +593,7 @@ func (r *Rank) Isend(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.La
 		// overlaps the pack kernel (Section IV-B1).
 		q.rtsSent = true
 		r.emitInOrder(p, q, func(p *sim.Proc) {
-			r.postCtrl(p, &message{kind: mkRTS, from: r.id, to: dest, tag: tag, bytes: e.Bytes, sender: q})
+			r.postCtrl(p, q, &message{kind: mkRTS, from: r.id, to: dest, tag: tag, bytes: e.Bytes, sender: q})
 		})
 	}
 	return q
@@ -496,7 +635,7 @@ func (q *Request) matches(m *message) bool {
 	if q.tag != AnyTag && q.tag != m.tag {
 		return false
 	}
-	return m.kind == mkEager || m.kind == mkRTS
+	return m.kind == mkEager || m.kind == mkRTS || m.kind == mkErr
 }
 
 // stagingBuf allocates a packed staging buffer on the rank's device.
@@ -505,9 +644,15 @@ func (r *Rank) stagingBuf(n int64) *gpu.Buffer {
 	return r.Dev.Alloc(fmt.Sprintf("staging-%d-%d", r.id, r.stagingSeq), int(n))
 }
 
-// postCtrl sends a small control message, charging NIC post cost.
-func (r *Rank) postCtrl(p *sim.Proc, m *message) {
+// postCtrl sends a small control message on behalf of owner, charging NIC
+// post cost. Under the reliability layer it is tracked, checksummed, and
+// retransmitted until acked.
+func (r *Rank) postCtrl(p *sim.Proc, owner *Request, m *message) {
 	net := r.world.Cluster.Net
+	if r.reliable() {
+		r.sendReliable(p, owner, m, net.Spec.CtrlBytes)
+		return
+	}
 	net.Post(p)
 	fromNode, toNode := r.node, r.world.ranks[m.to].node
 	t0 := p.Now()
@@ -522,7 +667,36 @@ func (r *Rank) postCtrl(p *sim.Proc, m *message) {
 }
 
 // arrive runs in scheduler context when a message lands at this rank.
-func (r *Rank) arrive(m *message) {
+func (r *Rank) arrive(m *message) { r.arriveD(m, fabric.Delivery{}) }
+
+// arriveD is arrive with the fabric's delivery verdict. The reliability
+// prologue discards corrupted frames (the checksum rejects them), re-acks
+// duplicates, and acks + dedups tracked messages before they take effect.
+func (r *Rank) arriveD(m *message, d fabric.Delivery) {
+	if r.reliable() {
+		if m.kind == mkAck {
+			r.handleAck(m)
+			return
+		}
+		if m.id != 0 {
+			if d.Corrupt {
+				// Damaged frame: header/payload CRC rejects it; the
+				// sender's retransmission recovers.
+				if m.payload != nil && verifyDamaged(m.payload, m.sum) {
+					panic("mpi: corruption not detected by checksum")
+				}
+				return
+			}
+			if r.seen[m.id] {
+				r.sendAck(m) // retransmission or duplicate: re-ack only
+				return
+			}
+			r.seen[m.id] = true
+			r.sendAck(m)
+		} else if d.Corrupt || (d.Dup && m.kind == mkErr) {
+			return // untracked frame damaged or duplicated: drop
+		}
+	}
 	switch m.kind {
 	case mkCTS:
 		m.receiver.ctsHere = true
@@ -530,6 +704,21 @@ func (r *Rank) arrive(m *message) {
 		m.receiver.finHere = true
 	case mkRTSChunk:
 		r.acceptChunk(m)
+	case mkErr:
+		if m.receiver != nil {
+			r.fail(nil, m.receiver, "peer-abort", 0, ErrPeerAborted)
+			return
+		}
+		// Unmatched abort: fail a matching posted receive, or park it
+		// like an envelope for a future Irecv.
+		for i, q := range r.posted {
+			if q.matches(m) {
+				r.posted = append(r.posted[:i], r.posted[i+1:]...)
+				r.fail(nil, q, "peer-abort", 0, ErrPeerAborted)
+				return
+			}
+		}
+		r.unexpected = append(r.unexpected, m)
 	default: // eager data or RTS: needs matching
 		for i, q := range r.posted {
 			if q.matches(m) {
@@ -545,9 +734,20 @@ func (r *Rank) arrive(m *message) {
 // deliver attaches message m to matched receive q (scheduler or proc
 // context; must not block).
 func (r *Rank) deliver(q *Request, m *message) {
+	if m.kind == mkErr {
+		// The matching send on the peer already failed.
+		r.fail(nil, q, "peer-abort", 0, ErrPeerAborted)
+		return
+	}
 	if m.bytes > q.bytes {
 		// MPI_ERR_TRUNCATE: the matched message is larger than the
-		// posted receive.
+		// posted receive. Under the reliability layer this is a typed
+		// request error; without it, a programming-error panic.
+		if r.reliable() {
+			q.matched = m // lets the abort notification target the sender
+			r.fail(nil, q, "match", 0, ErrTruncate)
+			return
+		}
 		panic(fmt.Sprintf("mpi: message truncation: rank %d recv (src=%d tag=%d) posted %d bytes, message carries %d",
 			r.id, q.peer, q.tag, q.bytes, m.bytes))
 	}
@@ -598,12 +798,18 @@ func (r *Rank) startTransfer(p *sim.Proc, q *Request) {
 	net := r.world.Cluster.Net
 	toNode := r.world.ranks[q.peer].node
 	if q.bytes <= r.world.Cfg.EagerLimitBytes {
-		// Eager: payload rides along; sender completes once the
-		// message is handed to the NIC.
+		// Eager: payload rides along; sender completes once the message
+		// is handed to the NIC (reliable mode: once it is acked).
 		r.emitInOrder(p, q, func(p *sim.Proc) {
 			payload := append([]byte(nil), q.srcSpan()...)
-			net.Post(p)
 			m := &message{kind: mkEager, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, payload: payload}
+			if r.reliable() {
+				q.state = stWaitFin // resolved by the ack, not a FIN
+				r.sendReliable(p, q, m, q.bytes+64)
+				r.maybeComplete(q)
+				return
+			}
+			net.Post(p)
 			t0 := p.Now()
 			arrive := net.Send(r.node, toNode, q.bytes+64, func() {
 				r.world.ranks[q.peer].arrive(m)
@@ -622,20 +828,20 @@ func (r *Rank) startTransfer(p *sim.Proc, q *Request) {
 		q.state = stRTSSent
 		q.rtsSent = true
 		r.emitInOrder(p, q, func(p *sim.Proc) {
-			r.postCtrl(p, &message{kind: mkRTS, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, sender: q})
+			r.postCtrl(p, q, &message{kind: mkRTS, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, sender: q})
 		})
 	case RPUT:
 		q.state = stRTSSent
 		if !q.rtsSent { // contiguous sends reach here without an RTS
 			q.rtsSent = true
 			r.emitInOrder(p, q, func(p *sim.Proc) {
-				r.postCtrl(p, &message{kind: mkRTS, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, sender: q})
+				r.postCtrl(p, q, &message{kind: mkRTS, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, sender: q})
 			})
 		}
 	}
 }
 
-// complete finishes a request.
+// complete finishes a request successfully.
 func (r *Rank) complete(q *Request) {
 	q.state = stDone
 	q.DoneAt = r.world.Env.Now()
@@ -646,16 +852,33 @@ func (r *Rank) complete(q *Request) {
 			break
 		}
 	}
+	r.world.Env.Beat()
 }
 
 // --- progress engine ---
 
 // progress advances every active request one step; called from Wait/Test.
 func (r *Rank) progress(p *sim.Proc) {
+	if r.needDrain {
+		// A failure from scheduler context advanced the envelope FIFO;
+		// drain now that a proc is available (sorted for determinism).
+		r.needDrain = false
+		dests := make([]int, 0, len(r.emitWait))
+		for d := range r.emitWait {
+			dests = append(dests, d)
+		}
+		sort.Ints(dests)
+		for _, d := range dests {
+			r.drainEmits(p, d)
+		}
+	}
+	if r.reliable() {
+		r.retransmitScan(p)
+	}
 	// Iterate over a snapshot: completions mutate r.active.
 	snapshot := append([]*Request(nil), r.active...)
 	for _, q := range snapshot {
-		if q.state == stDone {
+		if q.settled() {
 			continue
 		}
 		if q.isSend {
@@ -673,15 +896,29 @@ func (r *Rank) progressSend(p *sim.Proc, q *Request) {
 			r.progressPipelinedSend(p, q)
 			return
 		}
+		if err := q.handle.Err(); err != nil {
+			r.fail(p, q, "pack", 0, err)
+			return
+		}
 		if !q.handle.Done(p) {
 			return
 		}
 		q.state = stReadyToSend
 		r.startTransfer(p, q)
 	case stRTSSent:
+		if q.handle != nil {
+			if err := q.handle.Err(); err != nil {
+				r.fail(p, q, "pack", 0, err)
+				return
+			}
+		}
 		if r.world.Cfg.Rendezvous == RPUT {
 			if q.ctsHere && (q.contig || q.handle == nil || q.handle.Done(p)) {
 				q.state = stWriting
+				if r.reliable() {
+					r.issueWrite(p, q, q.matchedRecv(), false)
+					return
+				}
 				net := r.world.Cluster.Net
 				net.Post(p)
 				peer := r.world.ranks[q.peer]
@@ -704,11 +941,15 @@ func (r *Rank) progressSend(p *sim.Proc, q *Request) {
 		}
 		// RGET: wait for FIN after the receiver's read.
 		if q.finHere {
-			r.complete(q)
+			r.maybeComplete(q)
 		}
 	case stWriting, stWaitFin:
 		if q.finHere {
-			r.complete(q)
+			r.maybeComplete(q)
+			return
+		}
+		if q.state == stWriting && r.reliable() {
+			r.scanWrite(p, q)
 		}
 	}
 }
@@ -724,6 +965,9 @@ func (r *Rank) progressRecv(p *sim.Proc, q *Request) {
 		m := q.matched
 		if m != nil && m.kind == mkRTS && m.chunks > 0 {
 			if !r.progressPipelinedRecv(p, q) {
+				if r.reliable() && !q.settled() {
+					r.scanReads(p, q)
+				}
 				return
 			}
 			// fall through to the completion handling below
@@ -737,11 +981,17 @@ func (r *Rank) progressRecv(p *sim.Proc, q *Request) {
 				// Tell the sender where to put the data.
 				q.packed = r.stagingBuf(q.bytes)
 				m.sender.ctsFrom = q
-				r.postCtrl(p, &message{kind: mkCTS, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
+				r.postCtrl(p, q, &message{kind: mkCTS, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
 				return
 			}
 			// RGET: pull the packed payload from the sender.
 			q.packed = r.stagingBuf(q.bytes)
+			if r.reliable() {
+				op := &readOp{off: 0, bytes: q.bytes}
+				q.reads = append(q.reads, op)
+				r.issueRead(p, q, op, false)
+				return
+			}
 			net := r.world.Cluster.Net
 			net.Post(p)
 			sender := m.sender
@@ -758,34 +1008,50 @@ func (r *Rank) progressRecv(p *sim.Proc, q *Request) {
 			return
 		}
 		if !q.dataHere {
+			if r.reliable() && len(q.reads) > 0 {
+				r.scanReads(p, q)
+			}
 			return
 		}
 		// Payload landed. Under RGET the sender still waits for a
 		// FIN; under RPUT its local write completion already fired.
-		if m != nil && m.kind == mkRTS && r.world.Cfg.Rendezvous == RGET {
-			r.postCtrl(p, &message{kind: mkFIN, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
+		// finSent guards the reliable path, where an unacked FIN keeps
+		// the request un-settled and this state re-entered each poll.
+		if m != nil && m.kind == mkRTS && r.world.Cfg.Rendezvous == RGET && !q.finSent {
+			q.finSent = true
+			r.postCtrl(p, q, &message{kind: mkFIN, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
 		}
 		if q.contig {
 			if m != nil && m.kind == mkRTS {
 				b := q.entry.Blocks[0]
 				copy(q.buf.Data[b.Offset:b.Offset+b.Len], q.packed.Data[:q.bytes])
 			}
-			r.complete(q)
+			r.maybeComplete(q)
 			return
 		}
 		job := pack.NewJob(pack.OpUnpack, q.packed, q.buf, q.entry.Blocks)
 		q.handle = r.scheme.Unpack(p, job)
 		q.state = stUnpacking
 	case stUnpacking:
+		if err := q.handle.Err(); err != nil {
+			r.fail(p, q, "unpack", 0, err)
+			return
+		}
 		if q.handle.Done(p) {
-			r.complete(q)
+			r.maybeComplete(q)
 		}
 	case stIPC:
+		if err := q.handle.Err(); err != nil {
+			r.fail(p, q, "ipc", 0, err)
+			return
+		}
 		if q.handle.Done(p) {
-			q.ipcDone = true
-			m := q.matched
-			r.postCtrl(p, &message{kind: mkFIN, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
-			r.complete(q)
+			if !q.ipcDone {
+				q.ipcDone = true
+				m := q.matched
+				r.postCtrl(p, q, &message{kind: mkFIN, from: r.id, to: m.from, tag: q.tag, receiver: m.sender})
+			}
+			r.maybeComplete(q)
 		}
 	}
 }
@@ -832,31 +1098,31 @@ type completionHandle struct{ c *gpu.Completion }
 
 func (h completionHandle) Done(p *sim.Proc) bool { return h.c.Done() }
 func (h completionHandle) DoneEv() *sim.Event    { return h.c.Ev }
+func (h completionHandle) Err() error            { return nil }
 
 // --- waiting ---
 
-// Test advances progress once and reports whether q completed.
+// Test advances progress once and reports whether q settled (completed or
+// failed; check q.Err to distinguish).
 func (r *Rank) Test(p *sim.Proc, q *Request) bool {
 	r.progress(p)
-	return q.Done()
+	return q.settled()
 }
 
-// Wait blocks until q completes.
-func (r *Rank) Wait(p *sim.Proc, q *Request) {
-	r.Waitall(p, []*Request{q})
+// Wait blocks until q settles and returns its terminal error (nil on
+// success).
+func (r *Rank) Wait(p *sim.Proc, q *Request) error {
+	return r.Waitall(p, []*Request{q})
 }
 
-// Waitall drives the progress engine until every request completes. It
+// Waitall drives the progress engine until every request settles. It
 // first flushes the scheme — the progress engine "has no more operations
 // to request and reaches the synchronization point" (Section IV-C
 // scenario 1) — then polls, attributing otherwise-idle waiting to Comm.
-func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) {
-	stall := r.world.Cfg.StallTimeoutNs
-	if stall == 0 {
-		stall = 100 * sim.Millisecond
-	}
-	lastDone := -1
-	deadline := p.Now() + stall
+// The joined typed errors of failed requests are returned; nil means every
+// request completed successfully. Deadlocks are the sim watchdog's job
+// (Config.StallTimeoutNs), not Waitall's.
+func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) error {
 	for {
 		// Flush first: the progress engine has nothing further to
 		// enqueue before this synchronization point, so any pending
@@ -866,26 +1132,25 @@ func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) {
 		r.progress(p)
 		done := 0
 		for _, q := range reqs {
-			if q.Done() {
+			if q.settled() {
 				done++
 			}
 		}
 		if done == len(reqs) {
-			return
-		}
-		if done != lastDone {
-			lastDone = done
-			deadline = p.Now() + stall
-		} else if stall > 0 && p.Now() > deadline {
-			panic(fmt.Sprintf("mpi: Waitall stalled for %s with %d of %d requests incomplete (deadlock in the communication pattern?)",
-				sim.FmtDuration(stall), len(reqs)-done, len(reqs)))
+			var errs []error
+			for _, q := range reqs {
+				if q.err != nil {
+					errs = append(errs, q.err)
+				}
+			}
+			return errors.Join(errs...)
 		}
 		// Attribute the idle poll: if some request is still inside a
 		// pack/unpack handle the CPU is effectively synchronizing with
 		// the GPU; otherwise it is observing communication.
 		cat := trace.Comm
 		for _, q := range reqs {
-			if !q.Done() && (q.state == stPacking || q.state == stUnpacking || q.state == stIPC) {
+			if !q.settled() && (q.state == stPacking || q.state == stUnpacking || q.state == stIPC) {
 				cat = trace.Sync
 				break
 			}

@@ -19,7 +19,7 @@ import (
 // newWorld builds a Lassen-shaped world with the named scheme.
 func newWorld(scheme string, mut func(*mpi.Config)) *mpi.World {
 	env := sim.NewEnv()
-	c := cluster.Build(env, cluster.Lassen())
+	c := cluster.MustBuild(env, cluster.Lassen())
 	cfg := mpi.DefaultConfig()
 	if mut != nil {
 		mut(&cfg)

@@ -86,7 +86,7 @@ func (r *Rank) startPipelinedSend(p *sim.Proc, q *Request, buf *gpu.Buffer) {
 	// Envelope goes out immediately (ordered): the receiver needs it to
 	// match before any chunk can be pulled.
 	r.emitInOrder(p, q, func(p *sim.Proc) {
-		r.postCtrl(p, &message{
+		r.postCtrl(p, q, &message{
 			kind: mkRTS, from: r.id, to: q.peer, tag: q.tag,
 			bytes: q.bytes, sender: q, chunks: len(q.chunks),
 		})
@@ -102,12 +102,16 @@ func (r *Rank) progressPipelinedSend(p *sim.Proc, q *Request) {
 		if c.announced {
 			continue
 		}
+		if err := c.handle.Err(); err != nil {
+			r.fail(p, q, "pack-chunk", 0, err)
+			return
+		}
 		if !c.handle.Done(p) {
 			allDone = false
 			continue
 		}
 		c.announced = true
-		r.postCtrl(p, &message{
+		r.postCtrl(p, q, &message{
 			kind: mkRTSChunk, from: r.id, to: q.peer, tag: q.tag,
 			sender: q, chunkOff: c.off, chunkBytes: c.bytes,
 		})
@@ -153,6 +157,19 @@ func (r *Rank) progressPipelinedRecv(p *sim.Proc, q *Request) bool {
 	// clear.
 	chunks := q.pendingChunks
 	q.pendingChunks = nil
+	if r.reliable() {
+		// Each announced chunk becomes a checksummed, retried read span.
+		for _, m := range chunks {
+			op := &readOp{off: m.chunkOff, bytes: m.chunkBytes}
+			q.reads = append(q.reads, op)
+			q.pulledChunks++
+			r.issueRead(p, q, op, false)
+			if q.settled() {
+				return false
+			}
+		}
+		return q.dataHere
+	}
 	for _, m := range chunks {
 		m := m
 		net.Post(p)

@@ -1,0 +1,574 @@
+// Reliability layer for the MPI runtime, activated when Config.Faults is
+// non-nil: every control and eager message travels over an acked,
+// checksummed, retransmitting transport, and RDMA transfers get
+// checksum-verified completion with bounded re-issue — the recovery half of
+// the fault-injection story (package fault supplies the failure half).
+//
+// Design notes:
+//
+//   - Acks are modeled at the NIC firmware level (InfiniBand RC hardware
+//     acks): they are emitted from scheduler context with no CPU post cost
+//     and are themselves unacknowledged. A lost ack is recovered by the
+//     sender's retransmission plus the receiver's duplicate suppression.
+//   - Retransmission timers are pure virtual-clock deadlines scanned by the
+//     polled progress engine; no extra simulation events exist, so a
+//     fault-free run (Config.Faults == nil) is byte-identical to one built
+//     before this layer existed.
+//   - Every retransmission charges its CPU time to trace.Retrans through
+//     Rank.ChargeFault, which mirrors the charge as a fault-layer timeline
+//     span — timeline sums therefore reconcile exactly with the Breakdown.
+//   - A request completes only when its protocol finished AND every message
+//     it emitted was acked (unacked == 0): no request leaks an in-flight
+//     message, which the chaos conformance suite asserts.
+//   - Exhausted retries surface as *OpError (wrapping ErrRetriesExhausted)
+//     on the request; Wait/Waitall return them. A best-effort mkErr notifies
+//     the peer so its matching request fails fast with ErrPeerAborted
+//     instead of stalling until the sim watchdog fires.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/fabric"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+	"repro/internal/trace"
+)
+
+// RetryPolicy bounds the reliability layer's retransmission behaviour.
+// Zero values select the defaults.
+type RetryPolicy struct {
+	// MaxRetries bounds re-issues per message or RDMA operation (default 8).
+	MaxRetries int
+	// BaseTimeoutNs pads the size-derived retransmission timeout and is the
+	// NIC verb-retry backoff unit (default 10 µs).
+	BaseTimeoutNs int64
+	// BackoffCapNs caps the exponential backoff added per attempt
+	// (default 2 ms).
+	BackoffCapNs int64
+}
+
+func (rp RetryPolicy) normalized() RetryPolicy {
+	if rp.MaxRetries <= 0 {
+		rp.MaxRetries = 8
+	}
+	if rp.BaseTimeoutNs <= 0 {
+		rp.BaseTimeoutNs = 10_000
+	}
+	if rp.BackoffCapNs <= 0 {
+		rp.BackoffCapNs = 2 * sim.Millisecond
+	}
+	return rp
+}
+
+// Typed failure sentinels; inspect with errors.Is through the *OpError that
+// Wait/Waitall return.
+var (
+	// ErrRetriesExhausted: bounded retransmission gave up.
+	ErrRetriesExhausted = errors.New("mpi: retries exhausted")
+	// ErrPeerAborted: the matching request on the peer rank failed.
+	ErrPeerAborted = errors.New("mpi: peer aborted operation")
+	// ErrTruncate: a matched message was larger than the posted receive.
+	ErrTruncate = errors.New("mpi: message truncation")
+)
+
+// OpError is the typed terminal error of a failed request.
+type OpError struct {
+	Rank, Peer, Tag int
+	IsSend          bool
+	// Phase names the protocol step that failed ("eager", "rts", "fin",
+	// "rdma-read", "rdma-write", "nic-post", "pack", "unpack", ...).
+	Phase string
+	// Attempts counts issues of the failing message/operation.
+	Attempts int
+	Err      error
+}
+
+func (e *OpError) Error() string {
+	dir := "recv"
+	if e.IsSend {
+		dir = "send"
+	}
+	return fmt.Sprintf("mpi: rank %d %s (peer=%d tag=%d) failed in %s after %d attempt(s): %v",
+		e.Rank, dir, e.Peer, e.Tag, e.Phase, e.Attempts, e.Err)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// checksum is FNV-1a over a payload — the simulation stand-in for the wire
+// CRC the reliability layer verifies before accepting data.
+func checksum(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// verifyDamaged simulates the receiver checksumming a payload corrupted in
+// flight: it flips one byte of a copy and reports whether the checksum
+// still (wrongly) matches the sender's.
+func verifyDamaged(payload []byte, sum uint64) bool {
+	dam := append([]byte(nil), payload...)
+	if len(dam) > 0 {
+		dam[len(dam)/2] ^= 0xa5
+	}
+	return checksum(dam) == sum
+}
+
+// pendingMsg tracks one unacked reliable message on the sender.
+type pendingMsg struct {
+	m        *message
+	owner    *Request // whose unacked count this message holds
+	wire     int64    // wire size for resend + timeout derivation
+	deadline int64
+	attempts int
+	acked    bool
+}
+
+// reliable reports whether the reliability layer is active (a fault plan is
+// installed, even an all-zero one — reliable transport is an explicit
+// opt-in so fault-free runs stay byte-identical).
+func (r *Rank) reliable() bool { return r.world.inj != nil }
+
+// ChargeFault accrues a recovery cost (retransmission CPU time, retry
+// backoff) to trace.Retrans and mirrors it as a fault-layer timeline span,
+// keeping timeline per-category sums reconciled with the Breakdown.
+func (r *Rank) ChargeFault(name string, start, d int64) {
+	if d <= 0 {
+		return
+	}
+	r.Trace.Add(trace.Retrans, d)
+	if r.tl != nil {
+		r.tl.Span(timeline.LayerFault, trace.Retrans, "", name, start, d)
+	}
+}
+
+// timeoutFor derives a retransmission timeout from the wire size: one
+// round trip (request + ack) at link speed plus scheduling slack.
+func (r *Rank) timeoutFor(wire int64) int64 {
+	ls := r.world.Cluster.Net.Spec.Link
+	est := ls.LatencyNs + ls.PerMessageNs + int64(float64(wire)/ls.BWBytesPerNs)
+	return 2*est + r.world.retry.BaseTimeoutNs
+}
+
+// backoffExtra is the capped exponential deadline extension for a retry.
+func (r *Rank) backoffExtra(est int64, attempts int) int64 {
+	if attempts <= 0 {
+		return 0
+	}
+	if attempts > 20 {
+		attempts = 20
+	}
+	extra := est << uint(attempts)
+	if cap := r.world.retry.BackoffCapNs; extra > cap {
+		extra = cap
+	}
+	return extra
+}
+
+// postRetry posts a NIC work request, retrying transient verb failures with
+// capped exponential backoff. Without the reliability layer it is exactly
+// Network.Post.
+func (r *Rank) postRetry(p *sim.Proc) error {
+	net := r.world.Cluster.Net
+	if !r.reliable() {
+		net.Post(p)
+		return nil
+	}
+	pol := r.world.retry
+	for attempt := 0; ; attempt++ {
+		err := net.PostV(p)
+		if err == nil {
+			return nil
+		}
+		if attempt >= pol.MaxRetries {
+			r.fsite.Record(fault.GiveUp, "nic-post")
+			return err
+		}
+		back := pol.BaseTimeoutNs << uint(attempt)
+		if back > pol.BackoffCapNs {
+			back = pol.BackoffCapNs
+		}
+		p.Sleep(back)
+	}
+}
+
+// sendReliable stamps m with a world-unique id (and payload checksum),
+// registers it for ack tracking against owner, and transmits it.
+func (r *Rank) sendReliable(p *sim.Proc, owner *Request, m *message, wire int64) {
+	r.world.nextMsgID++
+	m.id = r.world.nextMsgID
+	if m.payload != nil {
+		m.sum = checksum(m.payload)
+	}
+	owner.unacked++
+	pm := &pendingMsg{m: m, owner: owner, wire: wire}
+	r.pending = append(r.pending, pm)
+	r.transmit(p, pm, false)
+}
+
+// transmit posts one (re)transmission of pm and arms its deadline.
+func (r *Rank) transmit(p *sim.Proc, pm *pendingMsg, retrans bool) {
+	t0 := p.Now()
+	if err := r.postRetry(p); err != nil {
+		pm.acked = true // dead entry; stop scanning it
+		r.fail(p, pm.owner, "nic-post", pm.attempts+1, err)
+		return
+	}
+	net := r.world.Cluster.Net
+	m := pm.m
+	toNode := r.world.ranks[m.to].node
+	arrive := net.SendF(r.node, toNode, pm.wire, func(d fabric.Delivery) {
+		r.world.ranks[m.to].arriveD(m, d)
+	})
+	est := r.timeoutFor(pm.wire)
+	pm.deadline = p.Now() + est + r.backoffExtra(est, pm.attempts)
+	if retrans {
+		r.ChargeFault("retransmit:"+m.kind.String(), t0, p.Now()-t0)
+		return
+	}
+	if r.tl != nil {
+		name := "ctrl:" + m.kind.String()
+		if m.kind == mkEager {
+			name = "eager"
+		}
+		r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", name, t0, arrive-t0,
+			timeline.Arg{Key: "peer", Val: strconv.Itoa(m.to)},
+			timeline.Arg{Key: "bytes", Val: strconv.FormatInt(m.bytes, 10)})
+	}
+}
+
+// sendAck acknowledges m back to its sender. Scheduler context: acks are
+// NIC-firmware-level (IB RC hardware acks) and cost the CPU nothing.
+func (r *Rank) sendAck(m *message) {
+	net := r.world.Cluster.Net
+	ack := &message{kind: mkAck, from: r.id, to: m.from, tag: m.tag, id: m.id}
+	net.SendF(r.node, r.world.ranks[m.from].node, net.Spec.CtrlBytes, func(d fabric.Delivery) {
+		if d.Corrupt {
+			return // damaged ack: sender retransmits, receiver re-acks
+		}
+		r.world.ranks[ack.to].arriveD(ack, d)
+	})
+}
+
+// handleAck resolves an arriving ack against the pending list (scheduler
+// context). Unknown ids (already acked and pruned, or a duplicated ack) are
+// ignored.
+func (r *Rank) handleAck(m *message) {
+	for _, pm := range r.pending {
+		if pm.m.id != m.id || pm.acked {
+			continue
+		}
+		pm.acked = true
+		q := pm.owner
+		q.unacked--
+		if q.unacked == 0 && q.wantDone && !q.settled() {
+			r.complete(q)
+		}
+		return
+	}
+}
+
+// retransmitScan walks the pending list from the progress engine: prunes
+// resolved entries, re-transmits expired ones with backoff, and fails the
+// owning request when retries are exhausted.
+func (r *Rank) retransmitScan(p *sim.Proc) {
+	if len(r.pending) == 0 {
+		return
+	}
+	// Prune first — no yields here, so the in-place compaction cannot race
+	// an ack arriving mid-scan.
+	keep := r.pending[:0]
+	for _, pm := range r.pending {
+		if pm.acked || pm.owner.settled() {
+			continue
+		}
+		keep = append(keep, pm)
+	}
+	for i := len(keep); i < len(r.pending); i++ {
+		r.pending[i] = nil
+	}
+	r.pending = keep
+	// Deadline scan. transmit yields (NIC post), so acks may land mid-scan;
+	// they only flip per-entry fields, never the slice.
+	for _, pm := range r.pending {
+		if pm.acked || pm.owner.settled() || p.Now() < pm.deadline {
+			continue
+		}
+		pm.attempts++
+		r.fsite.Record(fault.Timeout, pm.m.kind.String())
+		if pm.attempts > r.world.retry.MaxRetries {
+			r.fsite.Record(fault.GiveUp, pm.m.kind.String())
+			r.fail(p, pm.owner, pm.m.kind.String(), pm.attempts, ErrRetriesExhausted)
+			continue
+		}
+		r.fsite.Record(fault.Retransmit, pm.m.kind.String())
+		r.transmit(p, pm, true)
+	}
+}
+
+// maybeComplete finishes q once its protocol is done AND every message it
+// emitted was acked. Without the reliability layer unacked is always zero,
+// so this is exactly complete.
+func (r *Rank) maybeComplete(q *Request) {
+	if q.settled() {
+		return
+	}
+	if q.unacked > 0 {
+		q.wantDone = true
+		return
+	}
+	r.complete(q)
+}
+
+// fail terminates q with a typed error, fires its completion event, frees
+// its active-list slot, advances the envelope FIFO past it, beats the
+// watchdog, and best-effort notifies the peer. p may be nil (scheduler
+// context); FIFO draining is then deferred to the next progress call.
+func (r *Rank) fail(p *sim.Proc, q *Request, phase string, attempts int, err error) {
+	if q.settled() {
+		return
+	}
+	q.err = &OpError{
+		Rank: r.id, Peer: q.peer, Tag: q.tag, IsSend: q.isSend,
+		Phase: phase, Attempts: attempts, Err: err,
+	}
+	q.state = stFailed
+	q.DoneAt = r.world.Env.Now()
+	if q.isSend && !q.emitted {
+		// The envelope never went out; emit a no-op in its FIFO slot so
+		// later sends to the same destination are not wedged forever
+		// behind a request that will never emit.
+		q.emitted = true
+		if r.emitWait == nil {
+			r.emitWait = make(map[int]map[int64]func(*sim.Proc))
+		}
+		if r.emitWait[q.peer] == nil {
+			r.emitWait[q.peer] = make(map[int64]func(*sim.Proc))
+		}
+		r.emitWait[q.peer][q.seq] = func(*sim.Proc) {}
+		if p != nil {
+			r.drainEmits(p, q.peer)
+		} else {
+			r.needDrain = true
+		}
+	}
+	q.doneEv.Fire()
+	for i, a := range r.active {
+		if a == q {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+	r.world.Env.Beat()
+	r.notifyPeer(q)
+}
+
+// notifyPeer sends a best-effort, untracked mkErr so the peer's matching
+// request fails with ErrPeerAborted instead of waiting for the watchdog. It
+// may itself be lost — then the peer's own timeouts or the sim watchdog
+// take over.
+func (r *Rank) notifyPeer(q *Request) {
+	if !r.reliable() || q.errSent || q.peer < 0 || q.peer == r.id {
+		return
+	}
+	q.errSent = true
+	var target *Request
+	if q.isSend {
+		if q.ctsFrom != nil {
+			target = q.ctsFrom
+		} else {
+			target = q.remoteRecv
+		}
+	} else if q.matched != nil {
+		target = q.matched.sender
+	}
+	m := &message{kind: mkErr, from: r.id, to: q.peer, tag: q.tag, receiver: target, bytes: q.bytes}
+	net := r.world.Cluster.Net
+	net.SendF(r.node, r.world.ranks[q.peer].node, net.Spec.CtrlBytes, func(d fabric.Delivery) {
+		if d.Corrupt || d.Dup {
+			return
+		}
+		r.world.ranks[m.to].arriveD(m, d)
+	})
+}
+
+// readOp tracks one checksummed RDMA-read span (whole message or one
+// pipeline chunk) on the receiver.
+type readOp struct {
+	off, bytes int64
+	attempts   int
+	deadline   int64
+	done       bool
+}
+
+// issueRead posts one (re)issue of op's RDMA read with checksum-verified
+// completion. Corrupted or duplicated payloads are discarded — the deadline
+// scan re-reads them.
+func (r *Rank) issueRead(p *sim.Proc, q *Request, op *readOp, retrans bool) {
+	t0 := p.Now()
+	if err := r.postRetry(p); err != nil {
+		r.fail(p, q, "rdma-read-post", op.attempts+1, err)
+		return
+	}
+	net := r.world.Cluster.Net
+	sender := q.matched.sender
+	fromNode := r.world.ranks[q.matched.from].node
+	off, n := op.off, op.bytes
+	want := checksum(sender.srcSpan()[off : off+n])
+	net.RDMAReadF(r.node, fromNode, n, func(d fabric.Delivery) {
+		if op.done || d.Dup || q.settled() {
+			return
+		}
+		data := sender.srcSpan()[off : off+n]
+		if d.Corrupt {
+			dam := append([]byte(nil), data...)
+			if len(dam) > 0 {
+				dam[len(dam)/2] ^= 0xa5
+			}
+			data = dam
+		}
+		if checksum(data) != want {
+			return // CRC reject: discard, re-read on timeout
+		}
+		copy(q.packed.Data[off:off+n], data)
+		op.done = true
+		q.recvdBytes += n
+		if q.recvdBytes == q.bytes {
+			q.dataHere = true
+		}
+		if r.tl != nil {
+			r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", "rdma-read", t0, r.world.Env.Now()-t0,
+				timeline.Arg{Key: "peer", Val: strconv.Itoa(q.matched.from)},
+				timeline.Arg{Key: "bytes", Val: strconv.FormatInt(n, 10)})
+		}
+	})
+	est := r.timeoutFor(n)
+	op.deadline = p.Now() + est + r.backoffExtra(est, op.attempts)
+	if retrans {
+		r.ChargeFault("rdma-reread", t0, p.Now()-t0)
+	}
+}
+
+// scanReads re-issues expired RDMA reads and fails q when one exhausts its
+// retries.
+func (r *Rank) scanReads(p *sim.Proc, q *Request) {
+	for _, op := range q.reads {
+		if op.done || p.Now() < op.deadline {
+			continue
+		}
+		op.attempts++
+		r.fsite.Record(fault.Timeout, "rdma-read")
+		if op.attempts > r.world.retry.MaxRetries {
+			r.fsite.Record(fault.GiveUp, "rdma-read")
+			r.fail(p, q, "rdma-read", op.attempts, ErrRetriesExhausted)
+			return
+		}
+		r.fsite.Record(fault.Retransmit, "rdma-read")
+		r.issueRead(p, q, op, true)
+		if q.settled() {
+			return // postRetry exhausted inside issueRead
+		}
+	}
+}
+
+// issueWrite posts one (re)issue of q's RPUT RDMA write. The receiver
+// verifies the checksum before accepting; a corrupted or dropped write
+// leaves finHere unset and the deadline scan rewrites.
+func (r *Rank) issueWrite(p *sim.Proc, q *Request, recvReq *Request, retrans bool) {
+	t0 := p.Now()
+	if err := r.postRetry(p); err != nil {
+		r.fail(p, q, "rdma-write-post", q.writeAttempts+1, err)
+		return
+	}
+	net := r.world.Cluster.Net
+	peerNode := r.world.ranks[q.peer].node
+	want := checksum(q.srcSpan())
+	net.RDMAWriteF(r.node, peerNode, q.bytes, func(d fabric.Delivery) {
+		if q.finHere || d.Dup || q.settled() {
+			return
+		}
+		data := q.srcSpan()
+		if d.Corrupt {
+			dam := append([]byte(nil), data...)
+			if len(dam) > 0 {
+				dam[len(dam)/2] ^= 0xa5
+			}
+			data = dam
+		}
+		if checksum(data) != want {
+			return // receiver-side CRC reject: sender rewrites on timeout
+		}
+		if recvReq != nil {
+			copy(recvReq.packed.Data, data)
+			recvReq.dataHere = true
+		}
+		q.finHere = true // local write completion
+		if r.tl != nil {
+			r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", "rdma-write", t0, r.world.Env.Now()-t0,
+				timeline.Arg{Key: "peer", Val: strconv.Itoa(q.peer)},
+				timeline.Arg{Key: "bytes", Val: strconv.FormatInt(q.bytes, 10)})
+		}
+	})
+	est := r.timeoutFor(q.bytes)
+	q.writeDeadline = p.Now() + est + r.backoffExtra(est, q.writeAttempts)
+	if retrans {
+		r.ChargeFault("rdma-rewrite", t0, p.Now()-t0)
+	}
+}
+
+// scanWrite rewrites an expired RPUT and fails q when retries exhaust.
+func (r *Rank) scanWrite(p *sim.Proc, q *Request) {
+	if p.Now() < q.writeDeadline {
+		return
+	}
+	q.writeAttempts++
+	r.fsite.Record(fault.Timeout, "rdma-write")
+	if q.writeAttempts > r.world.retry.MaxRetries {
+		r.fsite.Record(fault.GiveUp, "rdma-write")
+		r.fail(p, q, "rdma-write", q.writeAttempts, ErrRetriesExhausted)
+		return
+	}
+	r.fsite.Record(fault.Retransmit, "rdma-write")
+	r.issueWrite(p, q, q.matchedRecv(), true)
+}
+
+// --- world-level fault/robustness accessors ---
+
+// Injector returns the world's fault injector (nil when Config.Faults is
+// nil).
+func (w *World) Injector() *fault.Injector { return w.inj }
+
+// FaultEvents returns the injected-fault/recovery log in event order (nil
+// without a fault plan).
+func (w *World) FaultEvents() []fault.Event { return w.inj.Events() }
+
+// LeakedRequests counts requests still registered as in-flight on any rank.
+// After a clean run — even a chaotic one — it is zero; the chaos suite
+// asserts this.
+func (w *World) LeakedRequests() int {
+	n := 0
+	for _, r := range w.ranks {
+		n += len(r.active)
+	}
+	return n
+}
+
+// PendingMessages counts unresolved reliability-layer messages still being
+// tracked for retransmission across all ranks.
+func (w *World) PendingMessages() int {
+	n := 0
+	for _, r := range w.ranks {
+		for _, pm := range r.pending {
+			if !pm.acked && !pm.owner.settled() {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -33,7 +33,7 @@ func TestChargeZeroAllocWhenTracingDisabled(t *testing.T) {
 // rank's Breakdown exactly.
 func TestWorldTimelineRecordsAndReconciles(t *testing.T) {
 	env := sim.NewEnv()
-	c := cluster.Build(env, cluster.Lassen())
+	c := cluster.MustBuild(env, cluster.Lassen())
 	cfg := mpi.DefaultConfig()
 	cfg.Timeline = &timeline.Options{}
 	w := mpi.NewWorld(c, cfg, schemes.Factory("Proposed-Tuned"))

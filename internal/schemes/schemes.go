@@ -24,6 +24,7 @@ type doneHandle struct{}
 
 func (doneHandle) Done(*sim.Proc) bool { return true }
 func (doneHandle) DoneEv() *sim.Event  { return nil }
+func (doneHandle) Err() error          { return nil }
 
 // --- GPU-Sync ---
 
@@ -104,6 +105,7 @@ func (h asyncHandle) Done(p *sim.Proc) bool {
 }
 
 func (h asyncHandle) DoneEv() *sim.Event { return nil }
+func (h asyncHandle) Err() error         { return nil }
 
 func (s *GPUAsync) run(p *sim.Proc, job *pack.Job) mpi.Handle {
 	st := s.streams[s.next%len(s.streams)]
@@ -312,10 +314,24 @@ func (s *Fusion) Name() string { return "Proposed-Fusion" }
 type fusionHandle struct {
 	sched *fusion.Scheduler
 	uid   int64
+	// err caches a terminal scheduler failure (degraded launch also
+	// failed); the progress engine reads it via Err.
+	err error
 }
 
-func (h fusionHandle) Done(p *sim.Proc) bool { return h.sched.Done(p, h.uid) }
-func (h fusionHandle) DoneEv() *sim.Event    { return h.sched.DoneEvent(h.uid) }
+func (h *fusionHandle) Done(p *sim.Proc) bool {
+	if h.err != nil {
+		return false
+	}
+	done, err := h.sched.Done(p, h.uid)
+	if err != nil {
+		h.err = err
+		return false
+	}
+	return done
+}
+func (h *fusionHandle) DoneEv() *sim.Event { return h.sched.DoneEvent(h.uid) }
+func (h *fusionHandle) Err() error         { return h.err }
 
 func (s *Fusion) run(p *sim.Proc, job *pack.Job) mpi.Handle {
 	uid := s.Sched.Enqueue(p, job)
@@ -325,7 +341,7 @@ func (s *Fusion) run(p *sim.Proc, job *pack.Job) mpi.Handle {
 		s.Fallbacks++
 		return s.fallback.run(p, job)
 	}
-	return fusionHandle{sched: s.Sched, uid: uid}
+	return &fusionHandle{sched: s.Sched, uid: uid}
 }
 
 // Pack implements mpi.Scheme.

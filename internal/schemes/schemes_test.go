@@ -19,7 +19,7 @@ func rig(factory mpi.SchemeFactory) (*mpi.World, *mpi.Rank) {
 	env := sim.NewEnv()
 	spec := cluster.Lassen()
 	spec.Nodes = 1
-	c := cluster.Build(env, spec)
+	c := cluster.MustBuild(env, spec)
 	w := mpi.NewWorld(c, mpi.DefaultConfig(), factory)
 	return w, w.Rank(0)
 }

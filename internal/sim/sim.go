@@ -55,6 +55,11 @@ type Env struct {
 	running bool
 	stopped bool
 	panicv  any // re-panicked out of Run
+
+	// No-progress watchdog (SetWatchdog). Zero timeout = disarmed.
+	wdTimeout int64
+	wdLast    int64
+	wdDiag    func() string
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -91,6 +96,62 @@ func (e *Env) push(t int64, fn func()) {
 // are left in place; Run returns without error.
 func (e *Env) Stop() { e.stopped = true }
 
+// StallError reports that the no-progress watchdog fired: virtual time kept
+// advancing (the event heap was not empty — e.g. progress engines were still
+// polling) but nothing Beat the watchdog for longer than the timeout.
+type StallError struct {
+	At        int64    // virtual time the watchdog fired
+	LastBeat  int64    // virtual time of the last recorded progress
+	TimeoutNs int64    // armed timeout
+	Stuck     []string // started, unfinished procs (sorted)
+	Diag      string   // subsystem diagnostic (request states, recent events)
+}
+
+func (s *StallError) Error() string {
+	msg := fmt.Sprintf("sim: stalled: no progress for %s (watchdog timeout %s, last progress at %s, now %s); %d proc(s) incomplete: %v",
+		FmtDuration(s.At-s.LastBeat), FmtDuration(s.TimeoutNs), FmtDuration(s.LastBeat), FmtDuration(s.At), len(s.Stuck), s.Stuck)
+	if s.Diag != "" {
+		msg += "\n" + s.Diag
+	}
+	return msg
+}
+
+// SetWatchdog arms (or, with timeoutNs <= 0, disarms) a no-progress
+// watchdog: if virtual time advances more than timeoutNs past the last
+// Beat while some Proc is still unfinished, Run aborts and returns a
+// *StallError carrying diag's output. The watchdog only observes the clock
+// of events already scheduled, so arming it perturbs neither event order
+// nor timings — fault-free runs stay byte-identical.
+func (e *Env) SetWatchdog(timeoutNs int64, diag func() string) {
+	if timeoutNs <= 0 {
+		e.wdTimeout = 0
+		e.wdDiag = nil
+		return
+	}
+	e.wdTimeout = timeoutNs
+	e.wdDiag = diag
+	e.wdLast = e.now
+}
+
+// Beat records progress for the watchdog (a request completed, useful work
+// happened). Cheap and safe to call with the watchdog disarmed.
+func (e *Env) Beat() { e.wdLast = e.now }
+
+// stalled builds the watchdog error at the current virtual time.
+func (e *Env) stalled() *StallError {
+	se := &StallError{At: e.now, LastBeat: e.wdLast, TimeoutNs: e.wdTimeout}
+	for _, p := range e.procs {
+		if !p.done && p.started {
+			se.Stuck = append(se.Stuck, p.name)
+		}
+	}
+	sort.Strings(se.Stuck)
+	if e.wdDiag != nil {
+		se.Diag = e.wdDiag()
+	}
+	return se
+}
+
 // Run executes scheduled events in time order until the heap drains, Stop is
 // called, or every Proc has finished. It returns an error if any Proc is
 // still blocked when the event heap drains (a deadlock in the modeled
@@ -107,6 +168,12 @@ func (e *Env) Run() error {
 			panic("sim: time went backwards")
 		}
 		e.now = it.at
+		if e.wdTimeout > 0 && e.now-e.wdLast > e.wdTimeout {
+			if se := e.stalled(); len(se.Stuck) > 0 {
+				return se
+			}
+			e.wdLast = e.now // all procs done; trailing timers are not a stall
+		}
 		it.fn()
 		if e.panicv != nil {
 			v := e.panicv

@@ -469,3 +469,90 @@ func propertyRuns(t *testing.T, full int) int {
 	}
 	return full
 }
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	e := NewEnv()
+	e.SetWatchdog(1000, func() string { return "diag-detail" })
+	ev := e.NewEvent("never")
+	e.Spawn("stuck", func(p *Proc) { p.Wait(ev) })
+	// A polling proc keeps the event heap non-empty so the classic
+	// drained-heap deadlock detector never triggers; only the watchdog can
+	// catch this stall.
+	e.Spawn("poller", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(100)
+		}
+	})
+	err := e.Run()
+	se, ok := err.(*StallError)
+	if !ok {
+		t.Fatalf("Run() = %v, want *StallError", err)
+	}
+	if se.TimeoutNs != 1000 || se.At-se.LastBeat <= 1000 {
+		t.Fatalf("stall window: %+v", se)
+	}
+	if len(se.Stuck) == 0 || se.Stuck[0] != "poller" {
+		t.Fatalf("stuck procs: %v", se.Stuck)
+	}
+	if !strings.Contains(err.Error(), "stalled") || !strings.Contains(err.Error(), "diag-detail") {
+		t.Fatalf("error %q missing diagnostics", err)
+	}
+}
+
+func TestWatchdogBeatDefersFiring(t *testing.T) {
+	e := NewEnv()
+	e.SetWatchdog(1000, nil)
+	e.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Sleep(900) // under the timeout each step...
+			e.Beat()     // ...and progress recorded each step
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("beating run stalled: %v", err)
+	}
+}
+
+func TestWatchdogDisarm(t *testing.T) {
+	e := NewEnv()
+	e.SetWatchdog(10, nil)
+	e.SetWatchdog(0, nil) // disarm
+	e.Spawn("slow", func(p *Proc) { p.Sleep(1_000_000) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("disarmed watchdog fired: %v", err)
+	}
+}
+
+func TestWatchdogIgnoresTrailingTimers(t *testing.T) {
+	// Events scheduled far in the future with every proc already finished
+	// are not a stall: the run must end cleanly.
+	e := NewEnv()
+	e.SetWatchdog(1000, nil)
+	e.Spawn("quick", func(p *Proc) { p.Sleep(10) })
+	e.At(5_000_000, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("trailing timer tripped watchdog: %v", err)
+	}
+}
+
+func TestWatchdogDoesNotPerturbTimings(t *testing.T) {
+	run := func(arm bool) int64 {
+		e := NewEnv()
+		if arm {
+			e.SetWatchdog(1_000_000, nil)
+		}
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(777)
+			}
+		})
+		e.Spawn("b", func(p *Proc) { p.Sleep(3000) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	if with, without := run(true), run(false); with != without {
+		t.Fatalf("watchdog perturbed the clock: %d vs %d", with, without)
+	}
+}

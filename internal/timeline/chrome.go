@@ -16,9 +16,13 @@ type Options struct {
 	Capacity int
 }
 
-// Timeline aggregates one Recorder per rank of a world.
+// Timeline aggregates one Recorder per rank of a world, plus optional
+// named auxiliary tracks (e.g. the fault injector's event log, which
+// belongs to the fabric rather than to any rank).
 type Timeline struct {
-	recs []*Recorder
+	recs       []*Recorder
+	extras     []*Recorder
+	extraNames []string
 }
 
 // New builds a Timeline with one enabled Recorder per rank.
@@ -47,12 +51,33 @@ func (t *Timeline) Ranks() int {
 	return len(t.recs)
 }
 
-// Reset resets every rank's recorder.
+// ExtraTrack returns the named auxiliary recorder, creating it on first
+// use. Nil Timeline yields a nil (disabled) Recorder. The recorder's rank
+// is -1; it renders as its own process named after the track.
+func (t *Timeline) ExtraTrack(name string, capacity int) *Recorder {
+	if t == nil {
+		return nil
+	}
+	for i, n := range t.extraNames {
+		if n == name {
+			return t.extras[i]
+		}
+	}
+	r := NewRecorder(-1, capacity)
+	t.extras = append(t.extras, r)
+	t.extraNames = append(t.extraNames, name)
+	return r
+}
+
+// Reset resets every rank's recorder and every auxiliary track.
 func (t *Timeline) Reset() {
 	if t == nil {
 		return
 	}
 	for _, r := range t.recs {
+		r.Reset()
+	}
+	for _, r := range t.extras {
 		r.Reset()
 	}
 }
@@ -139,53 +164,66 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 		bw.WriteString(s)
 	}
 	pid := 0
+	emitRec := func(rec *Recorder, pname string) {
+		tracks := trackOrder(rec)
+		tid := make(map[string]int, len(tracks))
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, strconv.Quote(pname)))
+		emit(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
+			pid, pid))
+		for i, tr := range tracks {
+			tid[tr] = i
+			name := tr
+			if name == "" {
+				name = "cpu"
+			}
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, i, strconv.Quote(name)))
+			emit(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
+				pid, i, i))
+		}
+		for _, ev := range rec.Events() {
+			var args string
+			if ev.Cost != CostNone {
+				args = `"cost":` + strconv.Quote(ev.Cost.String())
+			}
+			for _, a := range ev.Args {
+				if args != "" {
+					args += ","
+				}
+				args += strconv.Quote(a.Key) + ":" + strconv.Quote(a.Val)
+			}
+			if args != "" {
+				args = `,"args":{` + args + `}`
+			}
+			if ev.Dur == 0 {
+				emit(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s%s}`,
+					strconv.Quote(ev.Name), ev.Layer, pid, tid[ev.Track], usFmt(ev.Start), args))
+				continue
+			}
+			emit(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s%s}`,
+				strconv.Quote(ev.Name), ev.Layer, pid, tid[ev.Track], usFmt(ev.Start), usFmt(ev.Dur), args))
+		}
+		pid++
+	}
 	for wi, tl := range c.tls {
 		for ri := 0; ri < tl.Ranks(); ri++ {
-			rec := tl.Rank(ri)
-			tracks := trackOrder(rec)
-			tid := make(map[string]int, len(tracks))
-			emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
-				pid, strconv.Quote(procName(c.labels[wi], ri))))
-			emit(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
-				pid, pid))
-			for i, tr := range tracks {
-				tid[tr] = i
-				name := tr
-				if name == "" {
-					name = "cpu"
-				}
-				emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
-					pid, i, strconv.Quote(name)))
-				emit(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
-					pid, i, i))
-			}
-			for _, ev := range rec.Events() {
-				var args string
-				if ev.Cost != CostNone {
-					args = `"cost":` + strconv.Quote(ev.Cost.String())
-				}
-				for _, a := range ev.Args {
-					if args != "" {
-						args += ","
-					}
-					args += strconv.Quote(a.Key) + ":" + strconv.Quote(a.Val)
-				}
-				if args != "" {
-					args = `,"args":{` + args + `}`
-				}
-				if ev.Dur == 0 {
-					emit(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s%s}`,
-						strconv.Quote(ev.Name), ev.Layer, pid, tid[ev.Track], usFmt(ev.Start), args))
-					continue
-				}
-				emit(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s%s}`,
-					strconv.Quote(ev.Name), ev.Layer, pid, tid[ev.Track], usFmt(ev.Start), usFmt(ev.Dur), args))
-			}
-			pid++
+			emitRec(tl.Rank(ri), procName(c.labels[wi], ri))
+		}
+		for ei, rec := range tl.extras {
+			emitRec(rec, extraName(c.labels[wi], tl.extraNames[ei]))
 		}
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()
+}
+
+// extraName labels an auxiliary track's process.
+func extraName(label, track string) string {
+	if label == "" {
+		return track
+	}
+	return label + "/" + track
 }
 
 // WriteSummary emits a plain-text per-rank account of where time went. The
@@ -194,17 +232,22 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 // ring eviction.
 func (c *Collector) WriteSummary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	line := func(rec *Recorder, pname string) {
+		b := rec.Sums()
+		fmt.Fprintf(bw, "%s: total=%dns", pname, b.Total())
+		for _, cat := range trace.Categories() {
+			if v := b.Get(cat); v != 0 {
+				fmt.Fprintf(bw, "  %s=%dns/%d", cat, v, rec.Count(cat))
+			}
+		}
+		fmt.Fprintf(bw, "  events=%d dropped=%d\n", len(rec.Events()), rec.Dropped())
+	}
 	for wi, tl := range c.tls {
 		for ri := 0; ri < tl.Ranks(); ri++ {
-			rec := tl.Rank(ri)
-			b := rec.Sums()
-			fmt.Fprintf(bw, "%s: total=%dns", procName(c.labels[wi], ri), b.Total())
-			for _, cat := range trace.Categories() {
-				if v := b.Get(cat); v != 0 {
-					fmt.Fprintf(bw, "  %s=%dns/%d", cat, v, rec.Count(cat))
-				}
-			}
-			fmt.Fprintf(bw, "  events=%d dropped=%d\n", len(rec.Events()), rec.Dropped())
+			line(tl.Rank(ri), procName(c.labels[wi], ri))
+		}
+		for ei, rec := range tl.extras {
+			line(rec, extraName(c.labels[wi], tl.extraNames[ei]))
 		}
 	}
 	return bw.Flush()

@@ -32,11 +32,15 @@ const (
 	// LayerFusion is the dynamic kernel-fusion scheduler: enqueues,
 	// threshold trips, flushes.
 	LayerFusion
+	// LayerFault is the fault injector and reliability layer: injected
+	// drops/flaps/corruptions and the recovery actions (timeouts,
+	// retransmissions, fallbacks) they trigger.
+	LayerFault
 
 	numLayers
 )
 
-var layerNames = [numLayers]string{"sim", "gpu", "mpi", "fusion"}
+var layerNames = [numLayers]string{"sim", "gpu", "mpi", "fusion", "fault"}
 
 func (l Layer) String() string {
 	if l >= numLayers {

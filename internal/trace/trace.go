@@ -25,11 +25,15 @@ const (
 	Comm
 	// Other is everything else (layout cache, matching, bookkeeping).
 	Other
+	// Retrans is CPU time spent on reliability-layer recovery: re-posting
+	// timed-out messages, re-issuing RDMA transfers, and retrying failed
+	// launches. Zero unless fault injection is enabled.
+	Retrans
 
 	numCategories
 )
 
-var names = [numCategories]string{"(Un)Pack", "Launching", "Scheduling", "Sync", "Comm", "Other"}
+var names = [numCategories]string{"(Un)Pack", "Launching", "Scheduling", "Sync", "Comm", "Other", "Retrans"}
 
 // NumCategories reports how many cost categories exist. Consumers that keep
 // per-category tallies of their own (the timeline recorder) size their arrays
