@@ -8,6 +8,7 @@
 //
 //	halo3d -n 64 -steps 10 -scheme Proposed-Tuned
 //	halo3d -n 64 -compare
+//	halo3d -n 64 -coll          # NeighborAlltoallw with fused launches
 package main
 
 import (
@@ -37,7 +38,7 @@ func faceLayouts(n int) map[string]*dkf.Layout {
 	}
 }
 
-func run(w io.Writer, scheme string, n, steps int, quiet bool, tracePath string) (int64, error) {
+func run(w io.Writer, scheme string, n, steps int, useColl, quiet bool, tracePath string) (int64, error) {
 	cfg := dkf.SessionConfig{Scheme: dkf.Scheme(scheme)}
 	if tracePath != "" {
 		cfg.Trace = &dkf.TraceOptions{}
@@ -68,18 +69,41 @@ func run(w io.Writer, scheme string, n, steps int, quiet bool, tracePath string)
 		for s := 0; s < steps; s++ {
 			c.Barrier()
 			t0 := c.Now()
-			var reqs []*dkf.Request
-			for _, ax := range axes {
-				mPeer, pPeer := cart.Shift(c.ID(), ax.axis, 1)
-				// Receive the peer's opposite faces into the ghost grid.
-				reqs = append(reqs,
-					c.Irecv(mPeer, 10+ax.axis, ghosts[c.ID()], faces[ax.minusF], 1),
-					c.Irecv(pPeer, 20+ax.axis, ghosts[c.ID()], faces[ax.plusF], 1),
-					c.Isend(mPeer, 20+ax.axis, grids[c.ID()], faces[ax.minusF], 1),
-					c.Isend(pPeer, 10+ax.axis, grids[c.ID()], faces[ax.plusF], 1),
-				)
+			if useColl {
+				// Collective path: one NeighborAlltoallw per step, ops in
+				// the fixed (-x,+x,-y,+y,-z,+z) order so every rank's legs
+				// line up, with per-phase fused pack/unpack launches.
+				// Same-peer legs match by index, so the minus-direction op
+				// sends the minus face and receives the neighbor's minus
+				// face into the plus ghost region (and vice versa) — on the
+				// periodic 2-extent axes both directions reach one peer.
+				var ops []dkf.NeighborOp
+				for _, ax := range axes {
+					mPeer, pPeer := cart.Shift(c.ID(), ax.axis, 1)
+					ops = append(ops,
+						dkf.NeighborOp{Peer: mPeer, SendBuf: grids[c.ID()], SendType: faces[ax.minusF],
+							RecvBuf: ghosts[c.ID()], RecvType: faces[ax.plusF], Count: 1},
+						dkf.NeighborOp{Peer: pPeer, SendBuf: grids[c.ID()], SendType: faces[ax.plusF],
+							RecvBuf: ghosts[c.ID()], RecvType: faces[ax.minusF], Count: 1},
+					)
+				}
+				if err := c.NeighborAlltoallw(ops); err != nil {
+					panic(err)
+				}
+			} else {
+				var reqs []*dkf.Request
+				for _, ax := range axes {
+					mPeer, pPeer := cart.Shift(c.ID(), ax.axis, 1)
+					// Receive the peer's opposite faces into the ghost grid.
+					reqs = append(reqs,
+						c.Irecv(mPeer, 10+ax.axis, ghosts[c.ID()], faces[ax.minusF], 1),
+						c.Irecv(pPeer, 20+ax.axis, ghosts[c.ID()], faces[ax.plusF], 1),
+						c.Isend(mPeer, 20+ax.axis, grids[c.ID()], faces[ax.minusF], 1),
+						c.Isend(pPeer, 10+ax.axis, grids[c.ID()], faces[ax.plusF], 1),
+					)
+				}
+				c.Waitall(reqs)
 			}
-			c.Waitall(reqs)
 			c.Barrier()
 			if c.ID() == 0 {
 				stepNs += c.Now() - t0
@@ -111,10 +135,10 @@ func run(w io.Writer, scheme string, n, steps int, quiet bool, tracePath string)
 }
 
 // compareAll runs the scheme shoot-out and reports speedups vs GPU-Sync.
-func compareAll(w io.Writer, n, steps int) error {
+func compareAll(w io.Writer, n, steps int, useColl bool) error {
 	var base int64
 	for _, s := range []string{"GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed-Tuned"} {
-		avg, err := run(w, s, n, steps, true, "")
+		avg, err := run(w, s, n, steps, useColl, true, "")
 		if err != nil {
 			return err
 		}
@@ -132,6 +156,7 @@ func main() {
 	steps := flag.Int("steps", 5, "timesteps")
 	scheme := flag.String("scheme", "Proposed-Tuned", "DDT scheme")
 	compare := flag.Bool("compare", false, "compare all schemes")
+	useColl := flag.Bool("coll", false, "exchange halos with the NeighborAlltoallw collective (fused per-phase launches) instead of raw Isend/Irecv")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (single-scheme mode only)")
 	flag.Parse()
 
@@ -140,13 +165,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "halo3d: -trace is not supported with -compare")
 			os.Exit(2)
 		}
-		if err := compareAll(os.Stdout, *n, *steps); err != nil {
+		if err := compareAll(os.Stdout, *n, *steps, *useColl); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if _, err := run(os.Stdout, *scheme, *n, *steps, false, *tracePath); err != nil {
+	if _, err := run(os.Stdout, *scheme, *n, *steps, *useColl, false, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -10,7 +10,7 @@ import (
 // grid and golden-checks the report line.
 func TestRunSmallGrid(t *testing.T) {
 	var buf bytes.Buffer
-	avg, err := run(&buf, "GPU-Sync", 8, 1, false, "")
+	avg, err := run(&buf, "GPU-Sync", 8, 1, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,6 +25,22 @@ func TestRunSmallGrid(t *testing.T) {
 	}
 }
 
+// TestRunCollMode runs the same timestep through the NeighborAlltoallw
+// collective path and checks it completes with a plausible report.
+func TestRunCollMode(t *testing.T) {
+	var buf bytes.Buffer
+	avg, err := run(&buf, "Proposed-Tuned", 8, 1, true, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 {
+		t.Errorf("avg step latency %d ns, want > 0", avg)
+	}
+	if !strings.Contains(buf.String(), "avg step latency") {
+		t.Errorf("report line = %q", buf.String())
+	}
+}
+
 // TestCompareAllSmall checks the shoot-out covers all four schemes and
 // reports speedups relative to GPU-Sync (whose own speedup is 1.00x).
 func TestCompareAllSmall(t *testing.T) {
@@ -32,7 +48,7 @@ func TestCompareAllSmall(t *testing.T) {
 		t.Skip("runs four full exchanges")
 	}
 	var buf bytes.Buffer
-	if err := compareAll(&buf, 8, 1); err != nil {
+	if err := compareAll(&buf, 8, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/coll"
 	"repro/internal/datatype"
 	"repro/internal/fault"
 	"repro/internal/fusion"
@@ -271,6 +272,10 @@ type SessionConfig struct {
 	// watchdog declares a deadlock (Session.Run returns a *StallError).
 	// Zero selects the 100 ms default; negative disables the watchdog.
 	StallTimeout int64
+	// Coll overrides the collective-engine selection policy (per-
+	// collective algorithms, size/topology thresholds, fusion-window
+	// ablation). The zero value selects the full Auto policy.
+	Coll CollTuning
 }
 
 // validate rejects configurations that would misbehave downstream.
@@ -321,6 +326,7 @@ type Session struct {
 	env     *sim.Env
 	cluster *cluster.Cluster
 	world   *mpi.World
+	coll    *coll.Engine
 	closed  bool
 }
 
@@ -365,11 +371,13 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 			return schemes.NewFusionWith(r, fc)
 		}
 	}
+	world := mpi.NewWorld(cl, mcfg, factory)
 	return &Session{
 		cfg:     cfg,
 		env:     env,
 		cluster: cl,
-		world:   mpi.NewWorld(cl, mcfg, factory),
+		world:   world,
+		coll:    coll.New(world, cfg.Coll),
 	}, nil
 }
 
@@ -581,21 +589,102 @@ func (c *RankCtx) Unpack(inbuf *Buffer, position *int64, outbuf *Buffer, l *Layo
 
 // --- collectives & topology ---
 
+// CollTagBase is the first tag of the reserved collective range: every tag
+// in [CollTagBase, ∞) belongs to the runtime's collective machinery, and
+// user Isend/Irecv with such a tag fails immediately with a *TagError.
+const CollTagBase = mpi.CollTagBase
+
+// TagError is the typed error returned (via Wait/Waitall) for a user
+// send/receive posted with a tag inside the reserved collective range.
+type TagError = mpi.TagError
+
+// ErrTagReserved matches any *TagError via errors.Is.
+var ErrTagReserved = mpi.ErrTagReserved
+
+// CollTuning overrides the collective engine's algorithm selection; see
+// the field docs in internal/coll. The zero value is full Auto.
+type CollTuning = coll.Tuning
+
+// CollAlgorithm names a collective schedule.
+type CollAlgorithm = coll.Algorithm
+
+// Collective algorithm constants for CollTuning overrides.
+const (
+	CollAuto              = coll.Auto
+	CollLinear            = coll.Linear
+	CollPairwise          = coll.Pairwise
+	CollRing              = coll.Ring
+	CollBruck             = coll.Bruck
+	CollRecursiveDoubling = coll.RecursiveDoubling
+	CollHierarchical      = coll.Hierarchical
+)
+
+// ParseCollAlgorithm resolves an algorithm name ("auto", "linear",
+// "pairwise", "ring", "bruck", "recursive-doubling", "hierarchical").
+func ParseCollAlgorithm(s string) (CollAlgorithm, error) { return coll.ParseAlgorithm(s) }
+
+// WOp is one peer's slot of an Alltoallw: per-peer send/recv buffers,
+// layouts (displacements folded in as bytes), and counts.
+type WOp = coll.WOp
+
+// VOp is one buffer slot of a v-collective (Allgatherv/Gatherv/Scatterv).
+type VOp = coll.VOp
+
 // Bcast broadcasts count elements of l from root's buf (binomial tree).
 func (c *RankCtx) Bcast(root int, buf *Buffer, l *Layout, count int) {
 	c.rank.Bcast(c.proc, root, buf, l, count)
 }
 
 // AllreduceSumF64 sums n float64 values element-wise across all ranks.
-func (c *RankCtx) AllreduceSumF64(buf *Buffer, n int) {
-	c.rank.AllreduceSumF64(c.proc, buf, n)
+// Any world size is supported (non-power-of-two sizes run the
+// binary-blocks fallback); errors from the underlying transfers or an
+// undersized buffer are returned.
+func (c *RankCtx) AllreduceSumF64(buf *Buffer, n int) error {
+	return c.rank.AllreduceSumF64(c.proc, buf, n)
+}
+
+// Alltoallw runs a DDT-aware personalized all-to-all: ops[i] is the leg
+// pair with rank i, len(ops) == NumRanks on every rank. The collective
+// engine fuses each schedule phase's packs and unpacks into single kernel
+// launches; override the algorithm with SessionConfig.Coll.
+func (c *RankCtx) Alltoallw(ops []WOp) error {
+	return c.sess.coll.Alltoallw(c.proc, c.rank, ops)
+}
+
+// Allgatherv gathers every rank's contribution to every rank; the full
+// recvs vector must be passed on every rank (SPMD full-args).
+func (c *RankCtx) Allgatherv(send VOp, recvs []VOp) error {
+	return c.sess.coll.Allgatherv(c.proc, c.rank, send, recvs)
+}
+
+// Gatherv collects every rank's contribution at root; the full recvs
+// vector must be passed on every rank (SPMD full-args).
+func (c *RankCtx) Gatherv(root int, send VOp, recvs []VOp) error {
+	return c.sess.coll.Gatherv(c.proc, c.rank, root, send, recvs)
+}
+
+// Scatterv distributes per-rank slots from root; the full sends vector
+// must be passed on every rank (SPMD full-args).
+func (c *RankCtx) Scatterv(root int, sends []VOp, recv VOp) error {
+	return c.sess.coll.Scatterv(c.proc, c.rank, root, sends, recv)
 }
 
 // NeighborOp is one leg of a neighborhood exchange
 // (MPI_Neighbor_alltoallw style).
 type NeighborOp = mpi.NeighborOp
 
+// NeighborAlltoallw exchanges per-neighbor datatyped legs as ONE fused
+// phase: every leg's pack in a single kernel launch, every arrival's
+// unpack/IPC scatter in another. Legs keep their topology order (index-
+// FIFO matching for repeated peers).
+func (c *RankCtx) NeighborAlltoallw(ops []NeighborOp) error {
+	return c.sess.coll.NeighborAlltoallw(c.proc, c.rank, ops)
+}
+
 // NeighborExchange posts all receives then all sends of ops and waits.
+//
+// Deprecated: NeighborAlltoallw supersedes this with collective-scope
+// kernel fusion; this per-message path remains as the naive reference.
 func (c *RankCtx) NeighborExchange(ops []NeighborOp) {
 	c.rank.NeighborExchange(c.proc, ops)
 }

@@ -268,13 +268,16 @@ func Run(fig string) ([]*Table, error) {
 		return Fig13(), nil
 	case "14":
 		return []*Table{Fig14()}, nil
+	case "coll":
+		return Coll(cluster.Lassen()), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14)", fig)
+		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14, coll)", fig)
 	}
 }
 
-// Figures lists the reproducible figure ids.
-func Figures() []string { return []string{"1", "8", "9", "10", "11", "12", "13", "14"} }
+// Figures lists the reproducible figure ids. "coll" is the repository's
+// own collectives-subsystem experiment, not a paper figure.
+func Figures() []string { return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll"} }
 
 // mutRendezvous returns a config mutator selecting the rendezvous mode
 // (used by ablations and tests).

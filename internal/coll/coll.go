@@ -1,0 +1,448 @@
+// Package coll is the topology-aware collective-communication subsystem,
+// layered on the point-to-point/rendezvous engine of internal/mpi. It
+// provides DDT-aware Alltoallw, Allgatherv, Gatherv/Scatterv, and
+// NeighborAlltoallw, each with pluggable algorithms (linear post-all,
+// pairwise exchange, ring, Bruck-style dissemination for small messages,
+// recursive doubling) plus hierarchical two-level variants that aggregate
+// on a node leader over the NVLink-class intra-node fabric before crossing
+// the inter-node IB link.
+//
+// The headline mechanism is collective-scope kernel fusion: a schedule
+// pass walks every leg of the collective and brackets each communication
+// phase with a fusion window (fusion.Scheduler.OpenWindow/CloseWindow via
+// the scheme's OpenBatch/CloseBatch hooks), so every outgoing peer's pack
+// blocks launch as ONE fused kernel per phase, and every incoming peer's
+// unpack/DirectIPC blocks launch as ONE fused kernel per phase — the
+// paper's Algorithm 3 batching window extended from per-message to
+// per-collective granularity. Schemes without the batch hooks (GPU-Sync,
+// NaiveMemcpy, ...) run the same schedules with per-message launches.
+//
+// Every collective is SPMD: all ranks must call the same collectives in
+// the same order with signature-matching arguments. Displacements are in
+// bytes. Tags are drawn from the reserved range above mpi.CollTagBase and
+// sequence-stamped per call, so back-to-back collectives never cross-match.
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/gpu"
+	"repro/internal/mpi"
+	"repro/internal/pack"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+	"repro/internal/trace"
+)
+
+// Algorithm selects how a collective is scheduled.
+type Algorithm int
+
+const (
+	// Auto picks per call from message size and cluster topology.
+	Auto Algorithm = iota
+	// Linear posts every leg at once in one fused phase.
+	Linear
+	// Pairwise exchanges with one peer per step (alltoallw).
+	Pairwise
+	// Ring circulates blocks neighbor-to-neighbor (allgatherv).
+	Ring
+	// Bruck runs log-round dissemination, the small-message winner
+	// (allgatherv).
+	Bruck
+	// RecursiveDoubling exchanges doubling block sets; power-of-two
+	// worlds only (allgatherv).
+	RecursiveDoubling
+	// Hierarchical aggregates on a node leader over NVLink, crosses IB
+	// once per node pair, then scatters locally.
+	Hierarchical
+)
+
+var algorithmNames = [...]string{
+	"auto", "linear", "pairwise", "ring", "bruck", "recursive-doubling", "hierarchical",
+}
+
+func (a Algorithm) String() string {
+	if int(a) < len(algorithmNames) {
+		return algorithmNames[a]
+	}
+	return "alg?"
+}
+
+// ParseAlgorithm resolves a name from the CLI/tuning surface.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for i, n := range algorithmNames {
+		if n == s {
+			return Algorithm(i), nil
+		}
+	}
+	return Auto, fmt.Errorf("coll: unknown algorithm %q (have %v)", s, algorithmNames)
+}
+
+// Tuning overrides the selection policy; the zero value means full Auto.
+type Tuning struct {
+	// Per-collective algorithm overrides (Auto = size/topology policy).
+	Alltoallw  Algorithm
+	Allgatherv Algorithm
+	Gatherv    Algorithm
+	Scatterv   Algorithm
+	Neighbor   Algorithm
+	// SmallMsgBytes is the per-leg payload below which log-round
+	// algorithms (Bruck) and plain linear post-all win over bandwidth
+	// algorithms. Zero selects 8 KiB.
+	SmallMsgBytes int64
+	// HierMinRanks gates the hierarchical variants: below this world
+	// size the two-level overhead is not worth it. Zero selects 8.
+	HierMinRanks int
+	// DisableFusionWindow turns off collective-scope fusion windows;
+	// every launch decision falls back to the scheme's per-message
+	// policy (for ablations and the "unfused" benchmark baseline).
+	DisableFusionWindow bool
+}
+
+func (t Tuning) withDefaults() Tuning {
+	if t.SmallMsgBytes <= 0 {
+		t.SmallMsgBytes = 8 << 10
+	}
+	if t.HierMinRanks <= 0 {
+		t.HierMinRanks = 8
+	}
+	return t
+}
+
+// Schedule-pass CPU cost: walking the legs and building the fused phase
+// plan. Charged to trace.Scheduling on the coll timeline layer.
+const (
+	schedBaseNs   = 400
+	schedPerLegNs = 90
+)
+
+// tagSpace is where internal/coll's tags start inside the reserved range;
+// everything below (CollTagBase..tagSpace) belongs to the legacy mpi
+// collectives.
+const tagSpace = mpi.CollTagBase + 4096
+
+// Tag purposes within one collective call.
+const (
+	tagData   = 0 // flat algorithms' payload legs
+	tagSizes  = 1 // hierarchical: per-peer size tables to the leader
+	tagGather = 2 // hierarchical: local contribution -> leader bundle
+	tagBundle = 3 // hierarchical: leader <-> leader node bundles
+	tagSlice  = 4 // hierarchical: leader -> local forwarded slices
+	tagDirect = 5 // hierarchical: same-node direct legs (and self legs)
+)
+
+// batchScheme is implemented by fusion-capable schemes
+// (schemes.Fusion.OpenBatch/CloseBatch); discovered by assertion so the
+// mpi.Scheme interface stays unchanged.
+type batchScheme interface {
+	OpenBatch()
+	CloseBatch(p *sim.Proc)
+}
+
+// Engine is the per-world collective engine. One engine serves all ranks;
+// per-rank state is indexed by rank ID. All collectives are SPMD calls:
+// every rank calls the same sequence.
+type Engine struct {
+	w      *mpi.World
+	tuning Tuning
+	ranks  []*rankState
+}
+
+type shiftKey struct {
+	uid   int64
+	count int
+	off   int64
+}
+
+type rankState struct {
+	seq     int // collective-call sequence (tag derivation)
+	staging int // unique staging-buffer names
+	shifted map[shiftKey]*datatype.Layout
+	contig  map[[2]int64]*datatype.Layout
+}
+
+// New builds the engine for a world.
+func New(w *mpi.World, t Tuning) *Engine {
+	e := &Engine{w: w, tuning: t.withDefaults()}
+	for i := 0; i < w.Size(); i++ {
+		e.ranks = append(e.ranks, &rankState{
+			shifted: make(map[shiftKey]*datatype.Layout),
+			contig:  make(map[[2]int64]*datatype.Layout),
+		})
+	}
+	return e
+}
+
+// Tuning returns the engine's effective tuning.
+func (e *Engine) Tuning() Tuning { return e.tuning }
+
+// leg is one posted operation of a schedule phase.
+type leg struct {
+	peer  int
+	tag   int
+	buf   *gpu.Buffer
+	l     *datatype.Layout
+	count int
+}
+
+func (lg leg) empty() bool {
+	return lg.count == 0 || lg.l.SizeBytes == 0
+}
+
+// call tracks one in-flight collective on one rank.
+type call struct {
+	e     *Engine
+	r     *mpi.Rank
+	p     *sim.Proc
+	st    *rankState
+	seq   int
+	batch batchScheme // nil when windows are off for this call
+	all   []*mpi.Request
+	t0    int64
+	bytes int64 // payload posted (sends), for the wrapper span
+}
+
+// begin runs the schedule pass: bump the call sequence, resolve the batch
+// hook, and charge the plan-building cost.
+func (e *Engine) begin(r *mpi.Rank, p *sim.Proc, legs int) *call {
+	st := e.ranks[r.ID()]
+	st.seq++
+	c := &call{e: e, r: r, p: p, st: st, seq: st.seq, t0: p.Now()}
+	if !e.tuning.DisableFusionWindow && r.World().Cfg.PipelineChunkBytes == 0 {
+		// Pipelined rendezvous enqueues chunk packs across many progress
+		// calls; holding a window open would starve them, so batching is
+		// only engaged when pipelining is off.
+		c.batch, _ = r.Scheme().(batchScheme)
+	}
+	cost := int64(schedBaseNs + schedPerLegNs*legs)
+	start := p.Now()
+	p.Sleep(cost)
+	collCharge(r, trace.Scheduling, "schedule", start, cost)
+	return c
+}
+
+// finish emits the collective's wrapper span and settles every posted
+// request, joining any intermediate error with the final Waitall errors.
+func (c *call) finish(kind string, alg Algorithm, stageErr error) error {
+	err := c.r.Waitall(c.p, c.all)
+	if stageErr != nil {
+		if err != nil {
+			err = fmt.Errorf("%w; %w", stageErr, err)
+		} else {
+			err = stageErr
+		}
+	}
+	if tl := c.r.Timeline(); tl != nil {
+		tl.Span(timeline.LayerColl, timeline.CostNone, "", kind+":"+alg.String(), c.t0, c.p.Now()-c.t0,
+			timeline.Arg{Key: "seq", Val: fmt.Sprint(c.seq)},
+			timeline.Arg{Key: "bytes", Val: fmt.Sprint(c.bytes)},
+			timeline.Arg{Key: "reqs", Val: fmt.Sprint(len(c.all))})
+	}
+	return err
+}
+
+// tag derives a wire tag for this call and purpose. The per-rank sequence
+// is SPMD-consistent, so both endpoints of every leg agree.
+func (c *call) tag(purpose int) int {
+	return tagSpace + (c.seq%4096)*8 + purpose
+}
+
+// post issues receives then sends (skipping empty legs identically on
+// both endpoints) and returns the receive requests for gating.
+func (c *call) post(recvs, sends []leg) []*mpi.Request {
+	var rr []*mpi.Request
+	for _, lg := range recvs {
+		if lg.empty() {
+			continue
+		}
+		q := c.r.IrecvRaw(c.p, lg.peer, lg.tag, lg.buf, lg.l, lg.count)
+		c.all = append(c.all, q)
+		rr = append(rr, q)
+	}
+	for _, lg := range sends {
+		if lg.empty() {
+			continue
+		}
+		c.bytes += lg.l.SizeBytes * int64(lg.count)
+		c.all = append(c.all, c.r.IsendRaw(c.p, lg.peer, lg.tag, lg.buf, lg.l, lg.count))
+	}
+	return rr
+}
+
+// gate drives the progress engine until every listed receive has either
+// settled or handed its unpack/DirectIPC work to the scheme — the point
+// where the open fusion window has seen all of the phase's incoming GPU
+// work and can close. Sends are never gated (their completion may depend
+// on the peer's window, which would deadlock).
+func (c *call) gate(reqs []*mpi.Request) {
+	poll := c.r.World().Cfg.PollIntervalNs
+	for {
+		// With an open fusion window this is held (CloseBatch launches);
+		// without one it launches packs the peers' envelopes depend on,
+		// exactly as Waitall would.
+		c.r.Scheme().Flush(c.p)
+		c.r.Progress(c.p)
+		ready := true
+		for _, q := range reqs {
+			if !q.Done() && !q.Failed() && !q.Processing() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return
+		}
+		start := c.p.Now()
+		c.p.Sleep(poll)
+		collCharge(c.r, trace.Comm, "gate-poll", start, poll)
+	}
+}
+
+// / exchangePhase runs one self-contained fused phase: window around the
+// posts (one fused pack launch), window around the arrivals (one fused
+// unpack/IPC launch), then settle the phase's requests.
+func (c *call) exchangePhase(recvs, sends []leg) error {
+	if c.batch != nil {
+		c.batch.OpenBatch()
+	}
+	first := len(c.all)
+	rr := c.post(recvs, sends)
+	if c.batch != nil {
+		c.batch.CloseBatch(c.p) // fused pack launch for the phase
+		c.batch.OpenBatch()
+		c.gate(rr)
+		c.batch.CloseBatch(c.p) // fused unpack/IPC launch for the phase
+	}
+	reqs := c.all[first:]
+	return c.r.Waitall(c.p, reqs)
+}
+
+// subsetWait settles just the given requests (progress keeps every other
+// in-flight request moving too).
+func (c *call) subsetWait(reqs []*mpi.Request) error {
+	return c.r.Waitall(c.p, reqs)
+}
+
+// waitHandles polls scheme handles (direct unpack jobs the engine issued
+// itself) to completion, keeping the progress engine moving.
+func (c *call) waitHandles(hs []mpi.Handle) error {
+	poll := c.r.World().Cfg.PollIntervalNs
+	for {
+		var err error
+		done := 0
+		for _, h := range hs {
+			if herr := h.Err(); herr != nil {
+				err = herr
+				done++
+				continue
+			}
+			if h.Done(c.p) {
+				done++
+			}
+		}
+		if done == len(hs) {
+			return err
+		}
+		// Jobs behind these handles sit in the fusion scheduler's pending
+		// queue; outside a window nothing else launches them (raw handles
+		// bypass Waitall's flush), so drive the launch ourselves.
+		c.r.Scheme().Flush(c.p)
+		c.r.Progress(c.p)
+		start := c.p.Now()
+		c.p.Sleep(poll)
+		collCharge(c.r, trace.Sync, "handle-poll", start, poll)
+	}
+}
+
+// staging allocates a uniquely named device staging buffer for this rank.
+func (c *call) staging(kind string, n int64) *gpu.Buffer {
+	c.st.staging++
+	if n <= 0 {
+		n = 1
+	}
+	return c.r.Dev.Alloc(fmt.Sprintf("coll-%s-%d-%d", kind, c.r.ID(), c.st.staging), int(n))
+}
+
+// shifted returns l's blocks repeated count times and displaced by off
+// bytes, committed as a reusable layout (cached per rank per signature).
+func (c *call) shifted(l *datatype.Layout, count int, off int64) *datatype.Layout {
+	key := shiftKey{uid: l.UID, count: count, off: off}
+	if sl, ok := c.st.shifted[key]; ok {
+		return sl
+	}
+	blocks := l.Repeat(count)
+	lens := make([]int, len(blocks))
+	displs := make([]int64, len(blocks))
+	for i, b := range blocks {
+		lens[i] = int(b.Len)
+		displs[i] = off + b.Offset
+	}
+	sl := datatype.Commit(datatype.Hindexed(lens, displs, datatype.Byte))
+	c.st.shifted[key] = sl
+	return sl
+}
+
+// bytesAt returns a contiguous n-byte layout at byte offset off (cached).
+func (c *call) bytesAt(off, n int64) *datatype.Layout {
+	key := [2]int64{off, n}
+	if l, ok := c.st.contig[key]; ok {
+		return l
+	}
+	var l *datatype.Layout
+	if off == 0 {
+		l = datatype.Commit(datatype.Contiguous(int(n), datatype.Byte))
+	} else {
+		l = datatype.Commit(datatype.Hindexed([]int{int(n)}, []int64{off}, datatype.Byte))
+	}
+	c.st.contig[key] = l
+	return l
+}
+
+// unpackJob enqueues a direct unpack of staging[off:off+size] into the
+// blocks of l×count within buf, returning the scheme handle. Inside a
+// window these jobs fuse with everything else pending.
+func (c *call) unpackJob(staging, buf *gpu.Buffer, l *datatype.Layout, count int, off int64) mpi.Handle {
+	job := pack.NewJob(pack.OpUnpack, staging, buf, l.Repeat(count))
+	job.OriginOff = off
+	return c.r.Scheme().Unpack(c.p, job)
+}
+
+// collCharge mirrors a Breakdown charge as a coll-layer timeline span —
+// the pairing that keeps timeline sums reconciled with trace.Breakdown.
+func collCharge(r *mpi.Rank, cat trace.Category, name string, start, d int64) {
+	r.Trace.Add(cat, d)
+	if tl := r.Timeline(); tl != nil {
+		tl.Span(timeline.LayerColl, cat, "", name, start, d)
+	}
+}
+
+// --- topology helpers ---
+
+func (e *Engine) gpusPerNode() int { return e.w.Cluster.Spec.GPUsPerNode }
+func (e *Engine) nodes() int       { return e.w.Cluster.Spec.Nodes }
+
+// leaderOf returns the node-leader rank (first rank of the node).
+func (e *Engine) leaderOf(node int) int { return node * e.gpusPerNode() }
+
+// nodeOf returns the node a rank lives on.
+func (e *Engine) nodeOf(rank int) int { return rank / e.gpusPerNode() }
+
+// localRanks lists the ranks of one node in ascending order.
+func (e *Engine) localRanks(node int) []int {
+	gpn := e.gpusPerNode()
+	out := make([]int, 0, gpn)
+	for i := 0; i < gpn; i++ {
+		out = append(out, node*gpn+i)
+	}
+	return out
+}
+
+// topoHierarchical reports whether the cluster shape justifies two-level
+// algorithms: multiple nodes, multiple GPUs per node to aggregate over,
+// and enough ranks to amortize the extra hop.
+func (e *Engine) topoHierarchical() bool {
+	return e.nodes() > 1 && e.gpusPerNode() > 1 && e.w.Size() >= e.tuning.HierMinRanks
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

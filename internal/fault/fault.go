@@ -360,7 +360,7 @@ func fnv64a(s string) uint64 {
 
 // PresetNames lists the named fault plans of the chaos test table.
 func PresetNames() []string {
-	return []string{"drop-heavy", "corrupt-heavy", "flappy-link", "kernel-failure", "mixed"}
+	return []string{"drop-heavy", "corrupt-heavy", "flappy-link", "kernel-failure", "mixed", "flaky-ib", "degraded-link"}
 }
 
 // Preset builds one of the named chaos plans with the given seed.
@@ -388,6 +388,20 @@ func Preset(name string, seed uint64) (*Plan, error) {
 		p.Link.FlapProb = 0.01
 		p.NIC.PostErrorProb = 0.05
 		p.GPU.LaunchFailProb = 0.10
+	case "flaky-ib":
+		// A lossy but recoverable inter-node fabric: occasional drops,
+		// duplicate deliveries, and jittered delays — the collective
+		// chaos-conformance profile.
+		p.Link.DropProb = 0.05
+		p.Link.DupProb = 0.03
+		p.Link.DelayProb = 0.15
+	case "degraded-link":
+		// Bandwidth brownouts dominate: long stretches of degraded link
+		// speed with rare flaps, no loss — stresses latency modeling and
+		// retransmit timers rather than recovery.
+		p.Link.DegradeProb = 0.25
+		p.Link.DelayProb = 0.10
+		p.Link.FlapProb = 0.01
 	default:
 		return nil, fmt.Errorf("fault: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
 	}

@@ -111,6 +111,8 @@ type Stats struct {
 	CapFlushes       int64
 	ExplicitFlushes  int64
 	EmptyFlushes     int64
+	WindowFlushes    int64 // launches triggered by CloseWindow
+	HeldFlushes      int64 // flush triggers suppressed by an open window
 	MaxBatch         int
 	// Fault-recovery counters (all zero without a GPU fault plan).
 	FailedLaunches    int64 // kernel launches that returned ErrLaunchFailed
@@ -147,6 +149,7 @@ type Scheduler struct {
 	pending      []*entry // insertion-ordered pending entries
 	pendingBytes int64
 	nextUID      int64
+	windows      int // open collective-scope fusion windows (nest depth)
 
 	Stats Stats
 	// Trace, if non-nil, accrues Scheduling/Launch/PackKernel costs.
@@ -228,6 +231,13 @@ func (s *Scheduler) Enqueue(p *sim.Proc, job *pack.Job) int64 {
 	s.pendingBytes += job.Bytes
 	s.Stats.Enqueued++
 
+	if s.windows > 0 {
+		// An open collective-scope window defers every flush policy: the
+		// whole window's worth of requests launches as one fused kernel at
+		// CloseWindow (the collective analogue of the paper's Algorithm 3
+		// batching window).
+		return e.uid
+	}
 	if s.cfg.ThresholdBytes > 0 && s.pendingBytes >= s.cfg.ThresholdBytes {
 		s.Stats.ThresholdFlushes++
 		if s.TL != nil {
@@ -251,6 +261,12 @@ func (s *Scheduler) Enqueue(p *sim.Proc, job *pack.Job) int64 {
 // progress engine calls it when it has no more operations to enqueue and
 // reaches a synchronization point (scenario 1 of Section IV-C).
 func (s *Scheduler) Flush(p *sim.Proc) {
+	if s.windows > 0 {
+		// A collective window is accumulating this batch; CloseWindow
+		// will launch it.
+		s.Stats.HeldFlushes++
+		return
+	}
 	if len(s.pending) == 0 {
 		s.Stats.EmptyFlushes++
 		return
@@ -263,6 +279,47 @@ func (s *Scheduler) Flush(p *sim.Proc) {
 	}
 	s.launch(p)
 }
+
+// OpenWindow opens a collective-scope fusion window: every flush trigger —
+// bytes threshold, request cap, and explicit Flush — is deferred until the
+// matching CloseWindow, which launches everything accumulated as a single
+// fused kernel. The collective engine brackets each schedule phase (all
+// peers' packs, then all peers' unpacks) with a window so per-message
+// launches collapse into per-phase launches. Windows nest; only the
+// outermost CloseWindow launches.
+func (s *Scheduler) OpenWindow() {
+	s.windows++
+	if s.TL != nil {
+		s.TL.Instant(timeline.LayerFusion, "", "window-open", s.env.Now(),
+			timeline.Arg{Key: "depth", Val: strconv.Itoa(s.windows)})
+	}
+}
+
+// CloseWindow closes the innermost window; closing the outermost one
+// launches all pending requests as one fused kernel. Calling it with no
+// open window is a no-op.
+func (s *Scheduler) CloseWindow(p *sim.Proc) {
+	if s.windows == 0 {
+		return
+	}
+	s.windows--
+	if s.windows > 0 {
+		return
+	}
+	if len(s.pending) == 0 {
+		return
+	}
+	s.Stats.WindowFlushes++
+	if s.TL != nil {
+		s.TL.Instant(timeline.LayerFusion, "", "window-close", s.env.Now(),
+			timeline.Arg{Key: "pending", Val: strconv.Itoa(len(s.pending))},
+			timeline.Arg{Key: "bytes", Val: strconv.FormatInt(s.pendingBytes, 10)})
+	}
+	s.launch(p)
+}
+
+// WindowOpen reports whether a collective-scope window is currently open.
+func (s *Scheduler) WindowOpen() bool { return s.windows > 0 }
 
 // launch fuses all pending requests into a single kernel.
 func (s *Scheduler) launch(p *sim.Proc) {

@@ -10,9 +10,27 @@ import (
 	"repro/internal/sim"
 )
 
-// Collective operations built on the point-to-point layer. Tags above
-// collTagBase are reserved for collectives; applications should stay below.
-const collTagBase = 1 << 20
+// CollTagBase is the first tag of the reserved collective range. Every tag
+// in [CollTagBase, ∞) belongs to the runtime's collective machinery (this
+// file's legacy collectives and internal/coll); user Isend/Irecv with a
+// tag in the range fails with a *TagError instead of silently colliding
+// with collective envelopes. User code must stay below CollTagBase.
+const CollTagBase = 1 << 20
+
+// collTagBase is the historical internal name.
+const collTagBase = CollTagBase
+
+// Legacy collective tag assignments (all within the reserved range):
+//
+//	collTagBase+1              Bcast binomial tree
+//	collTagBase+64..+127       AllreduceSumF64 phases
+//	collTagBase+100            NeighborExchange shared tag
+//
+// internal/coll derives its tags from CollTagBase+4096 upward.
+const (
+	allreduceTagFold  = collTagBase + 64 // non-pow2 pre-fold / post-bcast
+	allreduceTagPhase = collTagBase + 65 // + log2 step index
+)
 
 // Bcast broadcasts count elements of layout l from root's buf to every
 // rank's buf using a binomial tree. Every rank must call it with the same
@@ -26,7 +44,7 @@ func (r *Rank) Bcast(p *sim.Proc, root int, buf *gpu.Buffer, l *datatype.Layout,
 	for mask < size {
 		if vrank&mask != 0 {
 			parent := toReal(vrank - mask)
-			r.Wait(p, r.Irecv(p, parent, collTagBase+1, buf, l, count))
+			r.Wait(p, r.IrecvRaw(p, parent, collTagBase+1, buf, l, count))
 			break
 		}
 		mask <<= 1
@@ -36,36 +54,74 @@ func (r *Rank) Bcast(p *sim.Proc, root int, buf *gpu.Buffer, l *datatype.Layout,
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vrank+mask < size {
 			child := toReal(vrank + mask)
-			r.Wait(p, r.Isend(p, child, collTagBase+1, buf, l, count))
+			r.Wait(p, r.IsendRaw(p, child, collTagBase+1, buf, l, count))
 		}
 	}
 }
 
 // AllreduceSumF64 sums n float64 values element-wise across all ranks into
-// every rank's buf (recursive doubling; world size must be a power of
-// two, which holds for the modeled systems).
-func (r *Rank) AllreduceSumF64(p *sim.Proc, buf *gpu.Buffer, n int) {
+// every rank's buf. Power-of-two worlds run pure recursive doubling; other
+// sizes use the binary-blocks fallback: the size-2^k remainder ranks fold
+// their vectors into partners inside the largest power-of-two core, the
+// core runs recursive doubling, and the result is sent back out. Errors
+// (undersized buffer, failed underlying transfers) are returned — the old
+// power-of-two-only panic path is gone.
+func (r *Rank) AllreduceSumF64(p *sim.Proc, buf *gpu.Buffer, n int) error {
 	size := r.world.Size()
-	if size&(size-1) != 0 {
-		panic("mpi: AllreduceSumF64 requires power-of-two world")
-	}
 	bytes := n * 8
-	if buf.Len() < bytes {
-		panic("mpi: AllreduceSumF64 buffer too small")
+	if n < 0 || buf.Len() < bytes {
+		return fmt.Errorf("mpi: AllreduceSumF64: buffer holds %d bytes, need %d", buf.Len(), bytes)
+	}
+	if n == 0 || size == 1 {
+		return nil
 	}
 	l := datatype.Commit(datatype.Contiguous(n, datatype.Float64))
-	tmp := r.Dev.Alloc(fmt.Sprintf("allreduce-tmp-%d", r.id), bytes)
-	for mask := 1; mask < size; mask <<= 1 {
-		peer := r.id ^ mask
-		rq := r.Irecv(p, peer, collTagBase+2+mask, tmp, l, 1)
-		sq := r.Isend(p, peer, collTagBase+2+mask, buf, l, 1)
-		r.Waitall(p, []*Request{rq, sq})
+	tmp := r.stagingBuf(int64(bytes))
+	reduceInto := func(dst *gpu.Buffer, src *gpu.Buffer) {
 		for i := 0; i < n; i++ {
-			a := math.Float64frombits(binary.LittleEndian.Uint64(buf.Data[i*8:]))
-			b := math.Float64frombits(binary.LittleEndian.Uint64(tmp.Data[i*8:]))
-			binary.LittleEndian.PutUint64(buf.Data[i*8:], math.Float64bits(a+b))
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst.Data[i*8:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src.Data[i*8:]))
+			binary.LittleEndian.PutUint64(dst.Data[i*8:], math.Float64bits(a+b))
 		}
 	}
+
+	// Largest power-of-two core; rem ranks at the top fold downward.
+	core := 1
+	for core*2 <= size {
+		core *= 2
+	}
+	rem := size - core
+	if r.id >= core {
+		// Extra rank: fold into partner, then wait for the result.
+		partner := r.id - core
+		if err := r.Wait(p, r.IsendRaw(p, partner, allreduceTagFold, buf, l, 1)); err != nil {
+			return err
+		}
+		return r.Wait(p, r.IrecvRaw(p, partner, allreduceTagFold, buf, l, 1))
+	}
+	if r.id < rem {
+		// Core partner of an extra rank: fold its vector in first.
+		if err := r.Wait(p, r.IrecvRaw(p, r.id+core, allreduceTagFold, tmp, l, 1)); err != nil {
+			return err
+		}
+		reduceInto(buf, tmp)
+	}
+	step := 0
+	for mask := 1; mask < core; mask <<= 1 {
+		peer := r.id ^ mask
+		rq := r.IrecvRaw(p, peer, allreduceTagPhase+step, tmp, l, 1)
+		sq := r.IsendRaw(p, peer, allreduceTagPhase+step, buf, l, 1)
+		if err := r.Waitall(p, []*Request{rq, sq}); err != nil {
+			return err
+		}
+		reduceInto(buf, tmp)
+		step++
+	}
+	if r.id < rem {
+		// Send the finished vector back out to the extra rank.
+		return r.Wait(p, r.IsendRaw(p, r.id+core, allreduceTagFold, buf, l, 1))
+	}
+	return nil
 }
 
 // NeighborOp describes one leg of a neighborhood exchange: what to send to
@@ -84,6 +140,10 @@ type NeighborOp struct {
 // NeighborExchange posts all receives, then all sends, then waits — the
 // MPI-level implicit approach of Algorithm 3, giving the runtime (and the
 // fusion scheduler) maximal freedom to batch the datatype processing.
+//
+// Deprecated: internal/coll's NeighborAlltoallw supersedes this with
+// collective-scope fusion windows; this path is kept for its tests and as
+// the naive per-message reference.
 func (r *Rank) NeighborExchange(p *sim.Proc, ops []NeighborOp) {
 	// All legs share one tag: the k-th send to a peer matches the k-th
 	// posted receive from that peer (FIFO matching), so both sides only
@@ -95,14 +155,14 @@ func (r *Rank) NeighborExchange(p *sim.Proc, ops []NeighborOp) {
 		if count == 0 {
 			count = 1
 		}
-		reqs = append(reqs, r.Irecv(p, op.Peer, collTagBase+100, op.RecvBuf, op.RecvType, count))
+		reqs = append(reqs, r.IrecvRaw(p, op.Peer, collTagBase+100, op.RecvBuf, op.RecvType, count))
 	}
 	for _, op := range ops {
 		count := op.Count
 		if count == 0 {
 			count = 1
 		}
-		reqs = append(reqs, r.Isend(p, op.Peer, collTagBase+100, op.SendBuf, op.SendType, count))
+		reqs = append(reqs, r.IsendRaw(p, op.Peer, collTagBase+100, op.SendBuf, op.SendType, count))
 	}
 	r.Waitall(p, reqs)
 }

@@ -3,13 +3,16 @@ package mpi_test
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/datatype"
 	"repro/internal/gpu"
 	"repro/internal/mpi"
+	"repro/internal/schemes"
 	"repro/internal/sim"
 )
 
@@ -120,7 +123,9 @@ func TestAllreduceSumF64(t *testing.T) {
 		}
 	}
 	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
-		r.AllreduceSumF64(p, bufs[r.ID()], n)
+		if aerr := r.AllreduceSumF64(p, bufs[r.ID()], n); aerr != nil {
+			t.Errorf("rank %d: %v", r.ID(), aerr)
+		}
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +141,97 @@ func TestAllreduceSumF64(t *testing.T) {
 				t.Fatalf("rank %d elem %d = %f, want %f", i, j, got, want)
 			}
 		}
+	}
+}
+
+func TestAllreduceSumF64NonPowerOfTwo(t *testing.T) {
+	// Binary-blocks fallback: 3 nodes x 2 GPUs = 6 ranks (not a power of
+	// two). Every rank must end with the full sum.
+	const n = 17
+	spec := cluster.Lassen()
+	spec.Nodes = 3
+	spec.GPUsPerNode = 2
+	c := cluster.MustBuild(sim.NewEnv(), spec)
+	w := mpi.NewWorld(c, mpi.DefaultConfig(), schemes.Factory("Proposed-Tuned"))
+	size := w.Size()
+	bufs := make([]*gpu.Buffer, size)
+	for i := range bufs {
+		bufs[i] = w.Rank(i).Dev.Alloc("v", n*8)
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint64(bufs[i].Data[j*8:], math.Float64bits(float64(i*100+j)))
+		}
+	}
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if aerr := r.AllreduceSumF64(p, bufs[r.ID()], n); aerr != nil {
+			t.Errorf("rank %d: %v", r.ID(), aerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufs {
+		for j := 0; j < n; j++ {
+			got := math.Float64frombits(binary.LittleEndian.Uint64(bufs[i].Data[j*8:]))
+			want := float64(0)
+			for k := 0; k < size; k++ {
+				want += float64(k*100 + j)
+			}
+			if got != want {
+				t.Fatalf("rank %d elem %d = %f, want %f", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAllreduceSumF64BufferTooSmall(t *testing.T) {
+	w := newWorld("GPU-Sync", nil)
+	small := w.Rank(0).Dev.Alloc("small", 8)
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if r.ID() != 0 {
+			return
+		}
+		if aerr := r.AllreduceSumF64(p, small, 4); aerr == nil {
+			t.Error("expected an error for an undersized buffer")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedTagGuard(t *testing.T) {
+	// User pt2pt traffic in [CollTagBase, ∞) fails with a typed error and
+	// leaks nothing; the raw collective entry points still work there.
+	w := newWorld("GPU-Sync", nil)
+	l := datatype.Commit(datatype.Contiguous(16, datatype.Byte))
+	buf := w.Rank(0).Dev.Alloc("b", int(l.ExtentBytes))
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if r.ID() != 0 {
+			return
+		}
+		sq := r.Isend(p, 4, mpi.CollTagBase, buf, l, 1)
+		serr := r.Wait(p, sq)
+		var te *mpi.TagError
+		if !errors.As(serr, &te) || !errors.Is(serr, mpi.ErrTagReserved) {
+			t.Errorf("Isend tag guard: got %v, want *TagError wrapping ErrTagReserved", serr)
+		}
+		if te != nil && (!te.IsSend || te.Tag != mpi.CollTagBase) {
+			t.Errorf("TagError fields: %+v", te)
+		}
+		rq := r.Irecv(p, 4, mpi.CollTagBase+77, buf, l, 1)
+		if rerr := r.Wait(p, rq); !errors.Is(rerr, mpi.ErrTagReserved) {
+			t.Errorf("Irecv tag guard: got %v", rerr)
+		}
+		// Below the base is untouched (AnyTag too).
+		if q := r.Irecv(p, mpi.AnySource, mpi.AnyTag, buf, l, 1); q.Failed() {
+			t.Error("AnyTag receive must not trip the guard")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaked := w.LeakedRequests(); leaked != 1 { // only the AnyTag recv stays posted
+		t.Fatalf("leaked = %d, want 1 (the deliberately unmatched AnyTag recv)", leaked)
 	}
 }
 

@@ -543,8 +543,61 @@ func (r *Rank) lookupLayout(p *sim.Proc, l *datatype.Layout, count int) *layoutc
 	return e
 }
 
+// TagError is the typed configuration error returned (through
+// Request.Err and Wait/Waitall) when a user point-to-point operation uses
+// a tag inside the reserved collective range [CollTagBase, ∞). It unwraps
+// to ErrTagReserved for errors.Is checks.
+type TagError struct {
+	Rank   int
+	Tag    int
+	IsSend bool
+}
+
+func (e *TagError) Error() string {
+	dir := "Irecv"
+	if e.IsSend {
+		dir = "Isend"
+	}
+	return fmt.Sprintf("mpi: rank %d: %s tag %d is inside the reserved collective range [%d, ∞)",
+		e.Rank, dir, e.Tag, CollTagBase)
+}
+
+// Unwrap lets errors.Is(err, ErrTagReserved) match a *TagError.
+func (e *TagError) Unwrap() error { return ErrTagReserved }
+
+// ErrTagReserved is the sentinel wrapped by every *TagError.
+var ErrTagReserved = errors.New("mpi: tag in reserved collective range")
+
+// failedTagRequest builds an already-failed request for a guarded tag: it
+// never enters the active list (so it cannot leak), settles immediately,
+// and surfaces a *TagError from Wait/Waitall.
+func (r *Rank) failedTagRequest(isSend bool, peer, tag int) *Request {
+	q := &Request{
+		rank: r, isSend: isSend, peer: peer, tag: tag,
+		state:  stFailed,
+		err:    &TagError{Rank: r.id, Tag: tag, IsSend: isSend},
+		doneEv: r.world.Env.NewEvent("tag-guard"),
+		DoneAt: r.world.Env.Now(),
+	}
+	q.doneEv.Fire()
+	return q
+}
+
 // Isend posts a non-blocking send of count elements of layout l from buf.
+// Tags at or above CollTagBase are reserved for collective traffic: such a
+// send fails immediately with a *TagError instead of silently colliding
+// with collective envelopes.
 func (r *Rank) Isend(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) *Request {
+	if tag >= CollTagBase {
+		return r.failedTagRequest(true, dest, tag)
+	}
+	return r.IsendRaw(p, dest, tag, buf, l, count)
+}
+
+// IsendRaw is Isend without the reserved-tag guard. It exists for the
+// collective engine (internal/coll), which owns the reserved range; user
+// code should always go through Isend.
+func (r *Rank) IsendRaw(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) *Request {
 	e := r.lookupLayout(p, l, count)
 	q := &Request{
 		rank: r, isSend: true, peer: dest, tag: tag,
@@ -599,8 +652,19 @@ func (r *Rank) Isend(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.La
 	return q
 }
 
-// Irecv posts a non-blocking receive into buf.
+// Irecv posts a non-blocking receive into buf. Tags at or above
+// CollTagBase are reserved for collective traffic and fail immediately
+// with a *TagError (AnyTag is always allowed).
 func (r *Rank) Irecv(p *sim.Proc, src, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) *Request {
+	if tag >= CollTagBase {
+		return r.failedTagRequest(false, src, tag)
+	}
+	return r.IrecvRaw(p, src, tag, buf, l, count)
+}
+
+// IrecvRaw is Irecv without the reserved-tag guard, for the collective
+// engine (internal/coll); user code should always go through Irecv.
+func (r *Rank) IrecvRaw(p *sim.Proc, src, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) *Request {
 	e := r.lookupLayout(p, l, count)
 	q := &Request{
 		rank: r, isSend: false, peer: src, tag: tag,
@@ -1101,6 +1165,20 @@ func (h completionHandle) DoneEv() *sim.Event    { return h.c.Ev }
 func (h completionHandle) Err() error            { return nil }
 
 // --- waiting ---
+
+// Progress drives the progress engine one step without flushing the
+// scheme. The collective engine's batched wait uses it to advance protocol
+// state (matching, RDMA, FINs, retransmissions) while a fusion window is
+// holding pack/unpack launches back.
+func (r *Rank) Progress(p *sim.Proc) { r.progress(p) }
+
+// Processing reports that a receive's datatype processing (unpack or
+// DirectIPC) has been handed to the scheme — the point at which a
+// collective-scope fusion window has seen all of the receive's GPU work
+// and may close. Settled requests report false; pair with Done/Failed.
+func (q *Request) Processing() bool {
+	return q.state == stUnpacking || q.state == stIPC
+}
 
 // Test advances progress once and reports whether q settled (completed or
 // failed; check q.Err to distinguish).

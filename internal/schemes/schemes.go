@@ -359,6 +359,15 @@ func (s *Fusion) DirectIPC(p *sim.Proc, job *pack.Job) (mpi.Handle, bool) {
 // Flush implements mpi.Scheme: Waitall reached, launch whatever is pending.
 func (s *Fusion) Flush(p *sim.Proc) { s.Sched.Flush(p) }
 
+// OpenBatch opens a collective-scope fusion window (see
+// fusion.Scheduler.OpenWindow); the collective engine discovers this hook
+// by interface assertion, so only fusion-capable schemes batch.
+func (s *Fusion) OpenBatch() { s.Sched.OpenWindow() }
+
+// CloseBatch closes the window, launching the accumulated requests as one
+// fused kernel.
+func (s *Fusion) CloseBatch(p *sim.Proc) { s.Sched.CloseWindow(p) }
+
 // SyncStream blocks until the fused-kernel stream drains (ablation use
 // only; the paper's design never does this).
 func (s *Fusion) SyncStream(p *sim.Proc) { s.Sched.SyncStream(p) }

@@ -36,11 +36,14 @@ const (
 	// drops/flaps/corruptions and the recovery actions (timeouts,
 	// retransmissions, fallbacks) they trigger.
 	LayerFault
+	// LayerColl is the collective-communication engine: per-collective
+	// windows, schedule passes, and phase markers.
+	LayerColl
 
 	numLayers
 )
 
-var layerNames = [numLayers]string{"sim", "gpu", "mpi", "fusion", "fault"}
+var layerNames = [numLayers]string{"sim", "gpu", "mpi", "fusion", "fault", "coll"}
 
 func (l Layer) String() string {
 	if l >= numLayers {
