@@ -1,0 +1,34 @@
+package coll_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/mpi"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+// Repro: Bruck allgatherv on a non-power-of-two world (3 nodes x 2 GPUs = 6 ranks).
+func TestBruckNonPow2Repro(t *testing.T) {
+	env := sim.NewEnv()
+	spec := cluster.Lassen().WithNodes(3)
+	spec.GPUsPerNode = 2
+	c := cluster.MustBuild(env, spec)
+	w := mpi.NewWorld(c, mpi.DefaultConfig(), schemes.Factory("Proposed-Tuned"))
+	l := bigVec()
+	sends, recvs := makeAG(w, l)
+	e := coll.New(w, coll.Tuning{Allgatherv: coll.Bruck})
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if cerr := e.Allgatherv(p, r, sends[r.ID()], recvs[r.ID()]); cerr != nil {
+			t.Errorf("rank %d: %v", r.ID(), cerr)
+		}
+	})
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	if n := w.LeakedRequests(); n != 0 {
+		t.Fatalf("%d leaked requests", n)
+	}
+}
