@@ -9,9 +9,18 @@
 //	halo3d -n 64 -steps 10 -scheme Proposed-Tuned
 //	halo3d -n 64 -compare
 //	halo3d -n 64 -coll          # NeighborAlltoallw with fused launches
+//	halo3d -n 16 -faults rank-crash -recover
+//
+// The last form is the checkpointless-recovery demo: a seeded fault plan
+// kills one rank mid-exchange, the survivors observe the typed failure,
+// agree on it, shrink the world (ULFM-style), re-decompose the halo as a
+// 1D z-chain over the survivor communicator, and re-verify the exchanged
+// faces byte-exactly. The process exits non-zero if any survivor misses
+// the failure, the recovery exchange mismatches, or requests leak.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -134,6 +143,167 @@ func run(w io.Writer, scheme string, n, steps int, useColl, quiet bool, tracePat
 	return avg, nil
 }
 
+// runRecover is the checkpointless-recovery demo: the 2x2x2 halo exchange
+// runs under faultSpec until a rank dies and every survivor has observed
+// the failure (typed *RankFailedError / ErrCommRevoked via the collective's
+// self-healing revocation), then the survivors Agree on the outcome, Shrink
+// the world, re-decompose the halo as a 1D z-chain over the dense survivor
+// communicator, exchange the z faces with fresh tags, and the driver
+// re-verifies every exchanged face byte-exactly against the sender's grid.
+func runRecover(w io.Writer, scheme string, n int, faultSpec string) error {
+	plan, err := dkf.ParseFaultPlan(faultSpec)
+	if err != nil {
+		return err
+	}
+	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: dkf.Scheme(scheme), Faults: plan})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	cart := sess.CartCreate([]int{2, 2, 2}, []bool{true, true, true})
+	faces := faceLayouts(n)
+	gridBytes := n * n * n * 8
+	nr := sess.NumRanks()
+	grids := make([]*dkf.Buffer, nr)
+	ghosts := make([]*dkf.Buffer, nr)
+	rghosts := make([]*dkf.Buffer, nr)
+	for r := 0; r < nr; r++ {
+		grids[r] = sess.Alloc(r, "grid", gridBytes)
+		ghosts[r] = sess.Alloc(r, "ghost", gridBytes)
+		rghosts[r] = sess.Alloc(r, "rghost", gridBytes)
+		dkf.FillPattern(grids[r].Data, uint64(r+1))
+		// Junk so the verification can only pass if recovery wrote it.
+		dkf.FillPattern(rghosts[r].Data, uint64(0xdead+r))
+	}
+	axes := []struct {
+		axis          int
+		minusF, plusF string
+	}{{0, "x-", "x+"}, {1, "y-", "y+"}, {2, "z-", "z+"}}
+
+	ft := sess.FTEnabled()
+	stepsDone := make([]int, nr)
+	stepErrs := make([]error, nr)
+	recovered := make([]bool, nr)
+	recoverErrs := make([]error, nr)
+	err = sess.Run(func(c *dkf.RankCtx) {
+		me := c.ID()
+		// No per-step barrier here: ranks leave the loop at different
+		// times once the failure propagates, and a rendezvous with ranks
+		// that already moved on to Agree would wedge the survivors.
+		const horizonNs = 600_000 // crash + detection + revocation slack
+		for stepErrs[me] == nil && c.Now() < horizonNs && stepsDone[me] < 10_000 {
+			var ops []dkf.NeighborOp
+			for _, ax := range axes {
+				mPeer, pPeer := cart.Shift(me, ax.axis, 1)
+				ops = append(ops,
+					dkf.NeighborOp{Peer: mPeer, SendBuf: grids[me], SendType: faces[ax.minusF],
+						RecvBuf: ghosts[me], RecvType: faces[ax.plusF], Count: 1},
+					dkf.NeighborOp{Peer: pPeer, SendBuf: grids[me], SendType: faces[ax.plusF],
+						RecvBuf: ghosts[me], RecvType: faces[ax.minusF], Count: 1},
+				)
+			}
+			if stepErrs[me] = c.NeighborAlltoallw(ops); stepErrs[me] == nil {
+				stepsDone[me]++
+				c.Sleep(int64(n*n) * 2)
+			}
+		}
+		if !ft {
+			return
+		}
+		flag := uint64(1)
+		if stepErrs[me] != nil {
+			flag = 0
+		}
+		agreed, aerr := c.Agree(c.World(), flag)
+		if agreed == 1 && aerr == nil {
+			return // everyone finished clean and nobody died
+		}
+		sub, serr := c.Shrink(c.World())
+		if serr != nil {
+			recoverErrs[me] = serr
+			return
+		}
+		// Checkpointless re-decomposition: the survivors' grids are intact
+		// in device memory, so the halo is re-laid-out as a 1D z-chain in
+		// comm-rank order and the boundary faces re-exchanged with fresh
+		// tags (the shrunken epoch keeps collective traffic separate; these
+		// point-to-point legs use tags outside the failed step's range).
+		cc := c.On(sub)
+		cr := cc.Rank()
+		var reqs []*dkf.Request
+		if cr > 0 {
+			left := sub.WorldRank(cr - 1)
+			reqs = append(reqs,
+				c.Irecv(left, 30, rghosts[me], faces["z-"], 1),
+				c.Isend(left, 40, grids[me], faces["z+"], 1),
+			)
+		}
+		if cr < cc.Size()-1 {
+			right := sub.WorldRank(cr + 1)
+			reqs = append(reqs,
+				c.Irecv(right, 40, rghosts[me], faces["z+"], 1),
+				c.Isend(right, 30, grids[me], faces["z-"], 1),
+			)
+		}
+		if werr := c.Waitall(reqs); werr != nil {
+			recoverErrs[me] = werr
+			return
+		}
+		recovered[me] = true
+	})
+	if err != nil {
+		return err
+	}
+
+	crashed := sess.CrashedRanks()
+	survivors := sess.Survivors()
+	if !ft || len(crashed) == 0 {
+		steps := 0
+		for _, s := range stepsDone {
+			if s > steps {
+				steps = s
+			}
+		}
+		fmt.Fprintf(w, "halo3d: no rank failure under plan %q; %d steps completed\n", faultSpec, steps)
+		return nil
+	}
+	steps := 0
+	for _, s := range survivors {
+		if stepsDone[s] > steps {
+			steps = stepsDone[s]
+		}
+		if stepErrs[s] != nil &&
+			!errors.Is(stepErrs[s], dkf.ErrRankFailed) && !errors.Is(stepErrs[s], dkf.ErrCommRevoked) {
+			return fmt.Errorf("halo3d: rank %d failed with an untyped error: %w", s, stepErrs[s])
+		}
+		if recoverErrs[s] != nil {
+			return fmt.Errorf("halo3d: rank %d recovery failed: %w", s, recoverErrs[s])
+		}
+		if !recovered[s] {
+			return fmt.Errorf("halo3d: rank %d never completed the recovery exchange", s)
+		}
+	}
+	fmt.Fprintf(w, "halo3d: rank(s) %v crashed at step ~%d; survivors detected the failure and revoked the world\n",
+		crashed, steps)
+	fmt.Fprintf(w, "halo3d: shrunk world %d -> %d ranks; halo re-decomposed as a %d-rank z-chain\n",
+		nr, len(survivors), len(survivors))
+	for i := 0; i+1 < len(survivors); i++ {
+		a, b := survivors[i], survivors[i+1]
+		if verr := dkf.VerifyBlocks(faces["z-"], 1, grids[a].Data, rghosts[b].Data); verr != nil {
+			return fmt.Errorf("halo3d: recovery exchange %d->%d (z-) mismatch: %w", a, b, verr)
+		}
+		if verr := dkf.VerifyBlocks(faces["z+"], 1, grids[b].Data, rghosts[a].Data); verr != nil {
+			return fmt.Errorf("halo3d: recovery exchange %d->%d (z+) mismatch: %w", b, a, verr)
+		}
+	}
+	if lk := sess.LeakedRequests(); lk != 0 {
+		return fmt.Errorf("halo3d: %d requests leaked across the recovery", lk)
+	}
+	fmt.Fprintf(w, "halo3d: recovery exchange byte-exact across %d survivor pairs; no leaked requests\n",
+		len(survivors)-1)
+	return nil
+}
+
 // compareAll runs the scheme shoot-out and reports speedups vs GPU-Sync.
 func compareAll(w io.Writer, n, steps int, useColl bool) error {
 	var base int64
@@ -158,8 +328,21 @@ func main() {
 	compare := flag.Bool("compare", false, "compare all schemes")
 	useColl := flag.Bool("coll", false, "exchange halos with the NeighborAlltoallw collective (fused per-phase launches) instead of raw Isend/Irecv")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (single-scheme mode only)")
+	faultSpec := flag.String("faults", "", "fault-plan spec for the recovery demo (e.g. \"rank-crash\", \"rank-crash,seed=3\", \"crash=1@20000\"); requires -recover")
+	doRecover := flag.Bool("recover", false, "survive a planned rank crash: agree on the failure, shrink the world, re-decompose the halo, and verify byte-exactness")
 	flag.Parse()
 
+	if *doRecover || *faultSpec != "" {
+		if !*doRecover || *faultSpec == "" {
+			fmt.Fprintln(os.Stderr, "halo3d: -faults and -recover must be used together")
+			os.Exit(2)
+		}
+		if err := runRecover(os.Stdout, *scheme, *n, *faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *compare {
 		if *tracePath != "" {
 			fmt.Fprintln(os.Stderr, "halo3d: -trace is not supported with -compare")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -38,6 +39,41 @@ func TestRunCollMode(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "avg step latency") {
 		t.Errorf("report line = %q", buf.String())
+	}
+}
+
+// TestRunRecover drives the checkpointless-recovery demo on a tiny grid:
+// a planned crash kills one rank, the survivors shrink and re-exchange,
+// and runRecover's own byte-exactness checks must pass.
+func TestRunRecover(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runRecover(&buf, "Proposed-Tuned", 8, "crash=2@20000"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"rank(s) [2] crashed",
+		"shrunk world 8 -> 7 ranks",
+		"recovery exchange byte-exact across 6 survivor pairs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recovery report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunRecoverPresetSeeds checks the demo survives the rank-crash preset
+// across several seeds (different victim ranks and crash times).
+func TestRunRecoverPresetSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full recovery cycles")
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		var buf bytes.Buffer
+		spec := fmt.Sprintf("rank-crash,seed=%d", seed)
+		if err := runRecover(&buf, "Proposed-Tuned", 8, spec); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, buf.String())
+		}
 	}
 }
 

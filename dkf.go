@@ -191,9 +191,9 @@ type FaultPlan = fault.Plan
 // (Session.FaultEvents).
 type FaultEvent = fault.Event
 
-// FaultPreset returns a named built-in fault plan ("drop-heavy",
-// "corrupt-heavy", "flappy-link", "kernel-failure", "mixed") seeded for
-// deterministic replay.
+// FaultPreset returns a named built-in fault plan (see FaultPresetNames;
+// e.g. "drop-heavy", "flaky-ib", "kernel-failure", "mixed", "rank-crash")
+// seeded for deterministic replay.
 func FaultPreset(name string, seed uint64) (*FaultPlan, error) { return fault.Preset(name, seed) }
 
 // FaultPresetNames lists the built-in fault-plan preset names.
@@ -222,6 +222,34 @@ var (
 	// ErrTruncate: a matched message exceeded the posted receive.
 	ErrTruncate = mpi.ErrTruncate
 )
+
+// --- rank-failure tolerance (ULFM-style) ---
+
+// HeartbeatConfig tunes the rank-failure detector (SessionConfig.Heartbeat):
+// IntervalNs is the detector tick period (default 25 µs) and TimeoutNs is
+// how long a rank may stay silent before being declared dead (default
+// 150 µs). Zero values select the defaults when a crash plan activates the
+// detector; setting TimeoutNs > 0 activates it even without planned crashes.
+type HeartbeatConfig = mpi.HeartbeatConfig
+
+// RankFailedError is the typed error attached to every operation involving
+// a rank the failure detector declared dead (it unwraps to ErrRankFailed).
+type RankFailedError = mpi.RankFailedError
+
+// Typed rank-failure sentinels for errors.Is.
+var (
+	// ErrRankFailed: a peer rank was declared dead by the failure detector.
+	ErrRankFailed = mpi.ErrRankFailed
+	// ErrCommRevoked: the communicator was revoked (ULFM MPI_ERR_REVOKED).
+	ErrCommRevoked = mpi.ErrCommRevoked
+)
+
+// Comm is a communicator: an ordered set of world ranks with ULFM-style
+// Revoke/Shrink/Agree recovery (driven through the RankCtx methods of the
+// same names). Session.Run bodies start from RankCtx.World and recover from
+// rank failures by agreeing on the error, shrinking to the survivors, and
+// retrying collectives on the shrunken communicator via RankCtx.On.
+type Comm = mpi.Comm
 
 // TraceOptions configures timeline recording (SessionConfig.Trace).
 type TraceOptions = timeline.Options
@@ -267,6 +295,12 @@ type SessionConfig struct {
 	// ParseFaultPlan. The default (nil) keeps every fault-free fast path
 	// byte-identical.
 	Faults *FaultPlan
+	// Heartbeat tunes the rank-failure detector. The zero value selects
+	// the defaults (25 µs interval, 150 µs timeout) when Faults schedules
+	// rank crashes; setting Heartbeat.TimeoutNs > 0 activates the detector
+	// even without planned crashes, enabling Revoke/Shrink/Agree. Keep the
+	// timeout well under StallTimeout so detection beats the watchdog.
+	Heartbeat HeartbeatConfig
 	// StallTimeout bounds, in virtual nanoseconds, how long the
 	// simulation may run without any request completing before the
 	// watchdog declares a deadlock (Session.Run returns a *StallError).
@@ -293,6 +327,15 @@ func (cfg *SessionConfig) validate() error {
 		if err := cfg.Faults.Validate(); err != nil {
 			return fmt.Errorf("dkf: %w", err)
 		}
+	}
+	if cfg.Heartbeat.IntervalNs < 0 {
+		return fmt.Errorf("dkf: negative Heartbeat.IntervalNs %d", cfg.Heartbeat.IntervalNs)
+	}
+	if cfg.Heartbeat.TimeoutNs < 0 {
+		return fmt.Errorf("dkf: negative Heartbeat.TimeoutNs %d", cfg.Heartbeat.TimeoutNs)
+	}
+	if cfg.Heartbeat.TimeoutNs > 0 && cfg.Faults == nil {
+		return fmt.Errorf("dkf: Heartbeat requires a fault plan (set Faults; an empty plan enables the reliability layer)")
 	}
 	if cfg.CustomSpec == nil {
 		if cfg.System < SystemLassen || cfg.System > SystemABCI {
@@ -327,6 +370,7 @@ type Session struct {
 	cluster *cluster.Cluster
 	world   *mpi.World
 	coll    *coll.Engine
+	subs    map[*mpi.Comm]*coll.Engine
 	closed  bool
 }
 
@@ -361,6 +405,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	mcfg.PipelineChunkBytes = cfg.PipelineChunk
 	mcfg.Timeline = cfg.Trace
 	mcfg.Faults = cfg.Faults
+	mcfg.Heartbeat = cfg.Heartbeat
 	mcfg.StallTimeoutNs = cfg.StallTimeout
 	factory := schemes.Factory(string(cfg.Scheme))
 	if cfg.FusionThreshold > 0 {
@@ -427,6 +472,39 @@ func (s *Session) FaultEvents() []FaultEvent { return s.world.FaultEvents() }
 // LeakedRequests counts requests still registered in-flight after Run — a
 // recovery-path leak detector; a clean run reports zero.
 func (s *Session) LeakedRequests() int { return s.world.LeakedRequests() }
+
+// FTEnabled reports whether rank-failure tolerance is active (the session
+// was built with a crash plan or an explicit Heartbeat timeout).
+func (s *Session) FTEnabled() bool { return s.world.FTEnabled() }
+
+// Survivors lists the ranks that never crashed, sorted (every rank when
+// failure tolerance is off).
+func (s *Session) Survivors() []int { return s.world.Survivors() }
+
+// FailedRanks lists the ranks the failure detector declared dead, sorted.
+func (s *Session) FailedRanks() []int { return s.world.FailedRanks() }
+
+// CrashedRanks lists the ranks whose processes were killed — ground truth,
+// a superset of FailedRanks until detection catches up — sorted.
+func (s *Session) CrashedRanks() []int { return s.world.CrashedRanks() }
+
+// engineFor resolves the collective engine scoped to cm, deriving and
+// caching a sub-engine per shrunken communicator (the simulation scheduler
+// serializes rank bodies, so the map needs no lock).
+func (s *Session) engineFor(cm *Comm) *coll.Engine {
+	if cm == nil || cm.IsWorld() {
+		return s.coll
+	}
+	if e, ok := s.subs[cm]; ok {
+		return e
+	}
+	if s.subs == nil {
+		s.subs = make(map[*mpi.Comm]*coll.Engine)
+	}
+	e := s.coll.Sub(cm)
+	s.subs[cm] = e
+	return e
+}
 
 // Close releases every device buffer the session allocated (including
 // internal staging buffers) so long-lived callers don't hold the arenas
@@ -687,6 +765,77 @@ func (c *RankCtx) NeighborAlltoallw(ops []NeighborOp) error {
 // kernel fusion; this per-message path remains as the naive reference.
 func (c *RankCtx) NeighborExchange(ops []NeighborOp) {
 	c.rank.NeighborExchange(c.proc, ops)
+}
+
+// --- rank-failure recovery (ULFM verbs) ---
+
+// World returns the world communicator (every rank, epoch 0) — the
+// starting point of the Revoke/Shrink/Agree recovery sequence.
+func (c *RankCtx) World() *Comm { return c.sess.world.WorldComm() }
+
+// Revoke marks cm revoked at this rank and floods the revocation in-band
+// to every other member, failing their pending operations on the comm fast
+// with ErrCommRevoked (ULFM MPI_Comm_revoke). The collectives revoke
+// automatically when they observe a member death, so explicit calls are
+// only needed for application-level aborts.
+func (c *RankCtx) Revoke(cm *Comm) { cm.Revoke(c.proc, c.rank) }
+
+// Shrink is the ULFM MPI_Comm_shrink analogue: a rendezvous of cm's live
+// members returning a dense re-ranked communicator of the survivors at a
+// fresh epoch. Members that die mid-rendezvous are excluded when the
+// detector declares them, so Shrink completes within the heartbeat bound.
+func (c *RankCtx) Shrink(cm *Comm) (*Comm, error) { return cm.Shrink(c.proc, c.rank) }
+
+// Agree is the MPIX_Comm_agree analogue: a fault-tolerant agreement
+// returning the bitwise AND of the live members' flags. When a member of cm
+// is dead the agreed flag is still returned, together with a
+// *RankFailedError — survivors get a consistent flag plus the failure
+// notification.
+func (c *RankCtx) Agree(cm *Comm, flag uint64) (uint64, error) {
+	return cm.Agree(c.proc, c.rank, flag)
+}
+
+// CommCtx scopes a rank's collective operations to a communicator
+// (typically a Shrink survivor comm). Ranks, roots, and peer indices are
+// comm ranks; the engine inherits the session's CollTuning, with
+// topology-bound algorithm choices downgraded off the world scope.
+type CommCtx struct {
+	c  *RankCtx
+	cm *Comm
+}
+
+// On returns this rank's collective operations scoped to cm. The rank must
+// be a member.
+func (c *RankCtx) On(cm *Comm) *CommCtx { return &CommCtx{c: c, cm: cm} }
+
+// Comm returns the scoped communicator.
+func (cc *CommCtx) Comm() *Comm { return cc.cm }
+
+// Rank returns this rank's comm rank (-1 if not a member).
+func (cc *CommCtx) Rank() int { return cc.cm.CommRank(cc.c.ID()) }
+
+// Size reports the communicator size.
+func (cc *CommCtx) Size() int { return cc.cm.Size() }
+
+// Alltoallw runs the DDT-aware personalized all-to-all over the scoped
+// communicator: ops[i] is the leg pair with comm rank i, len(ops) == Size.
+func (cc *CommCtx) Alltoallw(ops []WOp) error {
+	return cc.c.sess.engineFor(cc.cm).Alltoallw(cc.c.proc, cc.c.rank, ops)
+}
+
+// Allgatherv gathers every member's contribution to every member.
+func (cc *CommCtx) Allgatherv(send VOp, recvs []VOp) error {
+	return cc.c.sess.engineFor(cc.cm).Allgatherv(cc.c.proc, cc.c.rank, send, recvs)
+}
+
+// Gatherv collects every member's contribution at comm rank root.
+func (cc *CommCtx) Gatherv(root int, send VOp, recvs []VOp) error {
+	return cc.c.sess.engineFor(cc.cm).Gatherv(cc.c.proc, cc.c.rank, root, send, recvs)
+}
+
+// Scatterv distributes per-member slots from comm rank root.
+func (cc *CommCtx) Scatterv(root int, sends []VOp, recv VOp) error {
+	return cc.c.sess.engineFor(cc.cm).Scatterv(cc.c.proc, cc.c.rank, root, sends, recv)
 }
 
 // CartComm is a Cartesian process topology (MPI_Cart_create).

@@ -34,8 +34,8 @@ func (op VOp) bytes() int64 {
 // recvs slice is significant on every rank, which is what lets the
 // hierarchical variant plan without a size exchange.
 func (e *Engine) Allgatherv(p *sim.Proc, r *mpi.Rank, send VOp, recvs []VOp) error {
-	if len(recvs) != e.w.Size() {
-		return fmt.Errorf("coll: Allgatherv: %d recv slots for %d ranks", len(recvs), e.w.Size())
+	if len(recvs) != e.size() {
+		return fmt.Errorf("coll: Allgatherv: %d recv slots for %d ranks", len(recvs), e.size())
 	}
 	alg := e.tuning.Allgatherv
 	if err := validAlg("allgatherv", alg, Linear, Ring, Bruck, RecursiveDoubling, Hierarchical); err != nil {
@@ -44,8 +44,9 @@ func (e *Engine) Allgatherv(p *sim.Proc, r *mpi.Rank, send VOp, recvs []VOp) err
 	if alg == Auto {
 		alg = e.pickAllgatherv(recvs)
 	}
-	if alg == RecursiveDoubling && !isPow2(e.w.Size()) {
-		return fmt.Errorf("coll: allgatherv recursive-doubling requires a power-of-two world, have %d ranks", e.w.Size())
+	alg = e.flatten(alg)
+	if alg == RecursiveDoubling && !isPow2(e.size()) {
+		return fmt.Errorf("coll: allgatherv recursive-doubling requires a power-of-two world, have %d ranks", e.size())
 	}
 	c := e.begin(r, p, 2*len(recvs))
 	var err error
@@ -77,7 +78,7 @@ func (e *Engine) pickAllgatherv(recvs []VOp) Algorithm {
 	if e.topoHierarchical() {
 		return Hierarchical
 	}
-	if isPow2(e.w.Size()) {
+	if isPow2(e.size()) {
 		return RecursiveDoubling
 	}
 	return Ring
@@ -86,7 +87,7 @@ func (e *Engine) pickAllgatherv(recvs []VOp) Algorithm {
 // selfCopy lands this rank's own contribution via the loopback path, as
 // its own fused mini-phase (ring/Bruck/RD forward out of recvs[self]).
 func (c *call) selfCopy(send VOp, recvs []VOp) error {
-	id := c.r.ID()
+	id := c.rank()
 	return c.exchangePhase(
 		[]leg{{peer: id, tag: c.tag(tagData), buf: recvs[id].Buf, l: recvs[id].Type, count: recvs[id].Count}},
 		[]leg{{peer: id, tag: c.tag(tagData), buf: send.Buf, l: send.Type, count: send.Count}},
@@ -107,7 +108,7 @@ func (c *call) allgathervLinear(send VOp, recvs []VOp) error {
 // rank forwards the block it received the step before.
 func (c *call) allgathervRing(send VOp, recvs []VOp) error {
 	size := len(recvs)
-	id := c.r.ID()
+	id := c.rank()
 	if err := c.selfCopy(send, recvs); err != nil {
 		return err
 	}
@@ -132,7 +133,7 @@ func (c *call) allgathervRing(send VOp, recvs []VOp) error {
 // span from (id+2^k) — ceil(log2 n) fused phases regardless of n.
 func (c *call) allgathervBruck(send VOp, recvs []VOp) error {
 	size := len(recvs)
-	id := c.r.ID()
+	id := c.rank()
 	if err := c.selfCopy(send, recvs); err != nil {
 		return err
 	}
@@ -144,7 +145,10 @@ func (c *call) allgathervBruck(send VOp, recvs []VOp) error {
 		to := (id - span + size) % size
 		from := (id + span) % size
 		var rl, sl []leg
-		for j := 0; j < span; j++ {
+		// The receiver (to) posts exactly cnt recvs — in the final
+		// non-power-of-two round cnt < span, so the send loop must be
+		// bounded by cnt too or the extra sends strand in rts-sent.
+		for j := 0; j < cnt; j++ {
 			blk := (id + j) % size
 			sl = append(sl, leg{peer: to, tag: c.tag(tagData), buf: recvs[blk].Buf, l: recvs[blk].Type, count: recvs[blk].Count})
 		}
@@ -163,7 +167,7 @@ func (c *call) allgathervBruck(send VOp, recvs []VOp) error {
 // power-of-two worlds only.
 func (c *call) allgathervRD(send VOp, recvs []VOp) error {
 	size := len(recvs)
-	id := c.r.ID()
+	id := c.rank()
 	if err := c.selfCopy(send, recvs); err != nil {
 		return err
 	}
@@ -218,14 +222,14 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 		// contribution packed into place, bundle recvs posted (contig,
 		// ungated), our contribution direct-sent to local peers.
 		if c.batch != nil {
-			c.batch.OpenBatch()
+			c.openWin()
 		}
 		var bundleRecvs, gatherRecvs []*mpi.Request
 		for ns := 0; ns < nodes; ns++ {
 			if ns == node || nodeLen(ns) == 0 {
 				continue
 			}
-			q := r.IrecvRaw(c.p, e.leaderOf(ns), c.tag(tagBundle), staging, c.bytesAt(nodeOff(ns), nodeLen(ns)), 1)
+			q := c.bind(r.IrecvRaw(c.p, e.leaderOf(ns), c.tag(tagBundle), staging, c.bytesAt(nodeOff(ns), nodeLen(ns)), 1))
 			c.all = append(c.all, q)
 			bundleRecvs = append(bundleRecvs, q)
 		}
@@ -233,7 +237,7 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 			if lr == id || recvs[lr].bytes() == 0 {
 				continue
 			}
-			q := r.IrecvRaw(c.p, lr, c.tag(tagGather), staging, c.bytesAt(off[lr], recvs[lr].bytes()), 1)
+			q := c.bind(r.IrecvRaw(c.p, lr, c.tag(tagGather), staging, c.bytesAt(off[lr], recvs[lr].bytes()), 1))
 			c.all = append(c.all, q)
 			gatherRecvs = append(gatherRecvs, q)
 		}
@@ -249,13 +253,13 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 				continue
 			}
 			c.bytes += send.bytes()
-			c.all = append(c.all, r.IsendRaw(c.p, lr, c.tag(tagDirect), send.Buf, send.Type, send.Count))
+			c.all = append(c.all, c.bind(r.IsendRaw(c.p, lr, c.tag(tagDirect), send.Buf, send.Type, send.Count)))
 		}
 		if c.batch != nil {
-			c.batch.CloseBatch(c.p)
-			c.batch.OpenBatch()
+			c.closeWin()
+			c.openWin()
 			c.gate(gatherRecvs)
-			c.batch.CloseBatch(c.p)
+			c.closeWin()
 		}
 		if err := c.subsetWait(gatherRecvs); err != nil {
 			return err
@@ -269,7 +273,7 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 				continue
 			}
 			c.bytes += nodeLen(node)
-			c.all = append(c.all, r.IsendRaw(c.p, e.leaderOf(nd), c.tag(tagBundle), staging, c.bytesAt(nodeOff(node), nodeLen(node)), 1))
+			c.all = append(c.all, c.bind(r.IsendRaw(c.p, e.leaderOf(nd), c.tag(tagBundle), staging, c.bytesAt(nodeOff(node), nodeLen(node)), 1)))
 		}
 		if err := c.subsetWait(bundleRecvs); err != nil {
 			return err
@@ -278,7 +282,7 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 		// slice per node per local) and unpack EVERY contribution for
 		// ourselves from staging — one fused unpack launch.
 		if c.batch != nil {
-			c.batch.OpenBatch()
+			c.openWin()
 		}
 		for _, lr := range locals {
 			if lr == id {
@@ -288,7 +292,7 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 				if ns == node || nodeLen(ns) == 0 {
 					continue
 				}
-				c.all = append(c.all, r.IsendRaw(c.p, lr, c.tag(tagSlice), staging, c.bytesAt(nodeOff(ns), nodeLen(ns)), 1))
+				c.all = append(c.all, c.bind(r.IsendRaw(c.p, lr, c.tag(tagSlice), staging, c.bytesAt(nodeOff(ns), nodeLen(ns)), 1)))
 			}
 		}
 		var unpackHs []mpi.Handle
@@ -299,7 +303,7 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 			unpackHs = append(unpackHs, c.unpackJob(staging, recvs[i].Buf, recvs[i].Type, recvs[i].Count, off[i]))
 		}
 		if c.batch != nil {
-			c.batch.CloseBatch(c.p)
+			c.closeWin()
 		}
 		return c.waitHandles(unpackHs)
 	}
@@ -318,25 +322,25 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 	// Window A: everything we originate (contribution to the leader and
 	// to local peers) plus all our receives, posted then closed.
 	if c.batch != nil {
-		c.batch.OpenBatch()
+		c.openWin()
 	}
 	if send.bytes() > 0 {
 		c.bytes += 2 * send.bytes()
-		c.all = append(c.all, r.IsendRaw(c.p, leader, c.tag(tagGather), send.Buf, send.Type, send.Count))
+		c.all = append(c.all, c.bind(r.IsendRaw(c.p, leader, c.tag(tagGather), send.Buf, send.Type, send.Count)))
 		for _, lr := range locals {
 			if lr == id || lr == leader {
 				continue
 			}
-			c.all = append(c.all, r.IsendRaw(c.p, lr, c.tag(tagDirect), send.Buf, send.Type, send.Count))
+			c.all = append(c.all, c.bind(r.IsendRaw(c.p, lr, c.tag(tagDirect), send.Buf, send.Type, send.Count)))
 		}
-		c.all = append(c.all, r.IsendRaw(c.p, id, c.tag(tagDirect), send.Buf, send.Type, send.Count))
+		c.all = append(c.all, c.bind(r.IsendRaw(c.p, id, c.tag(tagDirect), send.Buf, send.Type, send.Count)))
 	}
 	var directRecvs, sliceRecvs []*mpi.Request
 	for _, lr := range locals {
 		if recvs[lr].bytes() == 0 {
 			continue
 		}
-		q := r.IrecvRaw(c.p, lr, c.tag(tagDirect), recvs[lr].Buf, recvs[lr].Type, recvs[lr].Count)
+		q := c.bind(r.IrecvRaw(c.p, lr, c.tag(tagDirect), recvs[lr].Buf, recvs[lr].Type, recvs[lr].Count))
 		c.all = append(c.all, q)
 		directRecvs = append(directRecvs, q)
 	}
@@ -344,16 +348,16 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 		if ns == node || nodeLen(ns) == 0 {
 			continue
 		}
-		q := r.IrecvRaw(c.p, leader, c.tag(tagSlice), myStaging, c.bytesAt(remOff[ns], nodeLen(ns)), 1)
+		q := c.bind(r.IrecvRaw(c.p, leader, c.tag(tagSlice), myStaging, c.bytesAt(remOff[ns], nodeLen(ns)), 1))
 		c.all = append(c.all, q)
 		sliceRecvs = append(sliceRecvs, q)
 	}
 	if c.batch != nil {
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 		// Window B: local IPC scatters + self unpack fuse.
-		c.batch.OpenBatch()
+		c.openWin()
 		c.gate(directRecvs)
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 	}
 	if err := c.subsetWait(sliceRecvs); err != nil {
 		return err
@@ -361,7 +365,7 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 	// Window C: every remote contribution unpacks from the staged node
 	// regions in ONE fused launch.
 	if c.batch != nil {
-		c.batch.OpenBatch()
+		c.openWin()
 	}
 	var unpackHs []mpi.Handle
 	for i := 0; i < size; i++ {
@@ -372,7 +376,7 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 		unpackHs = append(unpackHs, c.unpackJob(myStaging, recvs[i].Buf, recvs[i].Type, recvs[i].Count, remOff[ns]+(off[i]-nodeOff(ns))))
 	}
 	if c.batch != nil {
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 	}
 	return c.waitHandles(unpackHs)
 }

@@ -43,8 +43,8 @@ func (op WOp) recvBytes() int64 {
 // Algorithms: Linear (one fused phase), Pairwise (one peer per fused
 // step), Hierarchical (two-level node-leader aggregation), Auto.
 func (e *Engine) Alltoallw(p *sim.Proc, r *mpi.Rank, ops []WOp) error {
-	if len(ops) != e.w.Size() {
-		return fmt.Errorf("coll: Alltoallw: %d ops for %d ranks", len(ops), e.w.Size())
+	if len(ops) != e.size() {
+		return fmt.Errorf("coll: Alltoallw: %d ops for %d ranks", len(ops), e.size())
 	}
 	alg := e.tuning.Alltoallw
 	if err := validAlg("alltoallw", alg, Linear, Pairwise, Hierarchical); err != nil {
@@ -53,6 +53,7 @@ func (e *Engine) Alltoallw(p *sim.Proc, r *mpi.Rank, ops []WOp) error {
 	if alg == Auto {
 		alg = e.pickAlltoallw(ops)
 	}
+	alg = e.flatten(alg)
 	legs := 2 * len(ops)
 	if alg == Hierarchical {
 		legs += 2*e.gpusPerNode() + 2*e.nodes() // size/gather/bundle overhead
@@ -106,7 +107,7 @@ func (c *call) alltoallwLinear(ops []WOp) error {
 // schedule; each step is its own fused phase.
 func (c *call) alltoallwPairwise(ops []WOp) error {
 	size := len(ops)
-	id := c.r.ID()
+	id := c.rank()
 	for step := 0; step < size; step++ {
 		to := (id + step) % size
 		from := (id - step + size) % size
@@ -175,7 +176,7 @@ func (c *call) alltoallwHier(ops []WOp) error {
 			continue
 		}
 		sizeBufs[li] = c.staging("sizes", int64(2*size*8))
-		q := r.IrecvRaw(c.p, lr, c.tag(tagSizes), sizeBufs[li], c.bytesAt(0, int64(2*size*8)), 1)
+		q := c.bind(r.IrecvRaw(c.p, lr, c.tag(tagSizes), sizeBufs[li], c.bytesAt(0, int64(2*size*8)), 1))
 		c.all = append(c.all, q)
 		sizeRecvs = append(sizeRecvs, q)
 	}
@@ -248,12 +249,12 @@ func (c *call) alltoallwHier(ops []WOp) error {
 	// --- window A1: post everything outbound-facing; close launches the
 	// fused pack kernel (own cross-leg packs + self-leg pack). ---
 	if c.batch != nil {
-		c.batch.OpenBatch()
+		c.openWin()
 	}
 	var bundleRecvs, gatherRecvs []*mpi.Request
 	for ns := 0; ns < nodes; ns++ {
 		if n := plan.bundleInLen[ns]; n > 0 {
-			q := r.IrecvRaw(c.p, e.leaderOf(ns), c.tag(tagBundle), stagingIn, c.bytesAt(plan.bundleInOff[ns], n), 1)
+			q := c.bind(r.IrecvRaw(c.p, e.leaderOf(ns), c.tag(tagBundle), stagingIn, c.bytesAt(plan.bundleInOff[ns], n), 1))
 			c.all = append(c.all, q)
 			bundleRecvs = append(bundleRecvs, q)
 		}
@@ -270,7 +271,7 @@ func (c *call) alltoallwHier(ops []WOp) error {
 			if n == 0 {
 				continue
 			}
-			q := r.IrecvRaw(c.p, lr, c.tag(tagGather), stagingOut, c.bytesAt(plan.outOff[[2]int{lr, dst}], n), 1)
+			q := c.bind(r.IrecvRaw(c.p, lr, c.tag(tagGather), stagingOut, c.bytesAt(plan.outOff[[2]int{lr, dst}], n), 1))
 			c.all = append(c.all, q)
 			gatherRecvs = append(gatherRecvs, q)
 		}
@@ -287,12 +288,12 @@ func (c *call) alltoallwHier(ops []WOp) error {
 	}
 	directRecvs := c.postDirect(ops, locals)
 	if c.batch != nil {
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 		// --- window A2: the phase's inbound GPU work (gather IPC
 		// scatters, direct unpacks, self unpack) fuses into one launch. ---
-		c.batch.OpenBatch()
+		c.openWin()
 		c.gate(append(append([]*mpi.Request{}, gatherRecvs...), directRecvs...))
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 	}
 	if err := c.subsetWait(gatherRecvs); err != nil {
 		return err
@@ -305,7 +306,7 @@ func (c *call) alltoallwHier(ops []WOp) error {
 	for nd := 0; nd < nodes; nd++ {
 		if n := plan.bundleOutLen[nd]; n > 0 {
 			c.bytes += n
-			c.all = append(c.all, r.IsendRaw(c.p, e.leaderOf(nd), c.tag(tagBundle), stagingOut, c.bytesAt(plan.bundleOutOff[nd], n), 1))
+			c.all = append(c.all, c.bind(r.IsendRaw(c.p, e.leaderOf(nd), c.tag(tagBundle), stagingOut, c.bytesAt(plan.bundleOutOff[nd], n), 1)))
 		}
 	}
 	if err := c.subsetWait(bundleRecvs); err != nil {
@@ -315,7 +316,7 @@ func (c *call) alltoallwHier(ops []WOp) error {
 	// --- window B: slice the incoming bundles back out (DirectIPC to
 	// locals, fused direct unpacks for the leader's own legs). ---
 	if c.batch != nil {
-		c.batch.OpenBatch()
+		c.openWin()
 	}
 	var unpackHs []mpi.Handle
 	for src := 0; src < size; src++ {
@@ -332,11 +333,11 @@ func (c *call) alltoallwHier(ops []WOp) error {
 				unpackHs = append(unpackHs, c.unpackJob(stagingIn, ops[src].RecvBuf, ops[src].RecvType, ops[src].RecvCount, off))
 				continue
 			}
-			c.all = append(c.all, r.IsendRaw(c.p, lr, c.tag(tagSlice), stagingIn, c.bytesAt(off, n), 1))
+			c.all = append(c.all, c.bind(r.IsendRaw(c.p, lr, c.tag(tagSlice), stagingIn, c.bytesAt(off, n), 1)))
 		}
 	}
 	if c.batch != nil {
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 	}
 	return c.waitHandles(unpackHs)
 }
@@ -352,39 +353,39 @@ func (c *call) hierLocal(ops []WOp, leader int, locals []int, myOut, myIn []int6
 	// the fused pack kernel (gather legs under no-IPC, self leg) launches
 	// and nothing gated below depends on our own open window. ---
 	if c.batch != nil {
-		c.batch.OpenBatch()
+		c.openWin()
 	}
 	sizeBuf := c.staging("sizes", int64(2*size*8))
 	for i := 0; i < size; i++ {
 		binary.LittleEndian.PutUint64(sizeBuf.Data[i*8:], uint64(myOut[i]))
 		binary.LittleEndian.PutUint64(sizeBuf.Data[(size+i)*8:], uint64(myIn[i]))
 	}
-	c.all = append(c.all, r.IsendRaw(c.p, leader, c.tag(tagSizes), sizeBuf, c.bytesAt(0, int64(2*size*8)), 1))
+	c.all = append(c.all, c.bind(r.IsendRaw(c.p, leader, c.tag(tagSizes), sizeBuf, c.bytesAt(0, int64(2*size*8)), 1)))
 	for dst := 0; dst < size; dst++ {
 		if e.nodeOf(dst) == node || myOut[dst] == 0 {
 			continue
 		}
 		c.bytes += myOut[dst]
-		c.all = append(c.all, r.IsendRaw(c.p, leader, c.tag(tagGather), ops[dst].SendBuf, ops[dst].SendType, ops[dst].SendCount))
+		c.all = append(c.all, c.bind(r.IsendRaw(c.p, leader, c.tag(tagGather), ops[dst].SendBuf, ops[dst].SendType, ops[dst].SendCount)))
 	}
 	var sliceRecvs []*mpi.Request
 	for src := 0; src < size; src++ {
 		if e.nodeOf(src) == node || myIn[src] == 0 {
 			continue
 		}
-		q := r.IrecvRaw(c.p, leader, c.tag(tagSlice), ops[src].RecvBuf, ops[src].RecvType, ops[src].RecvCount)
+		q := c.bind(r.IrecvRaw(c.p, leader, c.tag(tagSlice), ops[src].RecvBuf, ops[src].RecvType, ops[src].RecvCount))
 		c.all = append(c.all, q)
 		sliceRecvs = append(sliceRecvs, q)
 	}
 	directRecvs := c.postDirect(ops, locals)
 	if c.batch != nil {
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 		// --- window B: all inbound GPU work (direct IPC scatters, self
 		// unpack, slice unpacks) fuses into one launch once everything
 		// has at least reached the scheme. ---
-		c.batch.OpenBatch()
+		c.openWin()
 		c.gate(append(append([]*mpi.Request{}, directRecvs...), sliceRecvs...))
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 	}
 	return nil
 }
@@ -396,7 +397,7 @@ func (c *call) postDirect(ops []WOp, locals []int) []*mpi.Request {
 	for _, peer := range locals {
 		op := ops[peer]
 		if op.recvBytes() > 0 {
-			q := c.r.IrecvRaw(c.p, peer, c.tag(tagDirect), op.RecvBuf, op.RecvType, op.RecvCount)
+			q := c.bind(c.r.IrecvRaw(c.p, peer, c.tag(tagDirect), op.RecvBuf, op.RecvType, op.RecvCount))
 			c.all = append(c.all, q)
 			recvs = append(recvs, q)
 		}
@@ -405,7 +406,7 @@ func (c *call) postDirect(ops []WOp, locals []int) []*mpi.Request {
 		op := ops[peer]
 		if op.sendBytes() > 0 {
 			c.bytes += op.sendBytes()
-			c.all = append(c.all, c.r.IsendRaw(c.p, peer, c.tag(tagDirect), op.SendBuf, op.SendType, op.SendCount))
+			c.all = append(c.all, c.bind(c.r.IsendRaw(c.p, peer, c.tag(tagDirect), op.SendBuf, op.SendType, op.SendCount)))
 		}
 	}
 	return recvs

@@ -24,6 +24,7 @@
 package coll
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/datatype"
@@ -141,10 +142,19 @@ type batchScheme interface {
 }
 
 // Engine is the per-world collective engine. One engine serves all ranks;
-// per-rank state is indexed by rank ID. All collectives are SPMD calls:
-// every rank calls the same sequence.
+// per-rank state is indexed by world rank ID. All collectives are SPMD
+// calls: every member rank calls the same sequence.
+//
+// An engine is bound to a communicator (the world communicator by
+// default). Sub derives an engine over a shrunken survivor communicator:
+// algorithms then run in comm-rank space (peers are translated at the post
+// boundary), tags carry the communicator epoch so traffic from a failed
+// pre-shrink collective can never match a post-shrink retry, and the
+// hierarchical two-level variants — whose leader layout is a world-rank
+// property — are never selected.
 type Engine struct {
 	w      *mpi.World
+	comm   *mpi.Comm // nil = world communicator
 	tuning Tuning
 	ranks  []*rankState
 }
@@ -177,6 +187,45 @@ func New(w *mpi.World, t Tuning) *Engine {
 // Tuning returns the engine's effective tuning.
 func (e *Engine) Tuning() Tuning { return e.tuning }
 
+// Sub derives an engine running over comm (typically a Shrink survivor
+// communicator), inheriting the parent's tuning. Only members may call its
+// collectives; ranks/roots/peer indices are comm ranks.
+func (e *Engine) Sub(cm *mpi.Comm) *Engine {
+	sub := &Engine{w: e.w, comm: cm, tuning: e.tuning}
+	for i := 0; i < e.w.Size(); i++ {
+		sub.ranks = append(sub.ranks, &rankState{
+			shifted: make(map[shiftKey]*datatype.Layout),
+			contig:  make(map[[2]int64]*datatype.Layout),
+		})
+	}
+	return sub
+}
+
+// size is the number of collective participants (comm size).
+func (e *Engine) size() int {
+	if e.comm != nil {
+		return e.comm.Size()
+	}
+	return e.w.Size()
+}
+
+// worldScope reports whether this engine runs over the full, unshrunk
+// world — the only scope where the node-leader topology of the
+// hierarchical algorithms is valid.
+func (e *Engine) worldScope() bool {
+	return e.comm == nil || e.comm.IsWorld()
+}
+
+// flatten downgrades topology-bound algorithm choices on a shrunken
+// communicator: Hierarchical needs world-rank node layout, so sub-comm
+// calls run Linear instead.
+func (e *Engine) flatten(alg Algorithm) Algorithm {
+	if alg == Hierarchical && !e.worldScope() {
+		return Linear
+	}
+	return alg
+}
+
 // leg is one posted operation of a schedule phase.
 type leg struct {
 	peer  int
@@ -192,23 +241,38 @@ func (lg leg) empty() bool {
 
 // call tracks one in-flight collective on one rank.
 type call struct {
-	e     *Engine
-	r     *mpi.Rank
-	p     *sim.Proc
-	st    *rankState
-	seq   int
-	batch batchScheme // nil when windows are off for this call
-	all   []*mpi.Request
-	t0    int64
-	bytes int64 // payload posted (sends), for the wrapper span
+	e       *Engine
+	r       *mpi.Rank
+	p       *sim.Proc
+	st      *rankState
+	cm      *mpi.Comm // never nil: world comm when the engine has none
+	seq     int
+	batch   batchScheme // nil when windows are off for this call
+	winOpen int         // fusion windows currently open (see openWin)
+	all     []*mpi.Request
+	t0      int64
+	bytes   int64 // payload posted (sends), for the wrapper span
 }
+
+// rank is the calling rank's position in the collective's communicator.
+func (c *call) rank() int { return c.cm.CommRank(c.r.ID()) }
+
+// size is the number of participants.
+func (c *call) size() int { return c.cm.Size() }
 
 // begin runs the schedule pass: bump the call sequence, resolve the batch
 // hook, and charge the plan-building cost.
 func (e *Engine) begin(r *mpi.Rank, p *sim.Proc, legs int) *call {
 	st := e.ranks[r.ID()]
 	st.seq++
-	c := &call{e: e, r: r, p: p, st: st, seq: st.seq, t0: p.Now()}
+	cm := e.comm
+	if cm == nil {
+		cm = e.w.WorldComm()
+	}
+	if cm.CommRank(r.ID()) < 0 {
+		panic(fmt.Sprintf("coll: rank %d is not a member of the collective's communicator (epoch %d)", r.ID(), cm.Epoch()))
+	}
+	c := &call{e: e, r: r, p: p, st: st, cm: cm, seq: st.seq, t0: p.Now()}
 	if !e.tuning.DisableFusionWindow && r.World().Cfg.PipelineChunkBytes == 0 {
 		// Pipelined rendezvous enqueues chunk packs across many progress
 		// calls; holding a window open would starve them, so batching is
@@ -224,13 +288,28 @@ func (e *Engine) begin(r *mpi.Rank, p *sim.Proc, legs int) *call {
 
 // finish emits the collective's wrapper span and settles every posted
 // request, joining any intermediate error with the final Waitall errors.
+// Two failure-tolerance duties live here because finish is on every exit
+// path: any fusion window the aborted schedule left open is force-closed
+// (so pending fused pack/unpack jobs launch or drain instead of being
+// stranded), and a detected peer death revokes the collective's
+// communicator so every other member's pending operations fail fast
+// instead of waiting out their own timeouts.
 func (c *call) finish(kind string, alg Algorithm, stageErr error) error {
+	for c.winOpen > 0 {
+		c.closeWin()
+	}
 	err := c.r.Waitall(c.p, c.all)
 	if stageErr != nil {
 		if err != nil {
 			err = fmt.Errorf("%w; %w", stageErr, err)
 		} else {
 			err = stageErr
+		}
+	}
+	if err != nil && c.r.World().FTEnabled() {
+		var rf *mpi.RankFailedError
+		if errors.As(err, &rf) && !c.cm.Revoked(c.r) {
+			c.cm.Revoke(c.p, c.r)
 		}
 	}
 	if tl := c.r.Timeline(); tl != nil {
@@ -243,20 +322,67 @@ func (c *call) finish(kind string, alg Algorithm, stageErr error) error {
 }
 
 // tag derives a wire tag for this call and purpose. The per-rank sequence
-// is SPMD-consistent, so both endpoints of every leg agree.
+// is SPMD-consistent, so both endpoints of every leg agree. The
+// communicator epoch is folded in so that a retry on a shrunken comm can
+// never match traffic stranded by the failed pre-shrink collective.
 func (c *call) tag(purpose int) int {
-	return tagSpace + (c.seq%4096)*8 + purpose
+	return tagSpace + c.cm.Epoch()*(1<<15) + (c.seq%4096)*8 + purpose
+}
+
+// openWin opens a fusion window (no-op for non-batching schemes) and
+// tracks the depth so finish can force-close windows an error-path return
+// left open — an open window would otherwise strand its pending fused
+// pack/unpack jobs forever.
+func (c *call) openWin() {
+	if c.batch == nil {
+		return
+	}
+	c.batch.OpenBatch()
+	c.winOpen++
+}
+
+// closeWin closes the innermost open fusion window, launching the fused
+// work it held back.
+func (c *call) closeWin() {
+	if c.batch == nil || c.winOpen == 0 {
+		return
+	}
+	c.batch.CloseBatch(c.p)
+	c.winOpen--
+}
+
+// bind stamps a raw-posted request as belonging to this call's
+// communicator and returns it: an in-band revocation fails it in place,
+// and a post that raced past an already-arrived revocation settles
+// immediately. The hierarchical bodies (which post world-rank raw legs
+// directly instead of going through post) wrap every IsendRaw/IrecvRaw
+// in it.
+func (c *call) bind(q *mpi.Request) *mpi.Request {
+	c.cm.Bind(q)
+	return q
 }
 
 // post issues receives then sends (skipping empty legs identically on
-// both endpoints) and returns the receive requests for gating.
+// both endpoints) and returns the receive requests for gating. Leg peers
+// are comm ranks; the world translation happens here, as does the
+// failure-tolerance fail-fast: posts on a locally-revoked communicator
+// settle immediately with ErrCommRevoked (posts to a declared-dead peer
+// fail fast inside the mpi layer), and every request is bound to the
+// communicator so an in-band revocation fails it in place.
 func (c *call) post(recvs, sends []leg) []*mpi.Request {
 	var rr []*mpi.Request
 	for _, lg := range recvs {
 		if lg.empty() {
 			continue
 		}
-		q := c.r.IrecvRaw(c.p, lg.peer, lg.tag, lg.buf, lg.l, lg.count)
+		peer := c.cm.WorldRank(lg.peer)
+		var q *mpi.Request
+		if c.cm.Revoked(c.r) {
+			q = c.cm.FailedRequest(c.r, false, peer, lg.tag)
+		} else {
+			q = c.r.IrecvRaw(c.p, peer, lg.tag, lg.buf, lg.l, lg.count)
+			c.cm.Bind(q)
+		}
 		c.all = append(c.all, q)
 		rr = append(rr, q)
 	}
@@ -265,7 +391,15 @@ func (c *call) post(recvs, sends []leg) []*mpi.Request {
 			continue
 		}
 		c.bytes += lg.l.SizeBytes * int64(lg.count)
-		c.all = append(c.all, c.r.IsendRaw(c.p, lg.peer, lg.tag, lg.buf, lg.l, lg.count))
+		peer := c.cm.WorldRank(lg.peer)
+		var q *mpi.Request
+		if c.cm.Revoked(c.r) {
+			q = c.cm.FailedRequest(c.r, true, peer, lg.tag)
+		} else {
+			q = c.r.IsendRaw(c.p, peer, lg.tag, lg.buf, lg.l, lg.count)
+			c.cm.Bind(q)
+		}
+		c.all = append(c.all, q)
 	}
 	return rr
 }
@@ -304,15 +438,15 @@ func (c *call) gate(reqs []*mpi.Request) {
 // unpack/IPC launch), then settle the phase's requests.
 func (c *call) exchangePhase(recvs, sends []leg) error {
 	if c.batch != nil {
-		c.batch.OpenBatch()
+		c.openWin()
 	}
 	first := len(c.all)
 	rr := c.post(recvs, sends)
 	if c.batch != nil {
-		c.batch.CloseBatch(c.p) // fused pack launch for the phase
-		c.batch.OpenBatch()
+		c.closeWin() // fused pack launch for the phase
+		c.openWin()
 		c.gate(rr)
-		c.batch.CloseBatch(c.p) // fused unpack/IPC launch for the phase
+		c.closeWin() // fused unpack/IPC launch for the phase
 	}
 	reqs := c.all[first:]
 	return c.r.Waitall(c.p, reqs)
@@ -440,9 +574,11 @@ func (e *Engine) localRanks(node int) []int {
 
 // topoHierarchical reports whether the cluster shape justifies two-level
 // algorithms: multiple nodes, multiple GPUs per node to aggregate over,
-// and enough ranks to amortize the extra hop.
+// enough ranks to amortize the extra hop — and world scope, because the
+// node-leader layout is a world-rank property that a shrunken survivor
+// communicator no longer matches.
 func (e *Engine) topoHierarchical() bool {
-	return e.nodes() > 1 && e.gpusPerNode() > 1 && e.w.Size() >= e.tuning.HierMinRanks
+	return e.worldScope() && e.nodes() > 1 && e.gpusPerNode() > 1 && e.w.Size() >= e.tuning.HierMinRanks
 }
 
 func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

@@ -14,10 +14,10 @@ import (
 // EVERY rank (SPMD full-args), which is what lets remote node leaders
 // size their aggregation staging without a size exchange.
 func (e *Engine) Gatherv(p *sim.Proc, r *mpi.Rank, root int, send VOp, recvs []VOp) error {
-	if len(recvs) != e.w.Size() {
-		return fmt.Errorf("coll: Gatherv: %d recv slots for %d ranks", len(recvs), e.w.Size())
+	if len(recvs) != e.size() {
+		return fmt.Errorf("coll: Gatherv: %d recv slots for %d ranks", len(recvs), e.size())
 	}
-	if root < 0 || root >= e.w.Size() {
+	if root < 0 || root >= e.size() {
 		return fmt.Errorf("coll: Gatherv: root %d out of range", root)
 	}
 	alg := e.tuning.Gatherv
@@ -31,6 +31,7 @@ func (e *Engine) Gatherv(p *sim.Proc, r *mpi.Rank, root int, send VOp, recvs []V
 			alg = Linear
 		}
 	}
+	alg = e.flatten(alg)
 	c := e.begin(r, p, len(recvs)+1)
 	var err error
 	if alg == Linear {
@@ -42,7 +43,7 @@ func (e *Engine) Gatherv(p *sim.Proc, r *mpi.Rank, root int, send VOp, recvs []V
 }
 
 func (c *call) gathervLinear(root int, send VOp, recvs []VOp) error {
-	if c.r.ID() != root {
+	if c.rank() != root {
 		return c.exchangePhase(nil,
 			[]leg{{peer: root, tag: c.tag(tagData), buf: send.Buf, l: send.Type, count: send.Count}})
 	}
@@ -81,7 +82,7 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 			return nil
 		}
 		c.bytes += send.bytes()
-		c.all = append(c.all, r.IsendRaw(c.p, root, c.tag(tagDirect), send.Buf, send.Type, send.Count))
+		c.all = append(c.all, c.bind(r.IsendRaw(c.p, root, c.tag(tagDirect), send.Buf, send.Type, send.Count)))
 		return nil
 	}
 	if id != root && id != leader {
@@ -90,7 +91,7 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 			return nil
 		}
 		c.bytes += send.bytes()
-		c.all = append(c.all, r.IsendRaw(c.p, leader, c.tag(tagGather), send.Buf, send.Type, send.Count))
+		c.all = append(c.all, c.bind(r.IsendRaw(c.p, leader, c.tag(tagGather), send.Buf, send.Type, send.Count)))
 		return nil
 	}
 	if id != root {
@@ -107,14 +108,14 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 			at += recvs[lr].bytes()
 		}
 		if c.batch != nil {
-			c.batch.OpenBatch()
+			c.openWin()
 		}
 		var gatherRecvs []*mpi.Request
 		for _, lr := range locals {
 			if lr == id || recvs[lr].bytes() == 0 {
 				continue
 			}
-			q := r.IrecvRaw(c.p, lr, c.tag(tagGather), staging, c.bytesAt(loff[lr], recvs[lr].bytes()), 1)
+			q := c.bind(r.IrecvRaw(c.p, lr, c.tag(tagGather), staging, c.bytesAt(loff[lr], recvs[lr].bytes()), 1))
 			c.all = append(c.all, q)
 			gatherRecvs = append(gatherRecvs, q)
 		}
@@ -126,10 +127,10 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 			c.bytes += send.bytes()
 		}
 		if c.batch != nil {
-			c.batch.CloseBatch(c.p)
-			c.batch.OpenBatch()
+			c.closeWin()
+			c.openWin()
 			c.gate(gatherRecvs)
-			c.batch.CloseBatch(c.p)
+			c.closeWin()
 		}
 		if err := c.subsetWait(gatherRecvs); err != nil {
 			return err
@@ -138,7 +139,7 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 			return err
 		}
 		c.bytes += total
-		c.all = append(c.all, r.IsendRaw(c.p, root, c.tag(tagBundle), staging, c.bytesAt(0, total), 1))
+		c.all = append(c.all, c.bind(r.IsendRaw(c.p, root, c.tag(tagBundle), staging, c.bytesAt(0, total), 1)))
 		return nil
 	}
 
@@ -156,14 +157,14 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 	}
 	stagingIn := c.staging("gv-in", totalIn)
 	if c.batch != nil {
-		c.batch.OpenBatch()
+		c.openWin()
 	}
 	var bundleRecvs, directRecvs []*mpi.Request
 	for ns := 0; ns < nodes; ns++ {
 		if ns == rootNode || nodeTotal(ns) == 0 {
 			continue
 		}
-		q := r.IrecvRaw(c.p, e.leaderOf(ns), c.tag(tagBundle), stagingIn, c.bytesAt(inOff[ns], nodeTotal(ns)), 1)
+		q := c.bind(r.IrecvRaw(c.p, e.leaderOf(ns), c.tag(tagBundle), stagingIn, c.bytesAt(inOff[ns], nodeTotal(ns)), 1))
 		c.all = append(c.all, q)
 		bundleRecvs = append(bundleRecvs, q)
 	}
@@ -172,25 +173,25 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 			continue
 		}
 		tag := c.tag(tagDirect)
-		q := r.IrecvRaw(c.p, lr, tag, recvs[lr].Buf, recvs[lr].Type, recvs[lr].Count)
+		q := c.bind(r.IrecvRaw(c.p, lr, tag, recvs[lr].Buf, recvs[lr].Type, recvs[lr].Count))
 		c.all = append(c.all, q)
 		directRecvs = append(directRecvs, q)
 	}
 	if send.bytes() > 0 {
 		c.bytes += send.bytes()
-		c.all = append(c.all, r.IsendRaw(c.p, id, c.tag(tagDirect), send.Buf, send.Type, send.Count))
+		c.all = append(c.all, c.bind(r.IsendRaw(c.p, id, c.tag(tagDirect), send.Buf, send.Type, send.Count)))
 	}
 	if c.batch != nil {
-		c.batch.CloseBatch(c.p)
-		c.batch.OpenBatch()
+		c.closeWin()
+		c.openWin()
 		c.gate(directRecvs)
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 	}
 	if err := c.subsetWait(bundleRecvs); err != nil {
 		return err
 	}
 	if c.batch != nil {
-		c.batch.OpenBatch()
+		c.openWin()
 	}
 	var unpackHs []mpi.Handle
 	for ns := 0; ns < nodes; ns++ {
@@ -208,7 +209,7 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 		}
 	}
 	if c.batch != nil {
-		c.batch.CloseBatch(c.p)
+		c.closeWin()
 	}
 	return c.waitHandles(unpackHs)
 }
@@ -217,10 +218,10 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 // receives, recv is where this rank lands it. The full sends vector must
 // be passed on every rank (SPMD full-args).
 func (e *Engine) Scatterv(p *sim.Proc, r *mpi.Rank, root int, sends []VOp, recv VOp) error {
-	if len(sends) != e.w.Size() {
-		return fmt.Errorf("coll: Scatterv: %d send slots for %d ranks", len(sends), e.w.Size())
+	if len(sends) != e.size() {
+		return fmt.Errorf("coll: Scatterv: %d send slots for %d ranks", len(sends), e.size())
 	}
-	if root < 0 || root >= e.w.Size() {
+	if root < 0 || root >= e.size() {
 		return fmt.Errorf("coll: Scatterv: root %d out of range", root)
 	}
 	alg := e.tuning.Scatterv
@@ -234,6 +235,7 @@ func (e *Engine) Scatterv(p *sim.Proc, r *mpi.Rank, root int, sends []VOp, recv 
 			alg = Linear
 		}
 	}
+	alg = e.flatten(alg)
 	c := e.begin(r, p, len(sends)+1)
 	var err error
 	if alg == Linear {
@@ -246,7 +248,7 @@ func (e *Engine) Scatterv(p *sim.Proc, r *mpi.Rank, root int, sends []VOp, recv 
 
 func (c *call) scattervLinear(root int, sends []VOp, recv VOp) error {
 	rl := []leg{{peer: root, tag: c.tag(tagData), buf: recv.Buf, l: recv.Type, count: recv.Count}}
-	if c.r.ID() != root {
+	if c.rank() != root {
 		return c.exchangePhase(rl, nil)
 	}
 	sl := make([]leg, 0, len(sends))
@@ -288,7 +290,7 @@ func (c *call) scattervHier(root int, sends []VOp, recv VOp) error {
 		}
 		stagingOut := c.staging("sv-out", totalOut)
 		if c.batch != nil {
-			c.batch.OpenBatch()
+			c.openWin()
 		}
 		var packHs []mpi.Handle
 		for nd := 0; nd < nodes; nd++ {
@@ -314,18 +316,18 @@ func (c *call) scattervHier(root int, sends []VOp, recv VOp) error {
 				continue
 			}
 			c.bytes += sends[lr].bytes()
-			c.all = append(c.all, r.IsendRaw(c.p, lr, c.tag(tagDirect), sends[lr].Buf, sends[lr].Type, sends[lr].Count))
+			c.all = append(c.all, c.bind(r.IsendRaw(c.p, lr, c.tag(tagDirect), sends[lr].Buf, sends[lr].Type, sends[lr].Count)))
 		}
 		if recv.bytes() > 0 {
-			q := r.IrecvRaw(c.p, id, c.tag(tagDirect), recv.Buf, recv.Type, recv.Count)
+			q := c.bind(r.IrecvRaw(c.p, id, c.tag(tagDirect), recv.Buf, recv.Type, recv.Count))
 			c.all = append(c.all, q)
 			selfRecv = append(selfRecv, q)
 		}
 		if c.batch != nil {
-			c.batch.CloseBatch(c.p)
-			c.batch.OpenBatch()
+			c.closeWin()
+			c.openWin()
 			c.gate(selfRecv)
-			c.batch.CloseBatch(c.p)
+			c.closeWin()
 		}
 		if err := c.waitHandles(packHs); err != nil {
 			return err
@@ -335,7 +337,7 @@ func (c *call) scattervHier(root int, sends []VOp, recv VOp) error {
 				continue
 			}
 			c.bytes += nodeTotal(nd)
-			c.all = append(c.all, r.IsendRaw(c.p, e.leaderOf(nd), c.tag(tagBundle), stagingOut, c.bytesAt(outOff[nd], nodeTotal(nd)), 1))
+			c.all = append(c.all, c.bind(r.IsendRaw(c.p, e.leaderOf(nd), c.tag(tagBundle), stagingOut, c.bytesAt(outOff[nd], nodeTotal(nd)), 1)))
 		}
 		return nil
 	}
@@ -354,13 +356,13 @@ func (c *call) scattervHier(root int, sends []VOp, recv VOp) error {
 			return nil
 		}
 		staging := c.staging("sv-node", total)
-		q := r.IrecvRaw(c.p, root, c.tag(tagBundle), staging, c.bytesAt(0, total), 1)
+		q := c.bind(r.IrecvRaw(c.p, root, c.tag(tagBundle), staging, c.bytesAt(0, total), 1))
 		c.all = append(c.all, q)
 		if err := c.subsetWait([]*mpi.Request{q}); err != nil {
 			return err
 		}
 		if c.batch != nil {
-			c.batch.OpenBatch()
+			c.openWin()
 		}
 		var unpackHs []mpi.Handle
 		var at int64
@@ -372,12 +374,12 @@ func (c *call) scattervHier(root int, sends []VOp, recv VOp) error {
 			if lr == id {
 				unpackHs = append(unpackHs, c.unpackJob(staging, recv.Buf, recv.Type, recv.Count, at))
 			} else {
-				c.all = append(c.all, r.IsendRaw(c.p, lr, c.tag(tagSlice), staging, c.bytesAt(at, n), 1))
+				c.all = append(c.all, c.bind(r.IsendRaw(c.p, lr, c.tag(tagSlice), staging, c.bytesAt(at, n), 1)))
 			}
 			at += n
 		}
 		if c.batch != nil {
-			c.batch.CloseBatch(c.p)
+			c.closeWin()
 		}
 		return c.waitHandles(unpackHs)
 	}

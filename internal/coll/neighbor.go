@@ -24,7 +24,7 @@ func (e *Engine) NeighborAlltoallw(p *sim.Proc, r *mpi.Rank, ops []mpi.NeighborO
 		return err
 	}
 	for _, op := range ops {
-		if op.Peer < 0 || op.Peer >= e.w.Size() {
+		if op.Peer < 0 || op.Peer >= e.size() {
 			return fmt.Errorf("coll: NeighborAlltoallw: peer %d out of range", op.Peer)
 		}
 	}

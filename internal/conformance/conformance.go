@@ -86,6 +86,11 @@ type Result struct {
 	// requests still registered in-flight after the run (must be zero).
 	FaultEvents int
 	Leaked      int
+	// PendingFused counts pack/unpack jobs still parked in live ranks'
+	// fusion schedulers after the run — the error-path window-teardown
+	// invariant: a collective or exchange that fails mid-phase must not
+	// strand fused jobs (must be zero, fused schemes or not).
+	PendingFused int
 }
 
 // RunScenario executes sc once under the named scheme on SpecSmall and
@@ -145,6 +150,7 @@ func RunScenario(sc Scenario, scheme string) (*Result, error) {
 	res.FinalClock = env.Now()
 	res.FaultEvents = len(world.FaultEvents())
 	res.Leaked = world.LeakedRequests()
+	res.PendingFused = world.PendingFusedJobs()
 	if err != nil {
 		return res, fmt.Errorf("scheme %s: %w", scheme, err)
 	}

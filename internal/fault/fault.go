@@ -51,6 +51,16 @@ const (
 	Fallback
 	// GiveUp: bounded retries were exhausted and a typed error surfaced.
 	GiveUp
+	// RankCrash: a simulated process died at a planned virtual time.
+	RankCrash
+	// Detect: the heartbeat failure detector declared a silent rank dead.
+	Detect
+	// Revoke: a communicator was revoked (ULFM MPI_Comm_revoke analogue).
+	Revoke
+	// Shrink: survivors built a dense re-ranked communicator.
+	Shrink
+	// Agree: survivors completed a fault-tolerant agreement.
+	Agree
 
 	numKinds
 )
@@ -58,6 +68,7 @@ const (
 var kindNames = [numKinds]string{
 	"drop", "dup", "corrupt", "delay", "degrade", "flap",
 	"nic-error", "launch-fail", "timeout", "retransmit", "fallback", "give-up",
+	"rank-crash", "detect", "revoke", "shrink", "agree",
 }
 
 func (k Kind) String() string {
@@ -97,6 +108,19 @@ type GPUPlan struct {
 	LaunchFailProb float64 // transient fused-launch failure
 }
 
+// Crash schedules the death of one simulated rank at a virtual time. Unlike
+// the probabilistic classes, crashes are planned events: the same plan kills
+// the same rank at the same instant in every run.
+type Crash struct {
+	Rank int   // world rank to kill
+	AtNs int64 // virtual time of death
+}
+
+// ProcPlan holds process-level (whole-rank) fault events.
+type ProcPlan struct {
+	Crashes []Crash
+}
+
 // Plan is a complete fault-injection configuration. The zero value (or a
 // nil pointer) disables injection entirely.
 type Plan struct {
@@ -106,6 +130,7 @@ type Plan struct {
 	Link LinkPlan
 	NIC  NICPlan
 	GPU  GPUPlan
+	Proc ProcPlan
 }
 
 // probs lists every probability field for validation and Enabled.
@@ -134,6 +159,14 @@ func (p *Plan) Validate() error {
 	if p.Link.DegradeFactor < 0 || (p.Link.DegradeFactor > 0 && p.Link.DegradeFactor < 1) {
 		return fmt.Errorf("fault: DegradeFactor must be >= 1 (got %g)", p.Link.DegradeFactor)
 	}
+	for _, c := range p.Proc.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("fault: crash rank %d is negative", c.Rank)
+		}
+		if c.AtNs < 0 {
+			return fmt.Errorf("fault: crash time %dns is negative", c.AtNs)
+		}
+	}
 	return nil
 }
 
@@ -147,7 +180,14 @@ func (p *Plan) Enabled() bool {
 			return true
 		}
 	}
-	return false
+	return len(p.Proc.Crashes) > 0
+}
+
+// HasCrashes reports whether the plan kills any rank. Crash plans are not
+// delivery-recoverable: survivors see typed failures instead of byte-exact
+// delivery, so recoverable-chaos sweeps must treat them separately.
+func (p *Plan) HasCrashes() bool {
+	return p != nil && len(p.Proc.Crashes) > 0
 }
 
 // normalized returns a copy with duration/factor defaults filled in.
@@ -360,7 +400,7 @@ func fnv64a(s string) uint64 {
 
 // PresetNames lists the named fault plans of the chaos test table.
 func PresetNames() []string {
-	return []string{"drop-heavy", "corrupt-heavy", "flappy-link", "kernel-failure", "mixed", "flaky-ib", "degraded-link"}
+	return []string{"drop-heavy", "corrupt-heavy", "flappy-link", "kernel-failure", "mixed", "flaky-ib", "degraded-link", "rank-crash"}
 }
 
 // Preset builds one of the named chaos plans with the given seed.
@@ -402,6 +442,11 @@ func Preset(name string, seed uint64) (*Plan, error) {
 		p.Link.DegradeProb = 0.25
 		p.Link.DelayProb = 0.10
 		p.Link.FlapProb = 0.01
+	case "rank-crash":
+		// Kill one mid-world rank at a deterministic virtual time. The
+		// victim and instant vary with the seed so a seed sweep exercises
+		// different ranks dying at different points of the schedule.
+		p.Proc.Crashes = []Crash{{Rank: 1 + int(seed%3), AtNs: 18_000 + int64(seed%4)*9_000}}
 	default:
 		return nil, fmt.Errorf("fault: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
 	}
@@ -412,13 +457,27 @@ func Preset(name string, seed uint64) (*Plan, error) {
 // comma-separated key=value list, with the two freely mixed — later keys
 // override. Keys: seed, drop, dup, corrupt, delay, degrade, flap, nic,
 // launchfail (probabilities), delaymax, degradens, flapdown (ns),
-// degradefactor.
+// degradefactor, crash=RANK@TIMENS (repeatable; each adds one planned
+// rank death).
 //
 //	"drop-heavy"
 //	"drop-heavy,seed=7"
 //	"drop=0.05,corrupt=0.02,seed=42"
+//	"crash=2@20000,seed=3"
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{Seed: 1}
+	// Seed-dependent presets (rank-crash places its victim by seed) must see
+	// the final seed regardless of key order, so resolve seed= up front.
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if v, ok := strings.CutPrefix(part, "seed="); ok {
+			n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			p.Seed = n
+		}
+	}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -443,6 +502,20 @@ func ParsePlan(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("fault: bad seed %q: %v", val, err)
 			}
 			p.Seed = n
+		case "crash":
+			at := strings.SplitN(val, "@", 2)
+			if len(at) != 2 {
+				return nil, fmt.Errorf("fault: bad crash spec %q (want RANK@TIMENS)", val)
+			}
+			rank, err := strconv.Atoi(strings.TrimSpace(at[0]))
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad crash rank %q: %v", at[0], err)
+			}
+			t, err := strconv.ParseInt(strings.TrimSpace(at[1]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad crash time %q: %v", at[1], err)
+			}
+			p.Proc.Crashes = append(p.Proc.Crashes, Crash{Rank: rank, AtNs: t})
 		case "delaymax", "degradens", "flapdown":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFaultPlan drives the CLI plan-spec grammar with arbitrary
+// input. Whatever the spec, ParsePlan must never panic, and on success the
+// returned plan must uphold the parser's contract:
+//
+//   - it passes Validate (the parser never hands out an invalid plan),
+//   - parsing is deterministic (same spec twice ⇒ deeply equal plans),
+//   - a successfully parsed "crash=" key is reflected in HasCrashes, so a
+//     crash request can never be silently dropped.
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"flaky-ib",
+		"drop-heavy,seed=7",
+		"mixed,seed=42",
+		"degraded-link",
+		"kernel-failure,seed=9",
+		"rank-crash",
+		"rank-crash,seed=3",
+		"drop=0.05,corrupt=0.02,seed=42",
+		"crash=2@20000,seed=3",
+		"crash=0@0,crash=5@90000",
+		"delay=0.3,delaymax=50000",
+		"degrade=0.25,degradefactor=4,degradens=200000",
+		"flap=0.01,flapdown=1000000",
+		"nic=0.001,launchfail=0.002",
+		"drop=1.5",      // out-of-range probability must be rejected
+		"crash=-1@5000", // negative rank must be rejected
+		"crash=2@-1",    // negative time must be rejected
+		"seed=notanumber",
+		"crash=2",
+		"bogus-preset",
+		"=,=,=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("ParsePlan(%q) returned both a plan and error %v", spec, err)
+			}
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) accepted a plan Validate rejects: %v", spec, verr)
+		}
+		p2, err2 := ParsePlan(spec)
+		if err2 != nil {
+			t.Fatalf("ParsePlan(%q) nondeterministic: second parse failed: %v", spec, err2)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("ParsePlan(%q) nondeterministic:\n%+v\n%+v", spec, p, p2)
+		}
+		for _, part := range strings.Split(spec, ",") {
+			if strings.HasPrefix(strings.TrimSpace(part), "crash=") && !p.HasCrashes() {
+				t.Fatalf("ParsePlan(%q) accepted a crash key but HasCrashes is false", spec)
+			}
+		}
+	})
+}
+
+// The crash-plan Validate rejections the fuzzer's seed corpus pins down,
+// asserted directly so a regression names the exact rule that broke (the
+// probability-range rules are covered by TestValidateRejectsBadPlans).
+func TestValidateRejectsBadCrashPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"negative crash rank", Plan{Proc: ProcPlan{Crashes: []Crash{{Rank: -1, AtNs: 10}}}}},
+		{"negative crash time", Plan{Proc: ProcPlan{Crashes: []Crash{{Rank: 1, AtNs: -10}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid plan", tc.name)
+		}
+	}
+}

@@ -80,6 +80,11 @@ type Config struct {
 	// Retry tunes the reliability layer; zero values select defaults.
 	// Ignored when Faults is nil.
 	Retry RetryPolicy
+	// Heartbeat tunes the rank-failure detector (ulfm.go). The detector
+	// activates automatically when the fault plan schedules rank crashes;
+	// setting TimeoutNs > 0 activates it explicitly. Zero values select
+	// defaults. Ignored when Faults is nil.
+	Heartbeat HeartbeatConfig
 	// DisableIPC turns off the DirectIPC fast path even when the scheme
 	// supports it (for ablations).
 	DisableIPC bool
@@ -156,6 +161,23 @@ type World struct {
 
 	barrierEv    *sim.Event
 	barrierCount int
+
+	// Rank-failure tolerance state (ulfm.go); inert unless the fault plan
+	// schedules crashes or Config.Heartbeat is set.
+	ftOn           bool
+	hb             HeartbeatConfig
+	crashed        []bool  // ground truth: proc killed
+	rankFailed     []bool  // detector's view: declared dead
+	failedAt       []int64 // detection time per declared-dead rank
+	hbLast         []int64 // last heartbeat per rank
+	maxCrashAt     int64   // latest planned crash time
+	psite          *fault.Site
+	dsite          *fault.Site
+	usite          *fault.Site
+	epochSeq       int
+	worldComm      *Comm
+	comms          []*Comm
+	barrierArrived []bool
 }
 
 // Timeline returns the world's event timeline, or nil when tracing is off.
@@ -188,7 +210,12 @@ func NewWorld(c *cluster.Cluster, cfg Config, factory SchemeFactory) *World {
 			}
 			rec := w.tl.ExtraTrack("faults", cap)
 			inj.SetHook(func(ev fault.Event) {
-				rec.Instant(timeline.LayerFault, ev.Site, ev.Kind.String(), ev.At,
+				layer := timeline.LayerFault
+				switch ev.Kind {
+				case fault.RankCrash, fault.Detect, fault.Revoke, fault.Shrink, fault.Agree:
+					layer = timeline.LayerFailure
+				}
+				rec.Instant(layer, ev.Site, ev.Kind.String(), ev.At,
 					timeline.Arg{Key: "detail", Val: ev.Detail})
 			})
 		}
@@ -220,6 +247,7 @@ func NewWorld(c *cluster.Cluster, cfg Config, factory SchemeFactory) *World {
 	for _, r := range w.ranks {
 		r.scheme = factory(r)
 	}
+	w.initFT()
 	return w
 }
 
@@ -248,6 +276,7 @@ func (w *World) Run(body func(r *Rank, p *sim.Proc)) error {
 			body(r, p)
 		})
 	}
+	w.scheduleCrashes()
 	return w.Env.Run()
 }
 
@@ -272,6 +301,9 @@ func (w *World) stallDiag() string {
 	if w.inj != nil {
 		fmt.Fprintf(&b, "faults injected: %v\n", w.inj.Counts())
 		fmt.Fprintf(&b, "fabric faults: %v\n", w.Cluster.Net.FaultCounts())
+	}
+	if w.ftOn {
+		fmt.Fprintf(&b, "crashed ranks: %v declared failed: %v\n", w.CrashedRanks(), w.FailedRanks())
 	}
 	return b.String()
 }
@@ -429,11 +461,12 @@ const (
 	mkRTSChunk
 	mkCTS
 	mkFIN
-	mkAck // reliability layer: firmware-level acknowledgment
-	mkErr // reliability layer: best-effort peer-abort notification
+	mkAck    // reliability layer: firmware-level acknowledgment
+	mkErr    // reliability layer: best-effort peer-abort notification
+	mkRevoke // failure tolerance: in-band communicator revocation (gossip)
 )
 
-var msgKindNames = [...]string{"eager", "rts", "rts-chunk", "cts", "fin", "ack", "err"}
+var msgKindNames = [...]string{"eager", "rts", "rts-chunk", "cts", "fin", "ack", "err", "revoke"}
 
 func (m msgKind) String() string {
 	if int(m) < len(msgKindNames) {
@@ -467,6 +500,8 @@ type message struct {
 	// checksum the receiver verifies.
 	id  int64
 	sum uint64
+	// comm identifies the revoked communicator on mkRevoke messages.
+	comm *Comm
 }
 
 // Request is a non-blocking operation handle (MPI_Request).
@@ -509,6 +544,10 @@ type Request struct {
 	reads         []*readOp // recv RGET: checksummed read spans
 	writeDeadline int64     // send RPUT: rewrite deadline
 	writeAttempts int       // send RPUT: write issues so far
+
+	// comm binds the request to a communicator (ulfm.go): a revocation
+	// fails every bound request in place. Nil for plain point-to-point.
+	comm *Comm
 
 	doneEv *sim.Event
 	// DoneAt is the completion/failure time (valid once settled).
@@ -598,6 +637,9 @@ func (r *Rank) Isend(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.La
 // collective engine (internal/coll), which owns the reserved range; user
 // code should always go through Isend.
 func (r *Rank) IsendRaw(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) *Request {
+	if fq := r.postGuard(true, dest, tag); fq != nil {
+		return fq // peer declared dead: fail fast (ULFM semantics)
+	}
 	e := r.lookupLayout(p, l, count)
 	q := &Request{
 		rank: r, isSend: true, peer: dest, tag: tag,
@@ -665,6 +707,9 @@ func (r *Rank) Irecv(p *sim.Proc, src, tag int, buf *gpu.Buffer, l *datatype.Lay
 // IrecvRaw is Irecv without the reserved-tag guard, for the collective
 // engine (internal/coll); user code should always go through Irecv.
 func (r *Rank) IrecvRaw(p *sim.Proc, src, tag int, buf *gpu.Buffer, l *datatype.Layout, count int) *Request {
+	if fq := r.postGuard(false, src, tag); fq != nil {
+		return fq // peer declared dead: fail fast (ULFM semantics)
+	}
 	e := r.lookupLayout(p, l, count)
 	q := &Request{
 		rank: r, isSend: false, peer: src, tag: tag,
@@ -737,6 +782,12 @@ func (r *Rank) arrive(m *message) { r.arriveD(m, fabric.Delivery{}) }
 // prologue discards corrupted frames (the checksum rejects them), re-acks
 // duplicates, and acks + dedups tracked messages before they take effect.
 func (r *Rank) arriveD(m *message, d fabric.Delivery) {
+	if r.world.isCrashed(r.id) {
+		// A dead rank is silent: no acks, no matching, no progress. The
+		// sender's retransmissions go unanswered until the failure
+		// detector converts the silence into typed errors.
+		return
+	}
 	if r.reliable() {
 		if m.kind == mkAck {
 			r.handleAck(m)
@@ -757,11 +808,13 @@ func (r *Rank) arriveD(m *message, d fabric.Delivery) {
 			}
 			r.seen[m.id] = true
 			r.sendAck(m)
-		} else if d.Corrupt || (d.Dup && m.kind == mkErr) {
+		} else if d.Corrupt || (d.Dup && (m.kind == mkErr || m.kind == mkRevoke)) {
 			return // untracked frame damaged or duplicated: drop
 		}
 	}
 	switch m.kind {
+	case mkRevoke:
+		m.comm.revokeArrived(r)
 	case mkCTS:
 		m.receiver.ctsHere = true
 	case mkFIN:
@@ -923,6 +976,9 @@ func (r *Rank) complete(q *Request) {
 
 // progress advances every active request one step; called from Wait/Test.
 func (r *Rank) progress(p *sim.Proc) {
+	// A progressing rank is a live rank: refresh its heartbeat (the
+	// failure detector piggybacks on the progress engine).
+	r.world.heartbeat(r)
 	if r.needDrain {
 		// A failure from scheduler context advanced the envelope FIFO;
 		// drain now that a proc is available (sorted for determinism).
@@ -1215,6 +1271,13 @@ func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) error {
 			}
 		}
 		if done == len(reqs) {
+			// Collect errors strictly in request index order — never in
+			// settle order. In a mixed batch the caller sees the first
+			// failed request's typed error first (e.g. request 0's
+			// *OpError before request 1's ErrPeerAborted), regardless of
+			// which one failed first on the virtual clock. This keeps
+			// multi-error reports deterministic and is locked in by
+			// TestWaitallErrorOrderDeterministic.
 			var errs []error
 			for _, q := range reqs {
 				if q.err != nil {
@@ -1239,8 +1302,16 @@ func (r *Rank) Waitall(p *sim.Proc, reqs []*Request) error {
 }
 
 // Barrier synchronizes all ranks (linear counter barrier; the experiments
-// only use it between iterations, so its cost shape is irrelevant).
+// only use it between iterations, so its cost shape is irrelevant). Under
+// failure tolerance it synchronizes the *live* ranks: per-rank arrival
+// tracking (not a bare counter) guards against a rank that arrived and then
+// died inflating the count, and the failure detector re-evaluates the
+// barrier when it declares a death.
 func (w *World) Barrier(p *sim.Proc) {
+	if w.ftOn {
+		w.ftBarrier(p)
+		return
+	}
 	if w.barrierEv == nil {
 		w.barrierEv = w.Env.NewEvent("barrier")
 	}

@@ -351,6 +351,12 @@ func (r *Rank) fail(p *sim.Proc, q *Request, phase string, attempts int, err err
 		if r.emitWait[q.peer] == nil {
 			r.emitWait[q.peer] = make(map[int64]func(*sim.Proc))
 		}
+		if r.emitNext == nil {
+			// A send can fail before emitInOrder ever ran (e.g. its
+			// peer was declared dead while the send was still packing),
+			// so the drain-side map may not exist yet.
+			r.emitNext = make(map[int]int64)
+		}
 		r.emitWait[q.peer][q.seq] = func(*sim.Proc) {}
 		if p != nil {
 			r.drainEmits(p, q.peer)
@@ -367,6 +373,11 @@ func (r *Rank) fail(p *sim.Proc, q *Request, phase string, attempts int, err err
 	}
 	r.world.Env.Beat()
 	r.notifyPeer(q)
+	if q.comm != nil {
+		// Self-healing hook: a comm-bound op failing on a dead member
+		// revokes the communicator at the moment of observation.
+		q.comm.maybeAutoRevoke(r, err)
+	}
 }
 
 // notifyPeer sends a best-effort, untracked mkErr so the peer's matching
@@ -548,22 +559,30 @@ func (w *World) Injector() *fault.Injector { return w.inj }
 // without a fault plan).
 func (w *World) FaultEvents() []fault.Event { return w.inj.Events() }
 
-// LeakedRequests counts requests still registered as in-flight on any rank.
-// After a clean run — even a chaotic one — it is zero; the chaos suite
-// asserts this.
+// LeakedRequests counts requests still registered as in-flight on any
+// surviving rank. After a clean run — even a chaotic one — it is zero; the
+// chaos suite asserts this. Crashed ranks are excluded: a killed proc
+// abandons its requests mid-protocol by design, exactly as a dead MPI
+// process abandons its queue pairs.
 func (w *World) LeakedRequests() int {
 	n := 0
 	for _, r := range w.ranks {
+		if w.isCrashed(r.id) {
+			continue
+		}
 		n += len(r.active)
 	}
 	return n
 }
 
 // PendingMessages counts unresolved reliability-layer messages still being
-// tracked for retransmission across all ranks.
+// tracked for retransmission across the surviving ranks.
 func (w *World) PendingMessages() int {
 	n := 0
 	for _, r := range w.ranks {
+		if w.isCrashed(r.id) {
+			continue
+		}
 		for _, pm := range r.pending {
 			if !pm.acked && !pm.owner.settled() {
 				n++

@@ -372,6 +372,11 @@ func (s *Fusion) CloseBatch(p *sim.Proc) { s.Sched.CloseWindow(p) }
 // only; the paper's design never does this).
 func (s *Fusion) SyncStream(p *sim.Proc) { s.Sched.SyncStream(p) }
 
+// PendingFused reports requests still parked in the fusion scheduler —
+// the leak observable the error-path teardown invariant asserts on
+// (mpi.World.PendingFusedJobs sums it across live ranks).
+func (s *Fusion) PendingFused() int { return s.Sched.PendingCount() }
+
 // --- factories ---
 
 // Factory returns a SchemeFactory for a named scheme. Names follow the

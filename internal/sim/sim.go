@@ -241,9 +241,38 @@ type Proc struct {
 	yielded chan yieldKind
 	done    bool
 	started bool
+	killed  bool
 	startAt int64
 	tl      *timeline.Recorder
 }
+
+// killSentinel unwinds a killed Proc's goroutine via panic. It is recognized
+// by the Spawn recover handler and never escapes the simulation.
+type killSentinel struct{}
+
+// Kill marks the Proc dead (a simulated process crash). The Proc's body is
+// unwound at its next scheduling point and never runs again; a Proc blocked
+// in Sleep/Wait/Acquire is woken immediately so the unwind happens at the
+// current virtual time. Killing a finished or already-killed Proc is a no-op.
+// Must be called from scheduler context (an Env.At callback), like every
+// other scheduler-side mutation.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if p == p.env.current {
+		return // dies at its next blocking call
+	}
+	p.env.push(p.env.now, func() { p.env.dispatch(p) })
+}
+
+// Killed reports whether the Proc was killed.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Finished reports whether the Proc's body has completed (normally, or by
+// being killed).
+func (p *Proc) Finished() bool { return p.done }
 
 // SetTimeline attaches a timeline recorder to the Proc. A nil recorder (the
 // default) disables tracing: the hot paths then skip all event construction.
@@ -269,25 +298,36 @@ func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
 	}
 	p.startAt = e.now
 	e.procs = append(e.procs, p)
-	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
+	go p.bodyLoop(body)
+	e.push(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// bodyLoop runs a Proc's body in its own goroutine, translating panics into
+// scheduler yields. A killSentinel unwind (Kill) finishes the Proc cleanly
+// without surfacing a panic.
+func (p *Proc) bodyLoop(body func(p *Proc)) {
+	e := p.env
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); !isKill {
 				p.done = true
 				e.panicv = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
 				p.yielded <- yieldPanicked
 				return
 			}
-			p.done = true
-			if p.tl != nil {
-				p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "proc:"+p.name, p.startAt, e.now-p.startAt)
-			}
-			p.yielded <- yieldFinished
-		}()
-		body(p)
+		}
+		p.done = true
+		if p.tl != nil {
+			p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "proc:"+p.name, p.startAt, e.now-p.startAt)
+		}
+		p.yielded <- yieldFinished
 	}()
-	e.push(e.now, func() { e.dispatch(p) })
-	return p
+	if p.killed {
+		panic(killSentinel{})
+	}
+	body(p)
 }
 
 // SpawnAt is Spawn with the body delayed until absolute time t.
@@ -304,23 +344,7 @@ func (e *Env) SpawnAt(t int64, name string, body func(p *Proc)) *Proc {
 	}
 	p.startAt = t
 	e.procs = append(e.procs, p)
-	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
-				p.done = true
-				e.panicv = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
-				p.yielded <- yieldPanicked
-				return
-			}
-			p.done = true
-			if p.tl != nil {
-				p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "proc:"+p.name, p.startAt, e.now-p.startAt)
-			}
-			p.yielded <- yieldFinished
-		}()
-		body(p)
-	}()
+	go p.bodyLoop(body)
 	e.push(t, func() { e.dispatch(p) })
 	return p
 }
@@ -340,10 +364,14 @@ func (e *Env) dispatch(p *Proc) {
 }
 
 // yield suspends the calling Proc until the scheduler resumes it again.
-// Must be called from within the Proc's own goroutine.
+// Must be called from within the Proc's own goroutine. A killed Proc unwinds
+// here instead of resuming.
 func (p *Proc) yield() {
 	p.yielded <- yieldBlocked
 	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
 }
 
 // Name returns the Proc's name.

@@ -36,6 +36,9 @@ const (
 	// drops/flaps/corruptions and the recovery actions (timeouts,
 	// retransmissions, fallbacks) they trigger.
 	LayerFault
+	// LayerFailure is the rank-failure tolerance machinery: crashes,
+	// heartbeat detections, communicator revoke/shrink/agree.
+	LayerFailure
 	// LayerColl is the collective-communication engine: per-collective
 	// windows, schedule passes, and phase markers.
 	LayerColl
@@ -43,7 +46,7 @@ const (
 	numLayers
 )
 
-var layerNames = [numLayers]string{"sim", "gpu", "mpi", "fusion", "fault", "coll"}
+var layerNames = [numLayers]string{"sim", "gpu", "mpi", "fusion", "fault", "failure", "coll"}
 
 func (l Layer) String() string {
 	if l >= numLayers {

@@ -29,11 +29,15 @@ const (
 	// timed-out messages, re-issuing RDMA transfers, and retrying failed
 	// launches. Zero unless fault injection is enabled.
 	Retrans
+	// Recovery is CPU time spent on rank-failure tolerance: revoking,
+	// shrinking, and agreeing on communicators after a peer death. Zero
+	// unless a rank crash is planned.
+	Recovery
 
 	numCategories
 )
 
-var names = [numCategories]string{"(Un)Pack", "Launching", "Scheduling", "Sync", "Comm", "Other", "Retrans"}
+var names = [numCategories]string{"(Un)Pack", "Launching", "Scheduling", "Sync", "Comm", "Other", "Retrans", "Recovery"}
 
 // NumCategories reports how many cost categories exist. Consumers that keep
 // per-category tallies of their own (the timeline recorder) size their arrays

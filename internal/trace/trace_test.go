@@ -58,7 +58,7 @@ func TestStringNamesCategories(t *testing.T) {
 
 func TestCategoriesComplete(t *testing.T) {
 	cats := Categories()
-	if len(cats) != 7 {
+	if len(cats) != 8 {
 		t.Fatalf("got %d categories", len(cats))
 	}
 	seen := map[string]bool{}
