@@ -11,7 +11,7 @@ import (
 // grid and golden-checks the report line.
 func TestRunSmallGrid(t *testing.T) {
 	var buf bytes.Buffer
-	avg, err := run(&buf, "GPU-Sync", 8, 1, false, false, "")
+	avg, err := run(&buf, "GPU-Sync", 8, 1, 8, false, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestRunSmallGrid(t *testing.T) {
 // collective path and checks it completes with a plausible report.
 func TestRunCollMode(t *testing.T) {
 	var buf bytes.Buffer
-	avg, err := run(&buf, "Proposed-Tuned", 8, 1, true, false, "")
+	avg, err := run(&buf, "Proposed-Tuned", 8, 1, 8, false, true, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,6 +39,45 @@ func TestRunCollMode(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "avg step latency") {
 		t.Errorf("report line = %q", buf.String())
+	}
+}
+
+// TestDims3 pins the balanced 3D factorizations -ranks depends on.
+func TestDims3(t *testing.T) {
+	cases := map[int][]int{
+		8:    {2, 2, 2},
+		64:   {4, 4, 4},
+		256:  {8, 8, 4},
+		1024: {16, 8, 8},
+	}
+	for ranks, want := range cases {
+		got := dims3(ranks)
+		if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+			t.Errorf("dims3(%d) = %v, want %v", ranks, got, want)
+		}
+	}
+}
+
+// TestRunLazyRanks runs the lazy-bytes mode at 64 ranks through both
+// exchange paths; run() itself performs the sampled byte-exact check
+// around rank 0, so success here means the verification passed.
+func TestRunLazyRanks(t *testing.T) {
+	for _, useColl := range []bool{false, true} {
+		var buf bytes.Buffer
+		avg, err := run(&buf, "Proposed-Tuned", 8, 1, 64, true, useColl, false, "")
+		if err != nil {
+			t.Fatalf("coll=%v: %v", useColl, err)
+		}
+		if avg <= 0 {
+			t.Errorf("coll=%v: avg step latency %d ns, want > 0", useColl, avg)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "lazy mode; 6 sampled faces around rank 0 verified byte-exact") {
+			t.Errorf("coll=%v: missing verification line:\n%s", useColl, out)
+		}
+		if !strings.Contains(out, "ranks=64") {
+			t.Errorf("coll=%v: report line = %q", useColl, out)
+		}
 	}
 }
 
@@ -84,7 +123,7 @@ func TestCompareAllSmall(t *testing.T) {
 		t.Skip("runs four full exchanges")
 	}
 	var buf bytes.Buffer
-	if err := compareAll(&buf, 8, 1, false); err != nil {
+	if err := compareAll(&buf, 8, 1, 8, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

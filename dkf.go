@@ -310,7 +310,40 @@ type SessionConfig struct {
 	// collective algorithms, size/topology thresholds, fusion-window
 	// ablation). The zero value selects the full Auto policy.
 	Coll CollTuning
+	// Payload selects the payload representation. PayloadExact (default)
+	// carries real bytes everywhere — the reference semantics every other
+	// mode is verified against. PayloadLazy carries buffers at or above
+	// LazyThreshold as a seed+span+checksum algebra instead, making copy
+	// costs independent of message size; timings, traces, and checksums
+	// are identical to the exact run by construction. Incompatible with
+	// Faults: the reliability layer checksums and corrupts real wire
+	// bytes.
+	Payload PayloadMode
+	// LazyThreshold is the minimum allocation size, in bytes, carried
+	// lazily under PayloadLazy (0 = 4 KiB default). Smaller buffers stay
+	// byte-exact, so header-style metadata keeps working untouched.
+	LazyThreshold int64
+	// PollInterval overrides, in virtual nanoseconds, the progress-engine
+	// polling period (0 = 200 ns default). Large-scale runs raise it: poll
+	// events scale as ranks x virtual-time/interval, and at 1024 ranks the
+	// default generates billions of events.
+	PollInterval int64
 }
+
+// PayloadMode selects how message payloads are represented (see
+// SessionConfig.Payload).
+type PayloadMode int
+
+const (
+	// PayloadExact carries real bytes end to end (default).
+	PayloadExact PayloadMode = iota
+	// PayloadLazy carries large buffers as a lazy span algebra.
+	PayloadLazy
+)
+
+// DefaultLazyThreshold is the allocation size, in bytes, above which
+// PayloadLazy carries buffers lazily when LazyThreshold is unset.
+const DefaultLazyThreshold = 4096
 
 // validate rejects configurations that would misbehave downstream.
 func (cfg *SessionConfig) validate() error {
@@ -348,6 +381,21 @@ func (cfg *SessionConfig) validate() error {
 		if cfg.CustomSpec.GPUsPerNode < 1 {
 			return fmt.Errorf("dkf: CustomSpec needs at least one GPU per node, got %d", cfg.CustomSpec.GPUsPerNode)
 		}
+	}
+	if cfg.Payload != PayloadExact && cfg.Payload != PayloadLazy {
+		return fmt.Errorf("dkf: unknown PayloadMode %d (valid: PayloadExact, PayloadLazy)", int(cfg.Payload))
+	}
+	if cfg.LazyThreshold < 0 {
+		return fmt.Errorf("dkf: negative LazyThreshold %d", cfg.LazyThreshold)
+	}
+	if cfg.LazyThreshold > 0 && cfg.Payload != PayloadLazy {
+		return fmt.Errorf("dkf: LazyThreshold requires Payload: PayloadLazy")
+	}
+	if cfg.Payload == PayloadLazy && cfg.Faults != nil {
+		return fmt.Errorf("dkf: PayloadLazy is incompatible with Faults: the reliability layer checksums and corrupts real wire bytes (use PayloadExact for fault runs)")
+	}
+	if cfg.PollInterval < 0 {
+		return fmt.Errorf("dkf: negative PollInterval %d", cfg.PollInterval)
 	}
 	known := false
 	for _, n := range validSchemes() {
@@ -394,7 +442,21 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dkf: %w", err)
 	}
+	if cfg.Payload == PayloadLazy {
+		th := cfg.LazyThreshold
+		if th == 0 {
+			th = DefaultLazyThreshold
+		}
+		for _, node := range cl.Devices {
+			for _, d := range node {
+				d.LazyThreshold = th
+			}
+		}
+	}
 	mcfg := mpi.DefaultConfig()
+	if cfg.PollInterval > 0 {
+		mcfg.PollIntervalNs = cfg.PollInterval
+	}
 	if cfg.EagerLimit > 0 {
 		mcfg.EagerLimitBytes = cfg.EagerLimit
 	}
@@ -428,6 +490,11 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 
 // NumRanks reports the number of ranks (one per GPU).
 func (s *Session) NumRanks() int { return s.world.Size() }
+
+// LiveProcs reports how many simulation processes are still unfinished —
+// zero after a clean Run, making it a scheduler-side leak oracle alongside
+// LeakedRequests and PendingFusedJobs.
+func (s *Session) LiveProcs() int { return s.env.LiveProcs() }
 
 // Alloc allocates a device buffer on rank r's GPU before Run starts. It
 // panics — naming the rank and buffer — on a non-positive size or a

@@ -270,14 +270,16 @@ func Run(fig string) ([]*Table, error) {
 		return []*Table{Fig14()}, nil
 	case "coll":
 		return Coll(cluster.Lassen()), nil
+	case "scale":
+		return []*Table{Scale(1024)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14, coll)", fig)
+		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14, coll, scale)", fig)
 	}
 }
 
-// Figures lists the reproducible figure ids. "coll" is the repository's
-// own collectives-subsystem experiment, not a paper figure.
-func Figures() []string { return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll"} }
+// Figures lists the reproducible figure ids. "coll" and "scale" are the
+// repository's own subsystem experiments, not paper figures.
+func Figures() []string { return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll", "scale"} }
 
 // mutRendezvous returns a config mutator selecting the rendezvous mode
 // (used by ablations and tests).

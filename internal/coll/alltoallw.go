@@ -196,9 +196,12 @@ func (c *call) alltoallwHier(ops []WOp) error {
 		}
 		out := make([]int64, size)
 		in := make([]int64, size)
+		// Size tables are control metadata, not payload: decode real bytes
+		// regardless of payload mode.
+		data := sizeBufs[li].Materialize()
 		for i := 0; i < size; i++ {
-			out[i] = int64(binary.LittleEndian.Uint64(sizeBufs[li].Data[i*8:]))
-			in[i] = int64(binary.LittleEndian.Uint64(sizeBufs[li].Data[(size+i)*8:]))
+			out[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+			in[i] = int64(binary.LittleEndian.Uint64(data[(size+i)*8:]))
 		}
 		plan.out[li], plan.in[li] = out, in
 	}
@@ -356,9 +359,10 @@ func (c *call) hierLocal(ops []WOp, leader int, locals []int, myOut, myIn []int6
 		c.openWin()
 	}
 	sizeBuf := c.staging("sizes", int64(2*size*8))
+	sizeData := sizeBuf.Materialize() // control metadata stays byte-exact
 	for i := 0; i < size; i++ {
-		binary.LittleEndian.PutUint64(sizeBuf.Data[i*8:], uint64(myOut[i]))
-		binary.LittleEndian.PutUint64(sizeBuf.Data[(size+i)*8:], uint64(myIn[i]))
+		binary.LittleEndian.PutUint64(sizeData[i*8:], uint64(myOut[i]))
+		binary.LittleEndian.PutUint64(sizeData[(size+i)*8:], uint64(myIn[i]))
 	}
 	c.all = append(c.all, c.bind(r.IsendRaw(c.p, leader, c.tag(tagSizes), sizeBuf, c.bytesAt(0, int64(2*size*8)), 1)))
 	for dst := 0; dst < size; dst++ {

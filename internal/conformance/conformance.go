@@ -79,6 +79,18 @@ type Result struct {
 	Recv       []byte
 	FinalClock int64
 	Trace      map[string]int64
+	// RecvSum is the FNV-1a checksum of the receive buffer's logical
+	// content, computed mode-independently — the observable the lazy
+	// oracle compares against the byte-exact reference run.
+	RecvSum uint64
+	// Kernels and MovedBytes sum gpu.Stats.KernelLaunches/BytesMoved over
+	// all devices: the lazy oracle requires the GPU-side work accounting
+	// to match the exact run exactly.
+	Kernels    int64
+	MovedBytes int64
+	// LiveProcs counts simulation processes still unfinished after the
+	// run (must be zero: the scheduler-side leak oracle).
+	LiveProcs int
 	// SendErr/RecvErr are the typed Waitall errors of the two endpoints
 	// (nil on success; only ever non-nil under a fault plan).
 	SendErr, RecvErr error
@@ -93,14 +105,47 @@ type Result struct {
 	PendingFused int
 }
 
+// fillKind selects how scenario buffers are seeded.
+type fillKind int
+
+const (
+	// fillLCG is the legacy sequential-LCG pattern (workload.FillPattern)
+	// used by the byte-exact differential against the sequential model.
+	fillLCG fillKind = iota
+	// fillPRF seeds with the position-addressable payload PRF, which both
+	// exact and lazy modes can represent — required by the lazy oracle.
+	fillPRF
+)
+
 // RunScenario executes sc once under the named scheme on SpecSmall and
 // returns the observables. Rank 0 sends; rank 2 (inter-node) or rank 1
 // (intra-node) receives. On a sim error (e.g. the watchdog's StallError)
 // the partially populated Result is returned alongside the error so chaos
 // tests can still inspect the endpoint errors.
 func RunScenario(sc Scenario, scheme string) (*Result, error) {
+	return runScenario(sc, scheme, fillLCG, false)
+}
+
+// RunScenarioPayload is RunScenario with PRF-seeded buffers and a payload
+// mode switch: lazy=false is the byte-exact reference, lazy=true carries
+// every buffer (threshold 1) through the lazy span algebra. Identical
+// observables between the two are the lazy-vs-exact conformance oracle.
+func RunScenarioPayload(sc Scenario, scheme string, lazy bool) (*Result, error) {
+	return runScenario(sc, scheme, fillPRF, lazy)
+}
+
+func runScenario(sc Scenario, scheme string, fill fillKind, lazy bool) (*Result, error) {
 	env := sim.NewEnv()
 	cl := cluster.MustBuild(env, SpecSmall())
+	if lazy {
+		// Threshold 1 puts even tiny buffers on the lazy path — maximal
+		// coverage of the span algebra at conformance sizes.
+		for _, node := range cl.Devices {
+			for _, d := range node {
+				d.LazyThreshold = 1
+			}
+		}
+	}
 
 	cfg := mpi.DefaultConfig()
 	// Fuzzed scenarios can legitimately take hundreds of virtual ms under
@@ -132,8 +177,13 @@ func RunScenario(sc Scenario, scheme string) (*Result, error) {
 
 	sbuf := world.Rank(src).Dev.Alloc("conf-send", int(bufSpan(sc.Send, sc.Count)))
 	rbuf := world.Rank(dst).Dev.Alloc("conf-recv", int(bufSpan(sc.Recv, sc.Count)))
-	workload.FillPattern(sbuf.Data, sc.Seed)
-	workload.FillPattern(rbuf.Data, ^sc.Seed)
+	if fill == fillLCG {
+		workload.FillPattern(sbuf.Data, sc.Seed)
+		workload.FillPattern(rbuf.Data, ^sc.Seed)
+	} else {
+		sbuf.FillStream(sc.Seed)
+		rbuf.FillStream(^sc.Seed)
+	}
 
 	res := &Result{Scheme: scheme, Trace: make(map[string]int64)}
 	err := world.Run(func(r *mpi.Rank, p *sim.Proc) {
@@ -146,11 +196,18 @@ func RunScenario(sc Scenario, scheme string) (*Result, error) {
 			res.RecvErr = r.Waitall(p, []*mpi.Request{q})
 		}
 	})
-	res.Recv = append([]byte(nil), rbuf.Data...)
+	res.RecvSum = rbuf.Checksum()
+	res.Recv = append([]byte(nil), rbuf.Materialize()...)
 	res.FinalClock = env.Now()
+	res.LiveProcs = env.LiveProcs()
 	res.FaultEvents = len(world.FaultEvents())
 	res.Leaked = world.LeakedRequests()
 	res.PendingFused = world.PendingFusedJobs()
+	for i := 0; i < world.Size(); i++ {
+		st := world.Rank(i).Dev.Stats
+		res.Kernels += st.KernelLaunches
+		res.MovedBytes += st.BytesMoved
+	}
 	if err != nil {
 		return res, fmt.Errorf("scheme %s: %w", scheme, err)
 	}
@@ -259,6 +316,48 @@ func Differential(sc Scenario) error {
 			first = res
 		} else if err := compare(first.Scheme, name, first.Recv, res.Recv); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// LazyDifferential runs sc under one scheme twice — byte-exact and
+// lazy-bytes, both PRF-seeded from the same scenario seed — and asserts
+// the two runs are observationally identical: same receive checksum and
+// bytes, same final virtual clock, same per-category trace totals, same
+// GPU work accounting, and zero leaks on both sides. This is the oracle
+// that licenses running at scales where byte-exact mode is unaffordable.
+func LazyDifferential(sc Scenario, scheme string) error {
+	exact, err := RunScenarioPayload(sc, scheme, false)
+	if err != nil {
+		return fmt.Errorf("exact: %w", err)
+	}
+	lazy, err := RunScenarioPayload(sc, scheme, true)
+	if err != nil {
+		return fmt.Errorf("lazy: %w", err)
+	}
+	if exact.RecvSum != lazy.RecvSum {
+		return fmt.Errorf("conformance: %s lazy recv checksum %#x != exact %#x", scheme, lazy.RecvSum, exact.RecvSum)
+	}
+	if err := compare(scheme+"/exact", scheme+"/lazy", exact.Recv, lazy.Recv); err != nil {
+		return err
+	}
+	if exact.FinalClock != lazy.FinalClock {
+		return fmt.Errorf("conformance: %s lazy final clock %d ns != exact %d ns", scheme, lazy.FinalClock, exact.FinalClock)
+	}
+	for cat, ns := range exact.Trace {
+		if lazy.Trace[cat] != ns {
+			return fmt.Errorf("conformance: %s lazy trace[%s] %d ns != exact %d ns", scheme, cat, lazy.Trace[cat], ns)
+		}
+	}
+	if exact.Kernels != lazy.Kernels || exact.MovedBytes != lazy.MovedBytes {
+		return fmt.Errorf("conformance: %s lazy GPU accounting (kernels=%d bytes=%d) != exact (kernels=%d bytes=%d)",
+			scheme, lazy.Kernels, lazy.MovedBytes, exact.Kernels, exact.MovedBytes)
+	}
+	for _, r := range []*Result{exact, lazy} {
+		if r.Leaked != 0 || r.PendingFused != 0 || r.LiveProcs != 0 {
+			return fmt.Errorf("conformance: %s %s run leaked state: requests=%d fused=%d procs=%d",
+				scheme, map[bool]string{false: "exact", true: "lazy"}[r == lazy], r.Leaked, r.PendingFused, r.LiveProcs)
 		}
 	}
 	return nil

@@ -1,0 +1,63 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// TestLazyDifferentialAllSchemes runs the lazy-vs-exact oracle over every
+// registered scheme on a spread of generated scenarios: same seed, two
+// payload modes, identical checksums/clocks/traces/GPU accounting required.
+func TestLazyDifferentialAllSchemes(t *testing.T) {
+	perScheme := 4
+	if testing.Short() {
+		perScheme = 1
+	}
+	for i, name := range SchemeNames() {
+		for j := 0; j < perScheme; j++ {
+			seed := int64(5000 + i*perScheme + j)
+			sc := GenScenario(seed)
+			if err := LazyDifferential(sc, name); err != nil {
+				t.Errorf("scheme %s seed %d: %v\n  send=%s recv=%s count=%d rdv=%v eager=%d ipc-off=%v intra=%v pipe=%v",
+					name, seed, err, sc.SendType.TypeName(), sc.RecvType.TypeName(), sc.Count,
+					sc.Rendezvous, sc.EagerLimit, sc.DisableIPC, sc.IntraNode, sc.Pipeline)
+			}
+		}
+	}
+}
+
+// TestLazyDifferentialSeedInputs pushes the committed known-tricky decoder
+// corpus through the lazy oracle under the reference scheme plus the fused
+// proposed scheme, covering the datatype shapes that historically broke
+// block arithmetic.
+func TestLazyDifferentialSeedInputs(t *testing.T) {
+	names := SchemeNames()
+	pick := []string{names[0], names[len(names)-1]}
+	for i, in := range SeedInputs {
+		sc := DecodeScenario(in)
+		for _, name := range pick {
+			if err := LazyDifferential(sc, name); err != nil {
+				t.Errorf("seed input %d scheme %s: %v", i, name, err)
+			}
+		}
+	}
+}
+
+// TestLazyDeterminism: two identical lazy runs must be bit-identical, the
+// same invariant CheckDeterminism asserts for exact mode.
+func TestLazyDeterminism(t *testing.T) {
+	for i, name := range SchemeNames() {
+		sc := GenScenario(int64(7000 + i))
+		a, err := RunScenarioPayload(sc, name, true)
+		if err != nil {
+			t.Fatalf("scheme %s: %v", name, err)
+		}
+		b, err := RunScenarioPayload(sc, name, true)
+		if err != nil {
+			t.Fatalf("scheme %s: %v", name, err)
+		}
+		if a.FinalClock != b.FinalClock || a.RecvSum != b.RecvSum {
+			t.Errorf("scheme %s: lazy run nondeterministic (clock %d vs %d, sum %#x vs %#x)",
+				name, a.FinalClock, b.FinalClock, a.RecvSum, b.RecvSum)
+		}
+	}
+}

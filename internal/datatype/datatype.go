@@ -80,10 +80,35 @@ func (c contiguous) TypeName() string {
 	return fmt.Sprintf("contiguous(%d,%s)", c.count, c.base.TypeName())
 }
 func (c contiguous) flatten(base int64, out *[]Block) {
+	// Dense composition (gap-free primitives back to back) flattens to one
+	// block in O(1) instead of one block per element — contiguous byte
+	// layouts over megabyte staging bundles are committed on hot paths.
+	if d := denseLen(c); d > 0 {
+		*out = append(*out, Block{Offset: base, Len: d})
+		return
+	}
 	ext := c.base.Extent()
 	for i := 0; i < c.count; i++ {
 		c.base.flatten(base+int64(i)*ext, out)
 	}
+}
+
+// denseLen reports the length of t when it flattens to exactly one block
+// covering its whole extent (a primitive, or a contiguous composition of
+// dense types with no padding), 0 otherwise.
+func denseLen(t Type) int64 {
+	switch v := t.(type) {
+	case primitive:
+		return v.size
+	case contiguous:
+		if v.count == 0 {
+			return 0
+		}
+		if d := denseLen(v.base); d > 0 && d == v.base.Extent() {
+			return int64(v.count) * d
+		}
+	}
+	return 0
 }
 
 // --- vector / hvector ---

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/fault"
+	"repro/internal/payload"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 )
@@ -27,18 +28,87 @@ func (s Space) String() string {
 	return "device"
 }
 
-// Buffer is a named span of simulated memory. Data is real: kernels and
-// copy engines move bytes between buffers so correctness is observable.
+// Buffer is a named span of simulated memory. In byte-exact mode (the
+// default) Data is real: kernels and copy engines move bytes between
+// buffers so correctness is observable. In lazy-bytes mode large buffers
+// instead carry a payload.Content span algebra (Data is nil, Lazy is set):
+// the same copies become O(spans) bookkeeping and correctness is observed
+// through checksums, which match the byte-exact run exactly.
 type Buffer struct {
 	Name  string
 	Space Space
 	Data  []byte
+	// Lazy, when non-nil, is the buffer's lazy-bytes representation; Data
+	// is nil for the buffer's whole life unless Materialize is called.
+	Lazy *payload.Content
 	// Dev is the owning device for SpaceDevice buffers, nil for host.
 	Dev *Device
 }
 
 // Len returns the buffer length in bytes.
-func (b *Buffer) Len() int { return len(b.Data) }
+func (b *Buffer) Len() int {
+	if b.Lazy != nil {
+		return int(b.Lazy.Len())
+	}
+	return len(b.Data)
+}
+
+// IsLazy reports whether the buffer carries lazy-bytes content.
+func (b *Buffer) IsLazy() bool { return b.Lazy != nil }
+
+// Materialize converts a lazy buffer to real bytes in place and returns
+// them; on a byte-exact buffer it just returns Data. It is the escape
+// hatch for code that must address real bytes (size-table headers,
+// reductions) regardless of payload mode.
+func (b *Buffer) Materialize() []byte {
+	if b.Lazy != nil {
+		data := make([]byte, b.Lazy.Len())
+		b.Lazy.ReadAt(data, 0)
+		b.Data = data
+		b.Lazy = nil
+	}
+	return b.Data
+}
+
+// FillStream sets the buffer's whole content to PRF stream `seed`,
+// regardless of payload mode — the mode-independent way to seed test and
+// benchmark data so exact and lazy runs see identical logical bytes.
+func (b *Buffer) FillStream(seed uint64) {
+	if b.Lazy != nil {
+		b.Lazy.Fill(seed)
+		return
+	}
+	payload.FillBytes(b.Data, seed)
+}
+
+// Checksum returns the FNV-1a 64 hash of the buffer's logical content,
+// identical between a lazy buffer and a byte-exact buffer holding the same
+// bytes.
+func (b *Buffer) Checksum() uint64 {
+	if b.Lazy != nil {
+		return b.Lazy.Checksum()
+	}
+	return payload.Checksum(b.Data)
+}
+
+// CopyRange copies n bytes from src at srcOff into dst at dstOff, handling
+// every real/lazy combination. It is the single copy primitive the pack
+// kernels and MPI runtime use once lazy mode is in play.
+func CopyRange(dst *Buffer, dstOff int64, src *Buffer, srcOff, n int64) {
+	if n == 0 {
+		return
+	}
+	switch {
+	case dst.Lazy != nil && src.Lazy != nil:
+		dst.Lazy.CopyFrom(dstOff, src.Lazy, srcOff, n)
+	case dst.Lazy != nil:
+		dst.Lazy.WriteBytes(dstOff, src.Data[srcOff:srcOff+n])
+	case src.Lazy != nil:
+		src.Lazy.ReadAt(dst.Data[dstOff:dstOff+n], srcOff)
+	default:
+		copy(dst.Data[dstOff:dstOff+n], src.Data[srcOff:srcOff+n])
+	}
+}
 
 // HostAlloc allocates a host buffer.
 func HostAlloc(name string, n int) *Buffer {
@@ -76,6 +146,10 @@ type Device struct {
 	// variants never fail, so baseline schemes without a retry story keep
 	// their fault-free semantics.
 	Faults *fault.Site
+	// LazyThreshold, when positive, switches allocations of at least that
+	// many bytes to lazy-bytes content (see Buffer.Lazy). Zero keeps every
+	// buffer byte-exact.
+	LazyThreshold int64
 
 	env   *sim.Env
 	alloc int64
@@ -121,7 +195,12 @@ func (d *Device) AllocE(name string, n int) (*Buffer, error) {
 	}
 	d.names[name] = struct{}{}
 	d.alloc += int64(n)
-	b := &Buffer{Name: name, Space: SpaceDevice, Data: make([]byte, n), Dev: d}
+	b := &Buffer{Name: name, Space: SpaceDevice, Dev: d}
+	if d.LazyThreshold > 0 && int64(n) >= d.LazyThreshold {
+		b.Lazy = payload.New(int64(n))
+	} else {
+		b.Data = make([]byte, n)
+	}
 	d.bufs = append(d.bufs, b)
 	return b, nil
 }
@@ -132,6 +211,7 @@ func (d *Device) AllocE(name string, n int) (*Buffer, error) {
 func (d *Device) FreeAll() {
 	for _, b := range d.bufs {
 		b.Data = nil
+		b.Lazy = nil
 	}
 	d.bufs = nil
 	d.names = nil

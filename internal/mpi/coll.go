@@ -77,6 +77,10 @@ func (r *Rank) AllreduceSumF64(p *sim.Proc, buf *gpu.Buffer, n int) error {
 	}
 	l := datatype.Commit(datatype.Contiguous(n, datatype.Float64))
 	tmp := r.stagingBuf(int64(bytes))
+	// Element-wise arithmetic needs real bytes whatever the payload mode:
+	// a sum is not expressible in the lazy span algebra.
+	buf.Materialize()
+	tmp.Materialize()
 	reduceInto := func(dst *gpu.Buffer, src *gpu.Buffer) {
 		for i := 0; i < n; i++ {
 			a := math.Float64frombits(binary.LittleEndian.Uint64(dst.Data[i*8:]))

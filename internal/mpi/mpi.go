@@ -23,6 +23,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/layoutcache"
 	"repro/internal/pack"
+	"repro/internal/payload"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 	"repro/internal/trace"
@@ -486,8 +487,11 @@ type message struct {
 	sender *Request
 	// receiver is set on CTS/FIN destined for a specific request.
 	receiver *Request
-	// payload holds eager data bytes (already packed).
+	// payload holds eager data bytes (already packed). In lazy-bytes mode
+	// lazy carries the same logical bytes as a span snapshot instead and
+	// payload stays nil.
 	payload []byte
+	lazy    *payload.Content
 	// ipc marks an RTS offering a same-node zero-copy transfer.
 	ipc bool
 	// chunks > 0 marks a pipelined-rendezvous envelope; chunkOff and
@@ -874,13 +878,13 @@ func (r *Rank) deliver(q *Request, m *message) {
 		// Payload came with the envelope.
 		if q.contig {
 			b := q.entry.Blocks[0]
-			copy(q.buf.Data[b.Offset:b.Offset+b.Len], m.payload)
+			writeWire(q.buf, b.Offset, m)
 			q.dataHere = true
 			q.state = stWaitData // progress completes it
 			return
 		}
 		q.packed = r.stagingBuf(q.bytes)
-		copy(q.packed.Data, m.payload)
+		writeWire(q.packed, 0, m)
 		q.dataHere = true
 		q.state = stWaitData
 	case mkRTS:
@@ -900,12 +904,53 @@ func (r *Rank) deliver(q *Request, m *message) {
 // --- transfer initiation (sender side) ---
 
 // srcSpan returns the wire bytes for a send request (packed or contiguous).
+// Byte-exact mode only: the reliability layer uses it to checksum and
+// corrupt real bytes, which is exactly what lazy mode cannot provide (and
+// why lazy + faults is rejected at configuration time).
 func (q *Request) srcSpan() []byte {
 	if q.contig {
 		b := q.entry.Blocks[0]
 		return q.buf.Data[b.Offset : b.Offset+b.Len]
 	}
 	return q.packed.Data[:q.bytes]
+}
+
+// srcBuf returns the buffer and base offset holding a send's wire bytes —
+// the payload-mode-independent form of srcSpan.
+func (q *Request) srcBuf() (*gpu.Buffer, int64) {
+	if q.contig {
+		return q.buf, q.entry.Blocks[0].Offset
+	}
+	return q.packed, 0
+}
+
+// snapshotWire captures a send's q.bytes wire bytes into an eager message:
+// a cloned []byte in exact mode, a span snapshot in lazy mode.
+func snapshotWire(m *message, q *Request) {
+	sb, so := q.srcBuf()
+	if sb.IsLazy() {
+		m.lazy = sb.Lazy.Slice(so, q.bytes)
+		return
+	}
+	m.payload = append([]byte(nil), sb.Data[so:so+q.bytes]...)
+}
+
+// writeWire lands an eager message's bytes at dst[off:], whatever mode
+// either side is in.
+func writeWire(dst *gpu.Buffer, off int64, m *message) {
+	if m.lazy != nil {
+		if dst.IsLazy() {
+			dst.Lazy.CopyFrom(off, m.lazy, 0, m.lazy.Len())
+			return
+		}
+		m.lazy.ReadAt(dst.Data[off:off+m.lazy.Len()], 0)
+		return
+	}
+	if dst.IsLazy() {
+		dst.Lazy.WriteBytes(off, m.payload)
+		return
+	}
+	copy(dst.Data[off:off+int64(len(m.payload))], m.payload)
 }
 
 // startTransfer moves a packed/contiguous payload toward the peer. The
@@ -918,8 +963,8 @@ func (r *Rank) startTransfer(p *sim.Proc, q *Request) {
 		// Eager: payload rides along; sender completes once the message
 		// is handed to the NIC (reliable mode: once it is acked).
 		r.emitInOrder(p, q, func(p *sim.Proc) {
-			payload := append([]byte(nil), q.srcSpan()...)
-			m := &message{kind: mkEager, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes, payload: payload}
+			m := &message{kind: mkEager, from: r.id, to: q.peer, tag: q.tag, bytes: q.bytes}
+			snapshotWire(m, q)
 			if r.reliable() {
 				q.state = stWaitFin // resolved by the ack, not a FIN
 				r.sendReliable(p, q, m, q.bytes+64)
@@ -1046,7 +1091,8 @@ func (r *Rank) progressSend(p *sim.Proc, q *Request) {
 				t0 := p.Now()
 				net.RDMAWrite(r.node, peer.node, q.bytes, func() {
 					if recvReq != nil {
-						copy(recvReq.packed.Data, q.srcSpan())
+						sb, so := q.srcBuf()
+						gpu.CopyRange(recvReq.packed, 0, sb, so, q.bytes)
 						recvReq.dataHere = true
 					}
 					q.finHere = true // local write completion
@@ -1117,7 +1163,8 @@ func (r *Rank) progressRecv(p *sim.Proc, q *Request) {
 			sender := m.sender
 			t0 := p.Now()
 			net.RDMARead(r.node, r.world.ranks[m.from].node, q.bytes, func() {
-				copy(q.packed.Data, sender.srcSpan())
+				sb, so := sender.srcBuf()
+				gpu.CopyRange(q.packed, 0, sb, so, q.bytes)
 				q.dataHere = true
 				if r.tl != nil {
 					r.tl.Span(timeline.LayerMPI, timeline.CostNone, "net", "rdma-read", t0, r.world.Env.Now()-t0,
@@ -1144,7 +1191,7 @@ func (r *Rank) progressRecv(p *sim.Proc, q *Request) {
 		if q.contig {
 			if m != nil && m.kind == mkRTS {
 				b := q.entry.Blocks[0]
-				copy(q.buf.Data[b.Offset:b.Offset+b.Len], q.packed.Data[:q.bytes])
+				gpu.CopyRange(q.buf, b.Offset, q.packed, 0, q.bytes)
 			}
 			r.maybeComplete(q)
 			return

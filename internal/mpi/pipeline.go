@@ -175,8 +175,7 @@ func (r *Rank) progressPipelinedRecv(p *sim.Proc, q *Request) bool {
 		net.Post(p)
 		t0 := p.Now()
 		net.RDMARead(r.node, fromNode, m.chunkBytes, func() {
-			copy(q.packed.Data[m.chunkOff:m.chunkOff+m.chunkBytes],
-				sender.packed.Data[m.chunkOff:m.chunkOff+m.chunkBytes])
+			gpu.CopyRange(q.packed, m.chunkOff, sender.packed, m.chunkOff, m.chunkBytes)
 			q.recvdBytes += m.chunkBytes
 			if q.recvdBytes == q.bytes {
 				q.dataHere = true

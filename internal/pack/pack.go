@@ -80,19 +80,42 @@ func NewJob(op Op, origin, target *gpu.Buffer, blocks []datatype.Block) *Job {
 	return j
 }
 
-// Execute performs the real byte movement. It is designed to run as a
-// kernel's Exec callback (scheduler context) but is also usable directly
-// for CPU-driven packing.
+// Execute performs the byte movement. It is designed to run as a kernel's
+// Exec callback (scheduler context) but is also usable directly for
+// CPU-driven packing. When either buffer is lazy the per-block copies go
+// through gpu.CopyRange (span bookkeeping instead of real bytes); the
+// byte-exact fast paths are untouched when both buffers are real.
 func (j *Job) Execute() {
+	lazy := j.Origin.IsLazy() || j.Target.IsLazy()
 	switch j.Op {
 	case OpPack:
+		if lazy {
+			w := j.TargetOff
+			for _, b := range j.Blocks {
+				gpu.CopyRange(j.Target, w, j.Origin, b.Offset, b.Len)
+				w += b.Len
+			}
+			return
+		}
 		gather(j.Origin.Data, j.Blocks, j.Target.Data[j.TargetOff:])
 	case OpUnpack:
+		if lazy {
+			r := j.OriginOff
+			for _, b := range j.Blocks {
+				gpu.CopyRange(j.Target, b.Offset, j.Origin, r, b.Len)
+				r += b.Len
+			}
+			return
+		}
 		scatter(j.Origin.Data[j.OriginOff:], j.Target.Data, j.Blocks)
 	case OpDirectIPC:
 		dstBlocks := j.TargetBlocks
 		if dstBlocks == nil {
 			dstBlocks = j.Blocks
+		}
+		if lazy {
+			lazyCopyBlocks(j.Origin, j.Blocks, j.Target, dstBlocks)
+			return
 		}
 		copyBlocks(j.Origin.Data, j.Blocks, j.Target.Data, dstBlocks)
 	default:
@@ -130,6 +153,32 @@ func copyBlocks(src []byte, srcBlocks []datatype.Block, dst []byte, dstBlocks []
 			n = rem
 		}
 		copy(dst[db.Offset+do:db.Offset+do+n], src[sb.Offset+so:sb.Offset+so+n])
+		so += n
+		do += n
+		if so == sb.Len {
+			si, so = si+1, 0
+		}
+		if do == db.Len {
+			di, do = di+1, 0
+		}
+	}
+	if si < len(srcBlocks) || di < len(dstBlocks) {
+		panic("pack: block lists cover different byte counts")
+	}
+}
+
+// lazyCopyBlocks is copyBlocks over gpu.CopyRange, for when either side is
+// a lazy buffer.
+func lazyCopyBlocks(src *gpu.Buffer, srcBlocks []datatype.Block, dst *gpu.Buffer, dstBlocks []datatype.Block) {
+	si, di := 0, 0
+	var so, do int64
+	for si < len(srcBlocks) && di < len(dstBlocks) {
+		sb, db := srcBlocks[si], dstBlocks[di]
+		n := sb.Len - so
+		if rem := db.Len - do; rem < n {
+			n = rem
+		}
+		gpu.CopyRange(dst, db.Offset+do, src, sb.Offset+so, n)
 		so += n
 		do += n
 		if so == sb.Len {

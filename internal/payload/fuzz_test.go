@@ -1,0 +1,90 @@
+package payload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLazyChecksumAlgebra interprets the fuzz input as a little op program
+// over a Content and a []byte shadow model, then requires the lazy and
+// exact views to agree on bytes, checksum, and a range checksum. Ops are
+// 6-byte records: opcode, two offsets, a length, and two payload bytes —
+// all taken modulo the live content length so every input is valid.
+func FuzzLazyChecksumAlgebra(f *testing.F) {
+	f.Add([]byte{0, 10, 20, 30, 1, 2})
+	f.Add([]byte{1, 0, 0, 255, 7, 7, 2, 5, 0, 100, 0, 0})
+	f.Add([]byte{3, 0, 64, 64, 0, 0, 4, 32, 96, 32, 0, 0})
+	f.Add(bytes.Repeat([]byte{1, 0, 0, 8, 9, 1}, 40))
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const n = int64(257) // prime-ish, exercises block boundaries
+		c := New(n)
+		b := make([]byte, n)
+		aux := New(n)
+		ab := make([]byte, n)
+		aux.Fill(99)
+		FillBytes(ab, 99)
+
+		for len(program) >= 6 {
+			op := program[0]
+			o1 := int64(program[1]) % n
+			o2 := int64(program[2]) % n
+			ln := int64(program[3])
+			p1, p2 := program[4], program[5]
+			program = program[6:]
+			if ln > n-o1 {
+				ln = n - o1
+			}
+			if ln > n-o2 {
+				ln = n - o2
+			}
+			switch op % 7 {
+			case 0: // write literal bytes
+				lit := bytes.Repeat([]byte{p1 ^ p2}, int(ln))
+				for i := range lit {
+					lit[i] += byte(i)
+				}
+				c.WriteBytes(o1, lit)
+				copy(b[o1:o1+ln], lit)
+			case 1: // fill a range from a PRF stream
+				seed := uint64(binary.LittleEndian.Uint16([]byte{p1, p2}))
+				c.FillRange(o1, ln, seed, o2)
+				StreamAt(seed, o2, b[o1:o1+ln])
+			case 2: // zero a range
+				c.Zero(o1, ln)
+				for i := o1; i < o1+ln; i++ {
+					b[i] = 0
+				}
+			case 3: // overlapping self-copy
+				c.CopyFrom(o2, c, o1, ln)
+				copy(b[o2:o2+ln], append([]byte(nil), b[o1:o1+ln]...))
+			case 4: // cross-content copy from the aux stream
+				c.CopyFrom(o1, aux, o2, ln)
+				copy(b[o1:o1+ln], ab[o2:o2+ln])
+			case 5: // slice snapshot law
+				s := c.Slice(o1, ln)
+				if s.Checksum() != Checksum(b[o1:o1+ln]) {
+					t.Fatal("slice checksum diverges from model")
+				}
+			case 6: // concat law over two live slices
+				s := Concat(c.Slice(o1, ln), aux.Slice(o2, ln))
+				cat := append(append([]byte(nil), b[o1:o1+ln]...), ab[o2:o2+ln]...)
+				if s.Checksum() != Checksum(cat) {
+					t.Fatal("concat checksum diverges from model")
+				}
+			}
+		}
+
+		got := make([]byte, n)
+		c.ReadAt(got, 0)
+		if !bytes.Equal(got, b) {
+			t.Fatal("lazy bytes diverge from exact model")
+		}
+		if c.Checksum() != Checksum(b) {
+			t.Fatal("lazy checksum diverges from exact model")
+		}
+		if c.ChecksumRange(n/3, n/3) != Checksum(b[n/3:n/3+n/3]) {
+			t.Fatal("lazy range checksum diverges from exact model")
+		}
+	})
+}

@@ -1,0 +1,398 @@
+// Package payload implements the lazy-bytes content algebra: a byte
+// container represented as a sorted list of provenance spans (seeded PRF
+// stream ranges, literal bytes, implicit zeros) instead of a real []byte.
+//
+// Copying, packing, unpacking, concatenating, and slicing lazy content are
+// span-list manipulations — O(spans), independent of the byte count — which
+// is what lets the simulator carry multi-gigabyte aggregate payloads across
+// a 1024-rank cluster without ever allocating them. Correctness stays
+// observable through an FNV-1a checksum computed by streaming the spans:
+// for identical logical bytes it equals Checksum() over a real []byte, so a
+// lazy run and a byte-exact run can be compared checksum-for-checksum.
+//
+// The stream source is a position-addressable PRF (splitmix64 per 8-byte
+// block), NOT the sequential LCG of workload.FillPattern: a span copied to
+// a new offset must still be able to materialize or hash any sub-range in
+// O(1) seek time.
+package payload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// --- position-addressable PRF stream ---
+
+// prfWord returns 8 bytes of stream `seed` at block index blk (bytes
+// [8*blk, 8*blk+8) of the stream), using the splitmix64 finalizer.
+func prfWord(seed uint64, blk int64) uint64 {
+	x := seed + (uint64(blk)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// StreamAt materializes bytes [pos, pos+len(p)) of stream `seed` into p.
+func StreamAt(seed uint64, pos int64, p []byte) {
+	for i := range p {
+		at := pos + int64(i)
+		w := prfWord(seed, at>>3)
+		p[i] = byte(w >> (8 * uint(at&7)))
+	}
+}
+
+// FillBytes fills p with the first len(p) bytes of stream `seed` — the
+// byte-exact twin of Content.Fill, used so exact and lazy runs start from
+// identical logical buffer contents.
+func FillBytes(p []byte, seed uint64) { StreamAt(seed, 0, p) }
+
+// --- FNV-1a 64 ---
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Checksum is FNV-1a 64 over real bytes; Content.Checksum matches it for
+// identical logical content.
+func Checksum(p []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h
+}
+
+// hashZeros advances an FNV-1a state over n zero bytes in O(log n):
+// hashing a zero byte multiplies the state by the prime, so n zeros
+// multiply by prime^n.
+func hashZeros(h uint64, n int64) uint64 {
+	p := uint64(fnvPrime)
+	for e := uint64(n); e > 0; e >>= 1 {
+		if e&1 == 1 {
+			h *= p
+		}
+		p *= p
+	}
+	return h
+}
+
+// --- spans ---
+
+type srcKind uint8
+
+const (
+	srcFill srcKind = iota // bytes [pos, pos+n) of PRF stream `seed`
+	srcLit                 // literal bytes (immutable once attached)
+)
+
+// span is one contiguous run of non-zero provenance inside a Content.
+// Ranges not covered by any span read as zero.
+type span struct {
+	off  int64 // offset within the content
+	n    int64 // length in bytes
+	kind srcKind
+	seed uint64 // srcFill
+	pos  int64  // srcFill: stream position of the span's first byte
+	lit  []byte // srcLit: len == n; never mutated in place
+}
+
+// trim returns the sub-span covering content range [a, b).
+func (s span) trim(a, b int64) span {
+	d := a - s.off
+	t := span{off: a, n: b - a, kind: s.kind, seed: s.seed}
+	if s.kind == srcFill {
+		t.pos = s.pos + d
+	} else {
+		t.lit = s.lit[d : d+(b-a) : d+(b-a)]
+	}
+	return t
+}
+
+// mergeable reports whether b directly continues a (so the two can be one
+// span). Literal spans are never merged: that would need a byte copy.
+func mergeable(a, b span) bool {
+	return a.kind == srcFill && b.kind == srcFill &&
+		a.off+a.n == b.off && a.seed == b.seed && a.pos+a.n == b.pos
+}
+
+// --- Content ---
+
+// Content is a fixed-length lazy byte container. The zero-span Content
+// reads as all zeros.
+type Content struct {
+	n     int64
+	spans []span
+	// scratch is the reusable CopyFrom staging list (src spans must be
+	// snapshotted before mutating the destination: self-copies alias).
+	scratch []span
+}
+
+// New returns an all-zero Content of n bytes.
+func New(n int64) *Content {
+	if n < 0 {
+		panic(fmt.Sprintf("payload: negative content length %d", n))
+	}
+	return &Content{n: n}
+}
+
+// Len returns the content length in bytes.
+func (c *Content) Len() int64 { return c.n }
+
+// SpanCount reports the current span-list length (for leak/blowup tests).
+func (c *Content) SpanCount() int { return len(c.spans) }
+
+func (c *Content) checkRange(op string, off, n int64) {
+	if n < 0 || off < 0 || off+n > c.n {
+		panic(fmt.Sprintf("payload: %s range [%d,%d) out of content [0,%d)", op, off, off+n, c.n))
+	}
+}
+
+// firstOverlap returns the index of the first span whose end is past off.
+func (c *Content) firstOverlap(off int64) int {
+	return sort.Search(len(c.spans), func(i int) bool { return c.spans[i].off+c.spans[i].n > off })
+}
+
+// splice replaces coverage of [off, end) with add (sorted, within
+// [off, end)), splitting boundary spans, then coalesces mergeable fill
+// spans at the seams. The span list is shifted in place: no temporary
+// slice proportional to the tail is ever allocated, so a copy into a
+// bundle holding thousands of spans stays O(spans moved), not O(bytes
+// allocated) — the operation sits on the simulator's hottest path.
+func (c *Content) splice(off, end int64, add []span) {
+	i := c.firstOverlap(off)
+	var left, right span
+	var hasLeft, hasRight bool
+	j := i
+	if i < len(c.spans) && c.spans[i].off < end {
+		if c.spans[i].off < off {
+			left = c.spans[i].trim(c.spans[i].off, off)
+			hasLeft = true
+		}
+		for j < len(c.spans) && c.spans[j].off < end {
+			j++
+		}
+		if last := c.spans[j-1]; last.off+last.n > end {
+			right = last.trim(end, last.off+last.n)
+			hasRight = true
+		}
+	}
+	newLen := len(add)
+	if hasLeft {
+		newLen++
+	}
+	if hasRight {
+		newLen++
+	}
+	oldLen := len(c.spans)
+	if d := newLen - (j - i); d > 0 {
+		c.spans = append(c.spans, make([]span, d)...)
+		copy(c.spans[i+newLen:], c.spans[j:oldLen])
+	} else if d < 0 {
+		copy(c.spans[i+newLen:], c.spans[j:])
+		c.spans = c.spans[:oldLen+d]
+	}
+	w := i
+	if hasLeft {
+		c.spans[w] = left
+		w++
+	}
+	copy(c.spans[w:], add)
+	w += len(add)
+	if hasRight {
+		c.spans[w] = right
+	}
+	c.coalesce(i, i+newLen)
+}
+
+// coalesce merges mergeable neighbors around spans [from, to).
+func (c *Content) coalesce(from, to int) {
+	lo := from - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := to + 1
+	if hi > len(c.spans) {
+		hi = len(c.spans)
+	}
+	w := lo
+	for i := lo; i < hi; i++ {
+		if w > lo && mergeable(c.spans[w-1], c.spans[i]) {
+			c.spans[w-1].n += c.spans[i].n
+			continue
+		}
+		c.spans[w] = c.spans[i]
+		w++
+	}
+	if w < hi {
+		c.spans = append(c.spans[:w], c.spans[hi:]...)
+	}
+}
+
+// Fill sets the whole content to bytes [0, Len) of PRF stream `seed`.
+func (c *Content) Fill(seed uint64) {
+	c.spans = c.spans[:0]
+	if c.n > 0 {
+		c.spans = append(c.spans, span{off: 0, n: c.n, kind: srcFill, seed: seed})
+	}
+}
+
+// FillRange sets [off, off+n) to bytes [pos, pos+n) of stream `seed`.
+func (c *Content) FillRange(off, n int64, seed uint64, pos int64) {
+	c.checkRange("FillRange", off, n)
+	if n == 0 {
+		return
+	}
+	c.splice(off, off+n, []span{{off: off, n: n, kind: srcFill, seed: seed, pos: pos}})
+}
+
+// Zero clears [off, off+n) back to zero bytes.
+func (c *Content) Zero(off, n int64) {
+	c.checkRange("Zero", off, n)
+	if n == 0 {
+		return
+	}
+	c.splice(off, off+n, nil)
+}
+
+// WriteBytes copies p into the content at off (p is cloned: literal spans
+// are immutable so snapshots and slices can alias them safely).
+func (c *Content) WriteBytes(off int64, p []byte) {
+	c.checkRange("WriteBytes", off, int64(len(p)))
+	if len(p) == 0 {
+		return
+	}
+	lit := append([]byte(nil), p...)
+	end := off + int64(len(p))
+	c.splice(off, end, []span{{off: off, n: int64(len(p)), kind: srcLit, lit: lit}})
+}
+
+// ReadAt materializes content range [off, off+len(p)) into p.
+func (c *Content) ReadAt(p []byte, off int64) {
+	n := int64(len(p))
+	c.checkRange("ReadAt", off, n)
+	if n == 0 {
+		return
+	}
+	end := off + n
+	pos := off
+	for i := c.firstOverlap(off); i < len(c.spans) && c.spans[i].off < end; i++ {
+		s := c.spans[i]
+		a, b := s.off, s.off+s.n
+		if a < off {
+			a = off
+		}
+		if b > end {
+			b = end
+		}
+		for k := pos; k < a; k++ {
+			p[k-off] = 0
+		}
+		t := s.trim(a, b)
+		if t.kind == srcFill {
+			StreamAt(t.seed, t.pos, p[a-off:b-off])
+		} else {
+			copy(p[a-off:b-off], t.lit)
+		}
+		pos = b
+	}
+	for k := pos; k < end; k++ {
+		p[k-off] = 0
+	}
+}
+
+// CopyFrom copies n bytes of src starting at srcOff into c at dstOff —
+// the core algebra op behind pack/unpack/concat. Self-copies (src == c)
+// are allowed; overlapping ranges behave like memmove.
+func (c *Content) CopyFrom(dstOff int64, src *Content, srcOff, n int64) {
+	c.checkRange("CopyFrom dst", dstOff, n)
+	src.checkRange("CopyFrom src", srcOff, n)
+	if n == 0 {
+		return
+	}
+	delta := dstOff - srcOff
+	end := srcOff + n
+	add := c.scratch[:0]
+	for i := src.firstOverlap(srcOff); i < len(src.spans) && src.spans[i].off < end; i++ {
+		s := src.spans[i]
+		a, b := s.off, s.off+s.n
+		if a < srcOff {
+			a = srcOff
+		}
+		if b > end {
+			b = end
+		}
+		t := s.trim(a, b)
+		t.off += delta
+		add = append(add, t)
+	}
+	c.splice(dstOff, dstOff+n, add)
+	c.scratch = add[:0]
+}
+
+// Slice returns an immutable snapshot of content range [off, off+n) as a
+// fresh Content of length n. O(spans in range); literal bytes are shared,
+// never copied (they are immutable by construction).
+func (c *Content) Slice(off, n int64) *Content {
+	c.checkRange("Slice", off, n)
+	out := New(n)
+	out.CopyFrom(0, c, off, n)
+	return out
+}
+
+// Concat returns a fresh Content holding a followed by b.
+func Concat(a, b *Content) *Content {
+	out := New(a.n + b.n)
+	out.CopyFrom(0, a, 0, a.n)
+	out.CopyFrom(a.n, b, 0, b.n)
+	return out
+}
+
+// Checksum returns the FNV-1a 64 hash of the full logical byte string,
+// streamed from the spans without materializing the content. Zero gaps
+// advance the hash in O(log gap).
+func (c *Content) Checksum() uint64 { return c.ChecksumRange(0, c.n) }
+
+// ChecksumRange hashes content range [off, off+n) the same way Checksum
+// hashes the whole content.
+func (c *Content) ChecksumRange(off, n int64) uint64 {
+	c.checkRange("ChecksumRange", off, n)
+	h := uint64(fnvOffset)
+	end := off + n
+	pos := off
+	var buf [512]byte
+	for i := c.firstOverlap(off); i < len(c.spans) && c.spans[i].off < end; i++ {
+		s := c.spans[i]
+		a, b := s.off, s.off+s.n
+		if a < off {
+			a = off
+		}
+		if b > end {
+			b = end
+		}
+		h = hashZeros(h, a-pos)
+		t := s.trim(a, b)
+		if t.kind == srcLit {
+			for _, v := range t.lit {
+				h = (h ^ uint64(v)) * fnvPrime
+			}
+		} else {
+			for w := int64(0); w < t.n; {
+				k := t.n - w
+				if k > int64(len(buf)) {
+					k = int64(len(buf))
+				}
+				StreamAt(t.seed, t.pos+w, buf[:k])
+				for _, v := range buf[:k] {
+					h = (h ^ uint64(v)) * fnvPrime
+				}
+				w += k
+			}
+		}
+		pos = b
+	}
+	return hashZeros(h, end-pos)
+}

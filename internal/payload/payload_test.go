@@ -1,0 +1,255 @@
+package payload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// model pairs a Content with a plain []byte shadow; every op is applied to
+// both and the pair is checked byte-for-byte and checksum-for-checksum.
+type model struct {
+	c *Content
+	b []byte
+}
+
+func newModel(n int64) *model { return &model{c: New(n), b: make([]byte, n)} }
+
+func (m *model) check(t *testing.T, ctx string) {
+	t.Helper()
+	got := make([]byte, m.c.Len())
+	m.c.ReadAt(got, 0)
+	if !bytes.Equal(got, m.b) {
+		t.Fatalf("%s: content bytes diverge from model", ctx)
+	}
+	if cs, want := m.c.Checksum(), Checksum(m.b); cs != want {
+		t.Fatalf("%s: lazy checksum %#x != exact checksum %#x", ctx, cs, want)
+	}
+}
+
+func TestFillMatchesFillBytes(t *testing.T) {
+	for _, n := range []int64{0, 1, 7, 8, 9, 255, 256, 4096, 70000} {
+		c := New(n)
+		c.Fill(42)
+		b := make([]byte, n)
+		FillBytes(b, 42)
+		got := make([]byte, n)
+		c.ReadAt(got, 0)
+		if !bytes.Equal(got, b) {
+			t.Fatalf("n=%d: Fill and FillBytes disagree", n)
+		}
+		if c.Checksum() != Checksum(b) {
+			t.Fatalf("n=%d: checksum mismatch", n)
+		}
+	}
+}
+
+func TestStreamAtIsPositionAddressable(t *testing.T) {
+	whole := make([]byte, 1024)
+	FillBytes(whole, 7)
+	for _, off := range []int64{0, 1, 3, 7, 8, 9, 100, 511, 1000} {
+		part := make([]byte, 24)
+		StreamAt(7, off, part)
+		if !bytes.Equal(part, whole[off:off+24]) {
+			t.Fatalf("StreamAt(off=%d) disagrees with prefix fill", off)
+		}
+	}
+}
+
+func TestSeedDeterminismAndDistinctness(t *testing.T) {
+	a, b, c := make([]byte, 256), make([]byte, 256), make([]byte, 256)
+	FillBytes(a, 5)
+	FillBytes(b, 5)
+	FillBytes(c, 6)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed must produce same bytes")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should produce different bytes")
+	}
+}
+
+func TestZeroContentChecksum(t *testing.T) {
+	for _, n := range []int64{0, 1, 13, 4096} {
+		if New(n).Checksum() != Checksum(make([]byte, n)) {
+			t.Fatalf("n=%d: zero content checksum mismatch", n)
+		}
+	}
+}
+
+func TestWriteReadCopyAgainstModel(t *testing.T) {
+	const n = 2048
+	m := newModel(n)
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 400; step++ {
+		off := rng.Int63n(n)
+		ln := rng.Int63n(n - off + 1)
+		switch rng.Intn(5) {
+		case 0:
+			p := make([]byte, ln)
+			rng.Read(p)
+			m.c.WriteBytes(off, p)
+			copy(m.b[off:off+ln], p)
+		case 1:
+			seed := rng.Uint64()
+			pos := rng.Int63n(1 << 20)
+			m.c.FillRange(off, ln, seed, pos)
+			StreamAt(seed, pos, m.b[off:off+ln])
+		case 2:
+			m.c.Zero(off, ln)
+			for i := off; i < off+ln; i++ {
+				m.b[i] = 0
+			}
+		case 3: // self-copy, possibly overlapping
+			dst := rng.Int63n(n - ln + 1)
+			m.c.CopyFrom(dst, m.c, off, ln)
+			copy(m.b[dst:dst+ln], append([]byte(nil), m.b[off:off+ln]...))
+		case 4: // range checksum agreement
+			if got, want := m.c.ChecksumRange(off, ln), Checksum(m.b[off:off+ln]); got != want {
+				t.Fatalf("step %d: ChecksumRange(%d,%d) mismatch", step, off, ln)
+			}
+		}
+	}
+	m.check(t, "final")
+}
+
+// TestSliceLaw: Slice(off,n) of a content has the same bytes and checksum
+// as the corresponding sub-slice of the materialized bytes, and is a
+// snapshot — later writes to the source must not leak into it.
+func TestSliceLaw(t *testing.T) {
+	const n = 1024
+	m := newModel(n)
+	rng := rand.New(rand.NewSource(2))
+	m.c.Fill(9)
+	FillBytes(m.b, 9)
+	p := make([]byte, 100)
+	rng.Read(p)
+	m.c.WriteBytes(300, p)
+	copy(m.b[300:400], p)
+
+	off, ln := int64(250), int64(500)
+	s := m.c.Slice(off, ln)
+	want := append([]byte(nil), m.b[off:off+ln]...)
+	if s.Checksum() != Checksum(want) {
+		t.Fatal("slice checksum != model sub-slice checksum")
+	}
+	// mutate the source; the snapshot must be unaffected
+	m.c.Zero(0, n)
+	got := make([]byte, ln)
+	s.ReadAt(got, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("slice is not a snapshot: source mutation leaked in")
+	}
+}
+
+// TestConcatLaw: Checksum(Concat(a,b)) == Checksum(bytes(a) ++ bytes(b)).
+func TestConcatLaw(t *testing.T) {
+	a, b := New(300), New(500)
+	a.Fill(1)
+	b.Fill(2)
+	b.Zero(100, 50)
+	ab := Concat(a, b)
+	ba := make([]byte, 800)
+	a.ReadAt(ba[:300], 0)
+	b.ReadAt(ba[300:], 0)
+	if ab.Len() != 800 || ab.Checksum() != Checksum(ba) {
+		t.Fatal("concat law violated")
+	}
+}
+
+// TestPackUnpackRoundTrip mimics the pack/unpack composition the MPI layer
+// performs: gather strided blocks into a packed staging content, then
+// scatter them back into a zeroed destination — covered bytes must round
+// trip and the packed checksum must equal the packed model bytes.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	const n = 4096
+	src := New(n)
+	src.Fill(77)
+	sb := make([]byte, n)
+	FillBytes(sb, 77)
+
+	type block struct{ off, ln int64 }
+	var blocks []block
+	for off := int64(16); off+48 < n; off += 160 {
+		blocks = append(blocks, block{off, 48})
+	}
+	var packedLen int64
+	for _, bl := range blocks {
+		packedLen += bl.ln
+	}
+	packed := New(packedLen)
+	pb := make([]byte, packedLen)
+	var w int64
+	for _, bl := range blocks {
+		packed.CopyFrom(w, src, bl.off, bl.ln)
+		copy(pb[w:w+bl.ln], sb[bl.off:bl.off+bl.ln])
+		w += bl.ln
+	}
+	if packed.Checksum() != Checksum(pb) {
+		t.Fatal("packed checksum mismatch")
+	}
+	if packed.SpanCount() > len(blocks) {
+		t.Fatalf("packed span count %d exceeds block count %d", packed.SpanCount(), len(blocks))
+	}
+
+	dst := New(n)
+	db := make([]byte, n)
+	w = 0
+	for _, bl := range blocks {
+		dst.CopyFrom(bl.off, packed, w, bl.ln)
+		copy(db[bl.off:bl.off+bl.ln], pb[w:w+bl.ln])
+		w += bl.ln
+	}
+	if dst.Checksum() != Checksum(db) {
+		t.Fatal("unpacked checksum mismatch")
+	}
+	got := make([]byte, n)
+	dst.ReadAt(got, 0)
+	if !bytes.Equal(got, db) {
+		t.Fatal("unpacked bytes mismatch")
+	}
+}
+
+// TestCoalesceBoundsSpans: packing adjacent ranges of one fill stream must
+// merge back into a single span, not accumulate per-copy fragments.
+func TestCoalesceBoundsSpans(t *testing.T) {
+	src := New(1 << 20)
+	src.Fill(3)
+	dst := New(1 << 20)
+	var w int64
+	for off := int64(0); off < 1<<20; off += 4096 {
+		dst.CopyFrom(w, src, off, 4096)
+		w += 4096
+	}
+	if got := dst.SpanCount(); got != 1 {
+		t.Fatalf("contiguous stream copies should coalesce to 1 span, got %d", got)
+	}
+}
+
+func TestHashZeros(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 3, 63, 64, 1000} {
+		want := Checksum(make([]byte, n))
+		if got := hashZeros(fnvOffset, n); got != want {
+			t.Fatalf("hashZeros(%d) = %#x want %#x", n, got, want)
+		}
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	c := New(10)
+	for _, f := range []func(){
+		func() { c.WriteBytes(8, make([]byte, 4)) },
+		func() { c.ReadAt(make([]byte, 4), 8) },
+		func() { c.Slice(-1, 2) },
+		func() { c.ChecksumRange(0, 11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected out-of-range panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEqualTimestampStableOrder schedules 10k+ events across a handful of
+// timestamps, interleaving pushes, and requires every equal-timestamp group
+// to run in exact insertion order — the tie-break invariant the golden
+// traces depend on.
+func TestEqualTimestampStableOrder(t *testing.T) {
+	e := NewEnv()
+	const perTime = 4000
+	times := []int64{50, 10, 50, 10, 0} // deliberately unsorted pushes
+	type rec struct {
+		at  int64
+		seq int
+	}
+	var got []rec
+	seqs := map[int64]int{}
+	for round := 0; round < perTime; round++ {
+		for _, at := range times {
+			at := at
+			seq := seqs[at]
+			seqs[at]++
+			e.At(at, func() {
+				got = append(got, rec{at, seq})
+			})
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != perTime*len(times) {
+		t.Fatalf("ran %d events, want %d", len(got), perTime*len(times))
+	}
+	lastAt := int64(-1)
+	next := map[int64]int{}
+	for i, r := range got {
+		if r.at < lastAt {
+			t.Fatalf("event %d: time went backwards (%d after %d)", i, r.at, lastAt)
+		}
+		lastAt = r.at
+		if r.seq != next[r.at] {
+			t.Fatalf("event %d at t=%d: ran insertion #%d, want #%d (tie-break not stable)", i, r.at, r.seq, next[r.at])
+		}
+		next[r.at]++
+	}
+}
+
+// TestSameInstantCascadeOrder: an event that pushes more work at the
+// current instant must see that work run after everything already queued
+// at the same instant — even when its bucket was drained and recreated.
+func TestSameInstantCascadeOrder(t *testing.T) {
+	e := NewEnv()
+	var got []string
+	e.At(5, func() {
+		got = append(got, "a")
+		e.At(5, func() { got = append(got, "c") })
+	})
+	e.At(5, func() { got = append(got, "b") })
+	// Drain-and-recreate case: t=7's bucket holds exactly one event which
+	// re-pushes at t=7.
+	e.At(7, func() {
+		got = append(got, "d")
+		e.At(7, func() { got = append(got, "e") })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "abcde"
+	var s string
+	for _, g := range got {
+		s += g
+	}
+	if s != want {
+		t.Fatalf("cascade order %q, want %q", s, want)
+	}
+}
+
+// TestWorkerReuse proves pooling: many sequentially-finishing procs must
+// share a small set of worker goroutines, and a clean run must end with
+// every live-proc and pinned-worker counter at zero.
+func TestWorkerReuse(t *testing.T) {
+	e := NewEnv()
+	const n = 500
+	ran := 0
+	var prev *Proc
+	for i := 0; i < n; i++ {
+		p := e.SpawnAt(int64(i), fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(1)
+			ran++
+		})
+		_ = p
+		prev = p
+	}
+	_ = prev
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != n {
+		t.Fatalf("ran %d bodies, want %d", ran, n)
+	}
+	_, _, total := e.WorkerStats()
+	if total >= n/2 {
+		t.Fatalf("spawned %d worker goroutines for %d sequential procs; pool is not recycling", total, n)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("%d live procs after clean run, want 0", e.LiveProcs())
+	}
+	idle, alive, _ := e.WorkerStats()
+	if idle != 0 || alive != 0 {
+		t.Fatalf("worker pool not drained after clean run: idle=%d alive=%d", idle, alive)
+	}
+	if e.QueueLen() != 0 {
+		t.Fatalf("%d events still queued after clean run", e.QueueLen())
+	}
+}
+
+// TestWorkerReuseAfterKill: killed procs (blocked, running, and
+// never-started) must all release their workers back to the pool, and a
+// killed-before-start proc must not consume a worker at all.
+func TestWorkerReuseAfterKill(t *testing.T) {
+	e := NewEnv()
+	var killedUnstartedRan bool
+	blocked := e.Spawn("blocked", func(p *Proc) { p.Sleep(Second) })
+	self := e.Spawn("self", func(p *Proc) {
+		p.Kill() // current proc: dies at next blocking call
+		p.Sleep(1)
+		t.Error("self proc survived its own kill")
+	})
+	_ = self
+	unstarted := e.SpawnAt(Second, "unstarted", func(p *Proc) { killedUnstartedRan = true })
+	e.At(10, func() {
+		blocked.Kill()
+		unstarted.Kill()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if killedUnstartedRan {
+		t.Fatal("killed-before-start proc body ran")
+	}
+	for _, p := range []*Proc{blocked, self, unstarted} {
+		if !p.Finished() {
+			t.Fatalf("proc %s not finished after kill", p.Name())
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("%d live procs after kills, want 0", e.LiveProcs())
+	}
+	_, _, total := e.WorkerStats()
+	if total > 2 {
+		t.Fatalf("spawned %d workers; the never-started kill must not consume one", total)
+	}
+}
+
+// TestWorkerSurvivesProcPanic: a panicking proc aborts the run, but its
+// worker must be recycled, and the Env must stay usable for a fresh run.
+func TestWorkerSurvivesProcPanic(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("boom", func(p *Proc) { panic("bang") })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected proc panic to propagate out of Run")
+			}
+		}()
+		_ = e.Run()
+	}()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("%d live procs after panic, want 0", e.LiveProcs())
+	}
+	// The Env stays usable and reuses pool machinery.
+	ran := false
+	e.Spawn("after", func(p *Proc) { p.Sleep(1); ran = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("post-panic proc did not run")
+	}
+}
+
+// TestKillUnderWatchdog: the stall path must report only genuinely stuck
+// procs and killed procs must not pin workers when the watchdog aborts.
+func TestKillUnderWatchdog(t *testing.T) {
+	e := NewEnv()
+	stuck := e.Spawn("stuck", func(p *Proc) { p.Wait(e.NewEvent("never")) })
+	victim := e.Spawn("victim", func(p *Proc) { p.Sleep(Second) })
+	e.SetWatchdog(Millisecond, nil)
+	e.At(10, func() { victim.Kill() })
+	// Keep the clock moving so the watchdog can observe it.
+	var tick func()
+	tick = func() {
+		if e.Now() < 10*Millisecond {
+			e.After(Millisecond/2, tick)
+		}
+	}
+	e.After(Millisecond/2, tick)
+	err := e.Run()
+	se, ok := err.(*StallError)
+	if !ok {
+		t.Fatalf("want *StallError, got %v", err)
+	}
+	if len(se.Stuck) != 1 || se.Stuck[0] != "stuck" {
+		t.Fatalf("stuck = %v, want [stuck]", se.Stuck)
+	}
+	if !victim.Killed() || !victim.Finished() {
+		t.Fatal("killed proc should be finished before the stall fired")
+	}
+	if e.LiveProcs() != 1 {
+		t.Fatalf("live procs = %d, want 1 (only the stuck one)", e.LiveProcs())
+	}
+	_ = stuck
+}
+
+// TestFinishedProcReleasesState is the zero-leak oracle: after a Proc
+// finishes, the scheduler must not retain its body closure, timeline
+// recorder, or worker binding, no matter how the body ended.
+func TestFinishedProcReleasesState(t *testing.T) {
+	e := NewEnv()
+	normal := e.Spawn("normal", func(p *Proc) { p.Sleep(5) })
+	killedBlocked := e.Spawn("killedBlocked", func(p *Proc) { p.Sleep(Second) })
+	killedUnstarted := e.SpawnAt(Second, "killedUnstarted", func(p *Proc) {})
+	e.At(1, func() {
+		killedBlocked.Kill()
+		killedUnstarted.Kill()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Proc{normal, killedBlocked, killedUnstarted} {
+		if !p.Finished() {
+			t.Fatalf("%s not finished", p.Name())
+		}
+		if p.w != nil {
+			t.Fatalf("%s retains a worker binding after Finished()", p.Name())
+		}
+		if p.body != nil {
+			t.Fatalf("%s retains its body closure after Finished()", p.Name())
+		}
+		if p.tl != nil {
+			t.Fatalf("%s retains a timeline recorder after Finished()", p.Name())
+		}
+	}
+	if e.LiveProcs() != 0 || e.QueueLen() != 0 {
+		t.Fatalf("leak: live=%d queued=%d", e.LiveProcs(), e.QueueLen())
+	}
+}
+
+// TestQueueBucketRecycling: repeated bursts at fresh timestamps must not
+// grow the queue's retained state without bound (free-list reuse).
+func TestQueueBucketRecycling(t *testing.T) {
+	e := NewEnv()
+	ran := 0
+	for round := 0; round < 50; round++ {
+		base := int64(round) * 100
+		for i := int64(0); i < 10; i++ {
+			e.At(base+i, func() { ran++ })
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ran != 500 {
+		t.Fatalf("ran %d, want 500", ran)
+	}
+	if got := len(e.q.free); got > 16 {
+		t.Fatalf("free list grew to %d buckets; recycling is broken", got)
+	}
+}

@@ -1,11 +1,23 @@
 // Package sim provides a deterministic, process-oriented discrete-event
 // simulation kernel.
 //
-// An Env owns a virtual clock measured in integer nanoseconds and a heap of
-// pending events. Simulation actors are Procs: each runs in its own
-// goroutine but the scheduler resumes exactly one Proc at a time, so the
-// simulation is fully deterministic — ties in the event heap are broken by
-// an ever-increasing sequence number.
+// An Env owns a virtual clock measured in integer nanoseconds and a queue of
+// pending events. Simulation actors are Procs: each body runs on a pooled
+// worker goroutine, but the scheduler resumes exactly one Proc at a time, so
+// the simulation is fully deterministic — events at equal timestamps run in
+// insertion order.
+//
+// The event queue is sharded by timestamp: a min-heap orders the distinct
+// pending times while each time's events live in a FIFO bucket. Discrete
+// simulations schedule overwhelmingly at the current instant (wakeups,
+// event fans, zero-cost callbacks), so the common push/pop is an O(1)
+// bucket append/advance instead of an O(log n) heap rotation — at thousands
+// of in-flight events per tick this is what keeps dispatch near O(1).
+//
+// Worker goroutines are recycled: when a Proc finishes (normally, killed,
+// or panicked) its worker returns to an idle pool and picks up the next
+// spawned Proc, and all per-Proc state is released — an idle or finished
+// rank costs O(1) memory, which is what makes 1024-rank runs tractable.
 //
 // Procs interact with virtual time through blocking calls (Sleep, Wait,
 // Acquire); while a Proc is running, virtual time does not advance.
@@ -14,7 +26,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -47,14 +58,18 @@ func FmtDuration(ns int64) string {
 // Env is a simulation environment: a virtual clock plus the machinery to
 // schedule callbacks and cooperatively run Procs.
 type Env struct {
-	now     int64
-	seq     uint64
-	heap    eventHeap
-	procs   []*Proc
-	current *Proc
-	running bool
-	stopped bool
-	panicv  any // re-panicked out of Run
+	now      int64
+	q        timeQueue
+	live     map[*Proc]struct{}
+	nspawned int
+	current  *Proc
+	running  bool
+	stopped  bool
+	panicv   any // re-panicked out of Run
+
+	idle          []*worker // workers with no Proc bound, ready for reuse
+	workersAlive  int       // goroutines currently parked or running
+	workersTotal  int       // goroutines ever started (reuse oracle)
 
 	// No-progress watchdog (SetWatchdog). Zero timeout = disarmed.
 	wdTimeout int64
@@ -64,7 +79,7 @@ type Env struct {
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{}
+	return &Env{live: make(map[*Proc]struct{})}
 }
 
 // Now returns the current virtual time in nanoseconds.
@@ -76,7 +91,7 @@ func (e *Env) At(t int64, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: At(%d) is in the past (now=%d)", t, e.now))
 	}
-	e.push(t, fn)
+	e.q.push(t, fn)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -84,21 +99,31 @@ func (e *Env) After(d int64, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: After(%d) negative delay", d))
 	}
-	e.push(e.now+d, fn)
-}
-
-func (e *Env) push(t int64, fn func()) {
-	e.seq++
-	heap.Push(&e.heap, &schedItem{at: t, seq: e.seq, fn: fn})
+	e.q.push(e.now+d, fn)
 }
 
 // Stop halts the simulation after the current event finishes. Blocked Procs
 // are left in place; Run returns without error.
 func (e *Env) Stop() { e.stopped = true }
 
+// QueueLen reports how many events are pending (for leak oracles).
+func (e *Env) QueueLen() int { return e.q.len() }
+
+// LiveProcs reports how many spawned Procs have not yet finished. A clean
+// run ends at zero: every Proc's scheduler state has been released.
+func (e *Env) LiveProcs() int { return len(e.live) }
+
+// WorkerStats reports the pooled-worker counters: idle workers ready for
+// reuse, worker goroutines currently alive, and goroutines ever started.
+// total < procs-spawned proves recycling; alive == idle after a clean Run
+// proves no worker is pinned by a leaked Proc.
+func (e *Env) WorkerStats() (idle, alive, total int) {
+	return len(e.idle), e.workersAlive, e.workersTotal
+}
+
 // StallError reports that the no-progress watchdog fired: virtual time kept
-// advancing (the event heap was not empty — e.g. progress engines were still
-// polling) but nothing Beat the watchdog for longer than the timeout.
+// advancing (the event queue was not empty — e.g. progress engines were
+// still polling) but nothing Beat the watchdog for longer than the timeout.
 type StallError struct {
 	At        int64    // virtual time the watchdog fired
 	LastBeat  int64    // virtual time of the last recorded progress
@@ -137,44 +162,55 @@ func (e *Env) SetWatchdog(timeoutNs int64, diag func() string) {
 // happened). Cheap and safe to call with the watchdog disarmed.
 func (e *Env) Beat() { e.wdLast = e.now }
 
-// stalled builds the watchdog error at the current virtual time.
-func (e *Env) stalled() *StallError {
-	se := &StallError{At: e.now, LastBeat: e.wdLast, TimeoutNs: e.wdTimeout}
-	for _, p := range e.procs {
-		if !p.done && p.started {
-			se.Stuck = append(se.Stuck, p.name)
+// stuckNames lists started-but-unfinished Procs, sorted for determinism.
+func (e *Env) stuckNames() []string {
+	var stuck []string
+	for p := range e.live {
+		if p.started {
+			stuck = append(stuck, p.name)
 		}
 	}
-	sort.Strings(se.Stuck)
+	sort.Strings(stuck)
+	return stuck
+}
+
+// stalled builds the watchdog error at the current virtual time.
+func (e *Env) stalled() *StallError {
+	se := &StallError{At: e.now, LastBeat: e.wdLast, TimeoutNs: e.wdTimeout, Stuck: e.stuckNames()}
 	if e.wdDiag != nil {
 		se.Diag = e.wdDiag()
 	}
 	return se
 }
 
-// Run executes scheduled events in time order until the heap drains, Stop is
-// called, or every Proc has finished. It returns an error if any Proc is
-// still blocked when the event heap drains (a deadlock in the modeled
+// Run executes scheduled events in time order until the queue drains, Stop
+// is called, or every Proc has finished. It returns an error if any Proc is
+// still blocked when the event queue drains (a deadlock in the modeled
 // system) and names the stuck Procs.
 func (e *Env) Run() error {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
-	for !e.stopped && e.heap.Len() > 0 {
-		it := heap.Pop(&e.heap).(*schedItem)
-		if it.at < e.now {
+	defer func() {
+		e.running = false
+		if len(e.live) == 0 {
+			e.drainIdleWorkers()
+		}
+	}()
+	for !e.stopped && e.q.len() > 0 {
+		t, fn := e.q.pop()
+		if t < e.now {
 			panic("sim: time went backwards")
 		}
-		e.now = it.at
+		e.now = t
 		if e.wdTimeout > 0 && e.now-e.wdLast > e.wdTimeout {
 			if se := e.stalled(); len(se.Stuck) > 0 {
 				return se
 			}
 			e.wdLast = e.now // all procs done; trailing timers are not a stall
 		}
-		it.fn()
+		fn()
 		if e.panicv != nil {
 			v := e.panicv
 			e.panicv = nil
@@ -184,14 +220,7 @@ func (e *Env) Run() error {
 	if e.stopped {
 		return nil
 	}
-	var stuck []string
-	for _, p := range e.procs {
-		if !p.done && p.started {
-			stuck = append(stuck, p.name)
-		}
-	}
-	if len(stuck) > 0 {
-		sort.Strings(stuck)
+	if stuck := e.stuckNames(); len(stuck) > 0 {
 		return fmt.Errorf("sim: deadlock, %d proc(s) still blocked: %v", len(stuck), stuck)
 	}
 	return nil
@@ -199,46 +228,208 @@ func (e *Env) Run() error {
 
 // RunUntil runs the simulation but stops once virtual time would exceed t.
 func (e *Env) RunUntil(t int64) error {
-	e.push(t, func() { e.Stop() })
+	e.q.push(t, func() { e.Stop() })
 	return e.Run()
 }
 
-// schedItem is a single heap entry.
-type schedItem struct {
-	at  int64
-	seq uint64
-	fn  func()
+// --- timestamp-sharded event queue ---
+
+// bucket holds the FIFO of events pending at one timestamp. next is the
+// read cursor; executed slots are nilled so closures release promptly.
+type bucket struct {
+	fns  []func()
+	next int
 }
 
-type eventHeap []*schedItem
+// timeQueue orders events by (timestamp, insertion order): a min-heap of
+// the distinct pending timestamps plus a FIFO bucket per timestamp.
+// Drained buckets are recycled through a free list, so steady-state
+// scheduling allocates nothing.
+type timeQueue struct {
+	times   []int64
+	buckets map[int64]*bucket
+	free    []*bucket
+	n       int
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q *timeQueue) len() int { return q.n }
+
+func (q *timeQueue) push(t int64, fn func()) {
+	b := q.buckets[t]
+	if b == nil {
+		if k := len(q.free); k > 0 {
+			b = q.free[k-1]
+			q.free[k-1] = nil
+			q.free = q.free[:k-1]
+		} else {
+			b = &bucket{}
+		}
+		if q.buckets == nil {
+			q.buckets = make(map[int64]*bucket)
+		}
+		q.buckets[t] = b
+		q.heapPush(t)
 	}
-	return h[i].seq < h[j].seq
+	b.fns = append(b.fns, fn)
+	q.n++
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*schedItem)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+
+// pop removes and returns the earliest pending event. The caller must have
+// checked len() > 0. If the popped event empties its bucket, the bucket is
+// retired immediately — a push at the same timestamp from inside the
+// returned fn recreates it, and that timestamp (== now) is still the heap
+// minimum, so ordering is preserved.
+func (q *timeQueue) pop() (int64, func()) {
+	t := q.times[0]
+	b := q.buckets[t]
+	fn := b.fns[b.next]
+	b.fns[b.next] = nil
+	b.next++
+	q.n--
+	if b.next == len(b.fns) {
+		q.heapPop()
+		delete(q.buckets, t)
+		b.fns = b.fns[:0]
+		b.next = 0
+		q.free = append(q.free, b)
+	}
+	return t, fn
+}
+
+func (q *timeQueue) heapPush(t int64) {
+	q.times = append(q.times, t)
+	i := len(q.times) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.times[parent] <= q.times[i] {
+			break
+		}
+		q.times[parent], q.times[i] = q.times[i], q.times[parent]
+		i = parent
+	}
+}
+
+func (q *timeQueue) heapPop() {
+	last := len(q.times) - 1
+	q.times[0] = q.times[last]
+	q.times = q.times[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && q.times[l] < q.times[small] {
+			small = l
+		}
+		if r < last && q.times[r] < q.times[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		q.times[i], q.times[small] = q.times[small], q.times[i]
+		i = small
+	}
+}
+
+// --- pooled workers ---
+
+// worker is a reusable goroutine that hosts Proc bodies one after another.
+// The scheduler hands it a Proc on assign; the rendezvous channels carry
+// the run/yield ping-pong for whichever Proc is currently bound.
+type worker struct {
+	assign  chan *Proc
+	resume  chan struct{}
+	yielded chan yieldKind
+}
+
+func (w *worker) loop() {
+	for p := range w.assign {
+		w.runProc(p)
+	}
+}
+
+// runProc executes one Proc body to completion, translating panics into
+// scheduler yields. A killSentinel unwind (Kill) finishes the Proc cleanly
+// without surfacing a panic. Pool bookkeeping happens scheduler-side in
+// dispatch; this goroutine only runs bodies.
+func (w *worker) runProc(p *Proc) {
+	e := p.env
+	body := p.body
+	p.body = nil
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); !isKill {
+				p.done = true
+				e.panicv = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+				w.yielded <- yieldPanicked
+				return
+			}
+		}
+		p.done = true
+		if p.tl != nil {
+			p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "proc:"+p.name, p.startAt, e.now-p.startAt)
+		}
+		w.yielded <- yieldFinished
+	}()
+	if p.killed {
+		panic(killSentinel{})
+	}
+	body(p)
+}
+
+// acquireWorker pops an idle worker or starts a fresh goroutine.
+func (e *Env) acquireWorker() *worker {
+	if k := len(e.idle); k > 0 {
+		w := e.idle[k-1]
+		e.idle[k-1] = nil
+		e.idle = e.idle[:k-1]
+		return w
+	}
+	w := &worker{
+		assign:  make(chan *Proc),
+		resume:  make(chan struct{}),
+		yielded: make(chan yieldKind),
+	}
+	e.workersAlive++
+	e.workersTotal++
+	go w.loop()
+	return w
+}
+
+// drainIdleWorkers terminates parked worker goroutines. Called when a Run
+// ends with no live Procs so an Env (and its test process) does not strand
+// goroutines; the next Spawn simply starts fresh workers.
+func (e *Env) drainIdleWorkers() {
+	for _, w := range e.idle {
+		close(w.assign)
+		e.workersAlive--
+	}
+	e.idle = e.idle[:0]
+}
+
+// finishProc releases all scheduler state bound to a completed Proc: its
+// worker returns to the idle pool and the live registry, timeline recorder,
+// and body reference are dropped. After this, a finished Proc costs O(1)
+// memory no matter how long the simulation keeps running.
+func (e *Env) finishProc(p *Proc) {
+	if p.w != nil {
+		e.idle = append(e.idle, p.w)
+		p.w = nil
+	}
+	p.body = nil
+	p.tl = nil
+	delete(e.live, p)
 }
 
 // Proc is a simulated sequential process (for example, a CPU thread of one
-// MPI rank). Its body function runs in a dedicated goroutine; the scheduler
+// MPI rank). Bodies run on pooled worker goroutines; the scheduler
 // guarantees at most one Proc executes at a time.
 type Proc struct {
 	env     *Env
 	name    string
 	id      int
-	resume  chan struct{}
-	yielded chan yieldKind
+	w       *worker       // bound while started and unfinished
+	body    func(p *Proc) // held until first dispatch
 	done    bool
 	started bool
 	killed  bool
@@ -246,8 +437,8 @@ type Proc struct {
 	tl      *timeline.Recorder
 }
 
-// killSentinel unwinds a killed Proc's goroutine via panic. It is recognized
-// by the Spawn recover handler and never escapes the simulation.
+// killSentinel unwinds a killed Proc's body via panic. It is recognized by
+// the worker recover handler and never escapes the simulation.
 type killSentinel struct{}
 
 // Kill marks the Proc dead (a simulated process crash). The Proc's body is
@@ -264,7 +455,7 @@ func (p *Proc) Kill() {
 	if p == p.env.current {
 		return // dies at its next blocking call
 	}
-	p.env.push(p.env.now, func() { p.env.dispatch(p) })
+	p.env.q.push(p.env.now, func() { p.env.dispatch(p) })
 }
 
 // Killed reports whether the Proc was killed.
@@ -286,48 +477,24 @@ const (
 	yieldPanicked
 )
 
-// Spawn creates a Proc named name whose body starts at the current virtual
-// time. The body receives the Proc for time-consuming calls.
-func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{
-		env:     e,
-		name:    name,
-		id:      len(e.procs),
-		resume:  make(chan struct{}),
-		yielded: make(chan yieldKind),
+func (e *Env) newProc(name string, startAt int64, body func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, id: e.nspawned, body: body, startAt: startAt}
+	e.nspawned++
+	if e.live == nil {
+		e.live = make(map[*Proc]struct{})
 	}
-	p.startAt = e.now
-	e.procs = append(e.procs, p)
-	go p.bodyLoop(body)
-	e.push(e.now, func() { e.dispatch(p) })
+	e.live[p] = struct{}{}
 	return p
 }
 
-// bodyLoop runs a Proc's body in its own goroutine, translating panics into
-// scheduler yields. A killSentinel unwind (Kill) finishes the Proc cleanly
-// without surfacing a panic.
-func (p *Proc) bodyLoop(body func(p *Proc)) {
-	e := p.env
-	<-p.resume
-	defer func() {
-		if r := recover(); r != nil {
-			if _, isKill := r.(killSentinel); !isKill {
-				p.done = true
-				e.panicv = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
-				p.yielded <- yieldPanicked
-				return
-			}
-		}
-		p.done = true
-		if p.tl != nil {
-			p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "proc:"+p.name, p.startAt, e.now-p.startAt)
-		}
-		p.yielded <- yieldFinished
-	}()
-	if p.killed {
-		panic(killSentinel{})
-	}
-	body(p)
+// Spawn creates a Proc named name whose body starts at the current virtual
+// time. The body receives the Proc for time-consuming calls. No worker is
+// bound until the first dispatch: a Proc that is spawned and killed before
+// it starts never costs a goroutine.
+func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
+	p := e.newProc(name, e.now, body)
+	e.q.push(e.now, func() { e.dispatch(p) })
+	return p
 }
 
 // SpawnAt is Spawn with the body delayed until absolute time t.
@@ -335,40 +502,54 @@ func (e *Env) SpawnAt(t int64, name string, body func(p *Proc)) *Proc {
 	if t < e.now {
 		panic("sim: SpawnAt in the past")
 	}
-	p := &Proc{
-		env:     e,
-		name:    name,
-		id:      len(e.procs),
-		resume:  make(chan struct{}),
-		yielded: make(chan yieldKind),
-	}
-	p.startAt = t
-	e.procs = append(e.procs, p)
-	go p.bodyLoop(body)
-	e.push(t, func() { e.dispatch(p) })
+	p := e.newProc(name, t, body)
+	e.q.push(t, func() { e.dispatch(p) })
 	return p
 }
 
 // dispatch resumes p and waits for it to block or finish. Runs in scheduler
-// context.
+// context. The first dispatch binds a pooled worker; a Proc killed before
+// it ever ran finishes inline without consuming one (still recording its
+// timeline span, so traces are identical either way).
 func (e *Env) dispatch(p *Proc) {
 	if p.done {
 		return
 	}
-	p.started = true
 	prev := e.current
 	e.current = p
-	p.resume <- struct{}{}
-	<-p.yielded
+	var kind yieldKind
+	if p.w == nil {
+		p.started = true
+		if p.killed {
+			p.done = true
+			if p.tl != nil {
+				p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "proc:"+p.name, p.startAt, e.now-p.startAt)
+			}
+			e.current = prev
+			e.finishProc(p)
+			return
+		}
+		w := e.acquireWorker()
+		p.w = w
+		w.assign <- p
+		kind = <-w.yielded
+	} else {
+		p.w.resume <- struct{}{}
+		kind = <-p.w.yielded
+	}
 	e.current = prev
+	if kind != yieldBlocked {
+		e.finishProc(p)
+	}
 }
 
 // yield suspends the calling Proc until the scheduler resumes it again.
-// Must be called from within the Proc's own goroutine. A killed Proc unwinds
-// here instead of resuming.
+// Must be called from within the Proc's body. A killed Proc unwinds here
+// instead of resuming.
 func (p *Proc) yield() {
-	p.yielded <- yieldBlocked
-	<-p.resume
+	w := p.w
+	w.yielded <- yieldBlocked
+	<-w.resume
 	if p.killed {
 		panic(killSentinel{})
 	}
@@ -392,7 +573,7 @@ func (p *Proc) Sleep(d int64) {
 	if p.tl != nil && d > 0 {
 		p.tl.Span(timeline.LayerSim, timeline.CostNone, "sched", "sleep", p.env.now, d)
 	}
-	p.env.push(p.env.now+d, func() { p.env.dispatch(p) })
+	p.env.q.push(p.env.now+d, func() { p.env.dispatch(p) })
 	p.yield()
 }
 
@@ -442,7 +623,7 @@ func (ev *Event) FiredAt() int64 {
 // If the event already fired, fn is scheduled to run at the current time.
 func (ev *Event) OnFire(fn func()) {
 	if ev.fired {
-		ev.env.push(ev.env.now, fn)
+		ev.env.q.push(ev.env.now, fn)
 		return
 	}
 	ev.hooks = append(ev.hooks, fn)
@@ -461,12 +642,12 @@ func (ev *Event) Fire() {
 	ev.waiters = nil
 	for _, w := range waiters {
 		w := w
-		ev.env.push(ev.env.now, func() { ev.env.dispatch(w) })
+		ev.env.q.push(ev.env.now, func() { ev.env.dispatch(w) })
 	}
 	hooks := ev.hooks
 	ev.hooks = nil
 	for _, h := range hooks {
-		ev.env.push(ev.env.now, h)
+		ev.env.q.push(ev.env.now, h)
 	}
 }
 
@@ -533,6 +714,9 @@ func (r *Resource) Release() {
 	}
 	r.inUse--
 }
+
+// push keeps the old internal name alive for Resource above.
+func (e *Env) push(t int64, fn func()) { e.q.push(t, fn) }
 
 // InUse reports how many units are currently held.
 func (r *Resource) InUse() int { return r.inUse }
