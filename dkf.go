@@ -30,6 +30,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fusion"
 	"repro/internal/gpu"
+	"repro/internal/layoutcache"
 	"repro/internal/mpi"
 	"repro/internal/schemes"
 	"repro/internal/sim"
@@ -99,8 +100,31 @@ func Subarray(sizes, subsizes, starts []int, base Type) Type {
 	return datatype.Subarray(sizes, subsizes, starts, base)
 }
 
-// Commit flattens a datatype (MPI_Type_commit).
+// Commit flattens a datatype (MPI_Type_commit). It panics on malformed
+// constructor input (negative counts, mismatched slice lengths,
+// out-of-range subarray bounds); use CommitE to handle those as errors.
+// Constructors themselves never panic — invalid shapes surface at commit,
+// mirroring the Alloc/AllocE convention.
 func Commit(t Type) *Layout { return datatype.Commit(t) }
+
+// CommitE is Commit returning a typed error instead of panicking: a
+// *InvalidTypeError (unwrapping to ErrInvalidType) naming the offending
+// constructor and the reason.
+func CommitE(t Type) (*Layout, error) { return datatype.CommitE(t) }
+
+// InvalidTypeError describes malformed constructor input, surfaced by
+// CommitE; it unwraps to ErrInvalidType for errors.Is checks.
+type InvalidTypeError = datatype.InvalidTypeError
+
+// ErrInvalidType is the sentinel wrapped by every *InvalidTypeError.
+var ErrInvalidType = datatype.ErrInvalidType
+
+// Equivalent reports whether two datatype spellings commit to the same
+// canonical form — the same pack sequence at the same extent — and would
+// therefore share one layout-cache entry and compiled pack plan. Layouts
+// expose the identity directly via Layout.Canonical() (the signature
+// string) and Layout.CanonicalForm() (the stride-run form).
+func Equivalent(a, b Type) bool { return datatype.Equivalent(a, b) }
 
 // --- systems ---
 
@@ -328,6 +352,12 @@ type SessionConfig struct {
 	// events scale as ranks x virtual-time/interval, and at 1024 ranks the
 	// default generates billions of events.
 	PollInterval int64
+	// DisablePackPlans forces the legacy block-list pack/unpack loops
+	// instead of the compiled per-canonical-form pack plans (ablation /
+	// differential-oracle control). Plans only change host execution
+	// speed: checksums, virtual clocks, and kernel counts are identical
+	// either way.
+	DisablePackPlans bool
 }
 
 // PayloadMode selects how message payloads are represented (see
@@ -464,6 +494,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		mcfg.Rendezvous = mpi.RPUT
 	}
 	mcfg.DisableIPC = cfg.DisableIPC
+	mcfg.DisablePackPlans = cfg.DisablePackPlans
 	mcfg.PipelineChunkBytes = cfg.PipelineChunk
 	mcfg.Timeline = cfg.Trace
 	mcfg.Faults = cfg.Faults
@@ -531,6 +562,53 @@ func (s *Session) Timeline() *Timeline { return s.world.Timeline() }
 
 // DeviceStats returns rank r's GPU activity counters.
 func (s *Session) DeviceStats(r int) gpu.Stats { return s.world.Rank(r).Dev.Stats }
+
+// PlanStats summarizes canonical layout-cache behavior across all ranks:
+// hits/misses/evictions of the canonical-keyed caches plus plan
+// compilations by kind. A hot cache shows a high hit count and a compile
+// count no larger than the number of distinct (canonical form, count)
+// pairs — equivalent datatype spellings never recompile.
+type PlanStats struct {
+	// Hits/Misses/Evictions aggregate the per-rank canonical caches
+	// (both the charged point-to-point cache and the collective-engine
+	// plan cache).
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Compiled counts compiled pack plans by specialization:
+	// "empty", "contig", "strided", "gather".
+	Compiled map[string]int64
+}
+
+// TotalCompiled sums plan compilations across kinds.
+func (ps PlanStats) TotalCompiled() int64 {
+	var n int64
+	for _, c := range ps.Compiled {
+		n += c
+	}
+	return n
+}
+
+// PlanStats aggregates canonical-cache and pack-plan counters across all
+// ranks of the session.
+func (s *Session) PlanStats() PlanStats {
+	var agg layoutcache.Stats
+	for r := 0; r < s.world.Size(); r++ {
+		agg.Add(s.world.Rank(r).CacheStats())
+	}
+	ps := PlanStats{
+		Hits:      agg.Hits,
+		Misses:    agg.Misses,
+		Evictions: agg.Evictions,
+		Compiled:  make(map[string]int64, len(agg.Compiled)),
+	}
+	for k, n := range agg.Compiled {
+		if n != 0 {
+			ps.Compiled[datatype.PlanKind(k).String()] = n
+		}
+	}
+	return ps
+}
 
 // FaultEvents returns the chronological injected-fault/recovery event log
 // (nil when the session was built without SessionConfig.Faults).

@@ -279,7 +279,9 @@ func Run(fig string) ([]*Table, error) {
 
 // Figures lists the reproducible figure ids. "coll" and "scale" are the
 // repository's own subsystem experiments, not paper figures.
-func Figures() []string { return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll", "scale"} }
+func Figures() []string {
+	return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll", "scale"}
+}
 
 // mutRendezvous returns a config mutator selecting the rendezvous mode
 // (used by ablations and tests).

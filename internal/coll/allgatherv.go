@@ -243,7 +243,9 @@ func (c *call) allgathervHier(send VOp, recvs []VOp) error {
 		}
 		var packHs []mpi.Handle
 		if send.bytes() > 0 {
-			job := pack.NewJob(pack.OpPack, send.Buf, staging, send.Type.Repeat(send.Count))
+			e := r.LayoutEntry(send.Type, send.Count)
+			job := pack.NewJob(pack.OpPack, send.Buf, staging, e.Blocks)
+			job.Plan = e.Plan
 			job.TargetOff = off[id]
 			packHs = append(packHs, r.Scheme().Pack(c.p, job))
 			c.bytes += send.bytes()

@@ -284,7 +284,9 @@ func (c *call) alltoallwHier(ops []WOp) error {
 		if e.nodeOf(dst) == node || myOut[dst] == 0 {
 			continue
 		}
-		job := pack.NewJob(pack.OpPack, ops[dst].SendBuf, stagingOut, ops[dst].SendType.Repeat(ops[dst].SendCount))
+		e := r.LayoutEntry(ops[dst].SendType, ops[dst].SendCount)
+		job := pack.NewJob(pack.OpPack, ops[dst].SendBuf, stagingOut, e.Blocks)
+		job.Plan = e.Plan
 		job.TargetOff = plan.outOff[[2]int{id, dst}]
 		packHs = append(packHs, r.Scheme().Pack(c.p, job))
 		c.bytes += myOut[dst]

@@ -537,7 +537,9 @@ func (c *call) bytesAt(off, n int64) *datatype.Layout {
 // blocks of l×count within buf, returning the scheme handle. Inside a
 // window these jobs fuse with everything else pending.
 func (c *call) unpackJob(staging, buf *gpu.Buffer, l *datatype.Layout, count int, off int64) mpi.Handle {
-	job := pack.NewJob(pack.OpUnpack, staging, buf, l.Repeat(count))
+	e := c.r.LayoutEntry(l, count)
+	job := pack.NewJob(pack.OpUnpack, staging, buf, e.Blocks)
+	job.Plan = e.Plan
 	job.OriginOff = off
 	return c.r.Scheme().Unpack(c.p, job)
 }

@@ -121,7 +121,9 @@ func (c *call) gathervHier(root int, send VOp, recvs []VOp) error {
 		}
 		var packHs []mpi.Handle
 		if send.bytes() > 0 {
-			job := pack.NewJob(pack.OpPack, send.Buf, staging, send.Type.Repeat(send.Count))
+			e := r.LayoutEntry(send.Type, send.Count)
+			job := pack.NewJob(pack.OpPack, send.Buf, staging, e.Blocks)
+			job.Plan = e.Plan
 			job.TargetOff = loff[id]
 			packHs = append(packHs, r.Scheme().Pack(c.p, job))
 			c.bytes += send.bytes()
@@ -303,7 +305,9 @@ func (c *call) scattervHier(root int, sends []VOp, recv VOp) error {
 				if n == 0 {
 					continue
 				}
-				job := pack.NewJob(pack.OpPack, sends[lr].Buf, stagingOut, sends[lr].Type.Repeat(sends[lr].Count))
+				e := r.LayoutEntry(sends[lr].Type, sends[lr].Count)
+				job := pack.NewJob(pack.OpPack, sends[lr].Buf, stagingOut, e.Blocks)
+				job.Plan = e.Plan
 				job.TargetOff = at
 				packHs = append(packHs, r.Scheme().Pack(c.p, job))
 				c.bytes += n

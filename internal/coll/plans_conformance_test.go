@@ -1,0 +1,251 @@
+package coll_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+// This file is the collectives half of the pack-plans differential oracle
+// (the schemes half lives in internal/conformance): every matrix cell runs
+// on identical 8-rank Lassen worlds with compiled pack plans enabled and
+// disabled (the legacy block-list path), in both exact and lazy payload
+// modes, and the runs must agree on per-leg recv checksums, the final
+// simulated clock, and total kernel launches. Plans change host execution
+// only; any divergence is a plan bug.
+
+func plansCollWorld(scheme string, lazy, noplans bool, mut func(*mpi.Config)) (*sim.Env, *mpi.World) {
+	env := sim.NewEnv()
+	c := cluster.MustBuild(env, cluster.Lassen())
+	if lazy {
+		for _, node := range c.Devices {
+			for _, d := range node {
+				d.LazyThreshold = 1
+			}
+		}
+	}
+	cfg := mpi.DefaultConfig()
+	cfg.DisablePackPlans = noplans
+	if mut != nil {
+		mut(&cfg)
+	}
+	return env, mpi.NewWorld(c, cfg, schemes.Factory(scheme))
+}
+
+// planDiffCell runs one cell four ways ({exact,lazy} x {plans,legacy}) and
+// asserts the plan arm matches the legacy arm within each payload mode.
+func planDiffCell(t *testing.T, label string, run func(t *testing.T, lazy, noplans bool) cellResult) {
+	t.Helper()
+	for _, lazy := range []bool{false, true} {
+		mode := map[bool]string{false: "exact", true: "lazy"}[lazy]
+		on := run(t, lazy, false)
+		off := run(t, lazy, true)
+		if on.clock != off.clock {
+			t.Errorf("%s/%s: final clock differs: plans %d vs legacy %d", label, mode, on.clock, off.clock)
+		}
+		if on.kernels != off.kernels {
+			t.Errorf("%s/%s: kernel launches differ: plans %d vs legacy %d", label, mode, on.kernels, off.kernels)
+		}
+		if len(on.sums) != len(off.sums) {
+			t.Fatalf("%s/%s: leg count differs: %d vs %d", label, mode, len(on.sums), len(off.sums))
+		}
+		for i := range on.sums {
+			if on.sums[i] != off.sums[i] {
+				t.Errorf("%s/%s: leg %d checksum differs: plans %#x vs legacy %#x", label, mode, i, on.sums[i], off.sums[i])
+			}
+		}
+	}
+}
+
+func a2aPlanCell(scheme string, alg coll.Algorithm, l *datatype.Layout, mut func(*mpi.Config)) func(t *testing.T, lazy, noplans bool) cellResult {
+	return func(t *testing.T, lazy, noplans bool) cellResult {
+		t.Helper()
+		env, w := plansCollWorld(scheme, lazy, noplans, mut)
+		ops := makeA2AOpsPRF(w, l)
+		e := coll.New(w, coll.Tuning{Alltoallw: alg})
+		err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+			if cerr := e.Alltoallw(p, r, ops[r.ID()]); cerr != nil {
+				t.Errorf("rank %d: %v", r.ID(), cerr)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s/%s lazy=%v noplans=%v: %v", scheme, alg, lazy, noplans, err)
+		}
+		checkNoLeaks(t, w, fmt.Sprintf("%s/%s lazy=%v noplans=%v", scheme, alg, lazy, noplans))
+		res := cellResult{clock: env.Now(), kernels: kernelTotal(w)}
+		for r := range ops {
+			for peer := range ops[r] {
+				res.sums = append(res.sums, ops[r][peer].RecvBuf.Checksum())
+			}
+		}
+		return res
+	}
+}
+
+func agPlanCell(scheme string, alg coll.Algorithm, l *datatype.Layout) func(t *testing.T, lazy, noplans bool) cellResult {
+	return func(t *testing.T, lazy, noplans bool) cellResult {
+		t.Helper()
+		env, w := plansCollWorld(scheme, lazy, noplans, nil)
+		sends, recvs := makeAGPRF(w, l)
+		e := coll.New(w, coll.Tuning{Allgatherv: alg})
+		err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+			if cerr := e.Allgatherv(p, r, sends[r.ID()], recvs[r.ID()]); cerr != nil {
+				t.Errorf("rank %d: %v", r.ID(), cerr)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s/%s lazy=%v noplans=%v: %v", scheme, alg, lazy, noplans, err)
+		}
+		checkNoLeaks(t, w, fmt.Sprintf("%s/%s lazy=%v noplans=%v", scheme, alg, lazy, noplans))
+		res := cellResult{clock: env.Now(), kernels: kernelTotal(w)}
+		for r := range recvs {
+			for src := range recvs[r] {
+				res.sums = append(res.sums, recvs[r][src].Buf.Checksum())
+			}
+		}
+		return res
+	}
+}
+
+func gathervPlanCell(scheme string, alg coll.Algorithm, root int, l *datatype.Layout) func(t *testing.T, lazy, noplans bool) cellResult {
+	return func(t *testing.T, lazy, noplans bool) cellResult {
+		t.Helper()
+		env, w := plansCollWorld(scheme, lazy, noplans, nil)
+		sends, recvs := makeAGPRF(w, l)
+		e := coll.New(w, coll.Tuning{Gatherv: alg})
+		err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+			if cerr := e.Gatherv(p, r, root, sends[r.ID()], recvs[r.ID()]); cerr != nil {
+				t.Errorf("rank %d: %v", r.ID(), cerr)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s/%s lazy=%v noplans=%v: %v", scheme, alg, lazy, noplans, err)
+		}
+		checkNoLeaks(t, w, fmt.Sprintf("%s/%s lazy=%v noplans=%v", scheme, alg, lazy, noplans))
+		res := cellResult{clock: env.Now(), kernels: kernelTotal(w)}
+		for src := 0; src < w.Size(); src++ {
+			res.sums = append(res.sums, recvs[root][src].Buf.Checksum())
+		}
+		return res
+	}
+}
+
+func scattervPlanCell(scheme string, alg coll.Algorithm, root int, l *datatype.Layout) func(t *testing.T, lazy, noplans bool) cellResult {
+	return func(t *testing.T, lazy, noplans bool) cellResult {
+		t.Helper()
+		env, w := plansCollWorld(scheme, lazy, noplans, nil)
+		size := w.Size()
+		sends := make([][]coll.VOp, size)
+		recvs := make([]coll.VOp, size)
+		for r := 0; r < size; r++ {
+			dev := w.Rank(r).Dev
+			sends[r] = make([]coll.VOp, size)
+			for dst := 0; dst < size; dst++ {
+				sb := dev.Alloc(fmt.Sprintf("psv-s-%d-%d", r, dst), int(l.ExtentBytes)*3)
+				sb.FillStream(uint64(r*100 + dst + 1))
+				sends[r][dst] = coll.VOp{Buf: sb, Type: l, Count: 1 + dst%3}
+			}
+			rb := dev.Alloc(fmt.Sprintf("psv-r-%d", r), int(l.ExtentBytes)*3)
+			recvs[r] = coll.VOp{Buf: rb, Type: l, Count: 1 + r%3}
+		}
+		e := coll.New(w, coll.Tuning{Scatterv: alg})
+		err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+			if cerr := e.Scatterv(p, r, root, sends[r.ID()], recvs[r.ID()]); cerr != nil {
+				t.Errorf("rank %d: %v", r.ID(), cerr)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s/%s lazy=%v noplans=%v: %v", scheme, alg, lazy, noplans, err)
+		}
+		checkNoLeaks(t, w, fmt.Sprintf("%s/%s lazy=%v noplans=%v", scheme, alg, lazy, noplans))
+		res := cellResult{clock: env.Now(), kernels: kernelTotal(w)}
+		for r := 0; r < size; r++ {
+			res.sums = append(res.sums, recvs[r].Buf.Checksum())
+		}
+		return res
+	}
+}
+
+func neighborPlanCell(scheme string, l *datatype.Layout) func(t *testing.T, lazy, noplans bool) cellResult {
+	return func(t *testing.T, lazy, noplans bool) cellResult {
+		t.Helper()
+		env, w := plansCollWorld(scheme, lazy, noplans, nil)
+		size := w.Size()
+		ops := make([][]mpi.NeighborOp, size)
+		for r := 0; r < size; r++ {
+			dev := w.Rank(r).Dev
+			left := (r - 1 + size) % size
+			right := (r + 1) % size
+			mk := func(k, peer int) mpi.NeighborOp {
+				sb := dev.Alloc(fmt.Sprintf("pn-s-%d-%d", r, k), int(l.ExtentBytes))
+				rb := dev.Alloc(fmt.Sprintf("pn-r-%d-%d", r, k), int(l.ExtentBytes))
+				sb.FillStream(uint64(r*10 + k + 1))
+				return mpi.NeighborOp{Peer: peer, SendBuf: sb, SendType: l, RecvBuf: rb, RecvType: l, Count: 1}
+			}
+			ops[r] = []mpi.NeighborOp{mk(0, left), mk(1, right), mk(2, left), mk(3, right)}
+		}
+		e := coll.New(w, coll.Tuning{})
+		err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+			if cerr := e.NeighborAlltoallw(p, r, ops[r.ID()]); cerr != nil {
+				t.Errorf("rank %d: %v", r.ID(), cerr)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s lazy=%v noplans=%v: %v", scheme, lazy, noplans, err)
+		}
+		checkNoLeaks(t, w, fmt.Sprintf("%s lazy=%v noplans=%v", scheme, lazy, noplans))
+		res := cellResult{clock: env.Now(), kernels: kernelTotal(w)}
+		for r := range ops {
+			for k := range ops[r] {
+				res.sums = append(res.sums, ops[r][k].RecvBuf.Checksum())
+			}
+		}
+		return res
+	}
+}
+
+// TestPlanCollectivesMatrix is the collectives matrix under the
+// plans-on/plans-off differential oracle at 8 ranks: Alltoallw across
+// algorithms and layout families, Allgatherv across algorithms, rooted
+// Gatherv and Scatterv, and NeighborAlltoallw — identical checksums,
+// clocks, and kernel counts with compiled pack plans vs. the legacy
+// block-list path, in exact and lazy payload modes.
+func TestPlanCollectivesMatrix(t *testing.T) {
+	dense := denseVec()
+	sparse := sparseIdx()
+	big := bigVec()
+	noIPC := func(c *mpi.Config) { c.DisableIPC = true }
+	cells := []struct {
+		name string
+		run  func(t *testing.T, lazy, noplans bool) cellResult
+	}{
+		{"Alltoallw/Linear/dense", a2aPlanCell("Proposed-Tuned", coll.Linear, dense, nil)},
+		{"Alltoallw/Pairwise/dense", a2aPlanCell("Proposed-Tuned", coll.Pairwise, dense, nil)},
+		{"Alltoallw/Hierarchical/dense", a2aPlanCell("Proposed-Tuned", coll.Hierarchical, dense, nil)},
+		{"Alltoallw/Hierarchical/sparse", a2aPlanCell("Proposed-Tuned", coll.Hierarchical, sparse, nil)},
+		{"Alltoallw/Hierarchical/big-rendezvous", a2aPlanCell("Proposed-Tuned", coll.Hierarchical, big, nil)},
+		{"Alltoallw/Hierarchical/no-ipc", a2aPlanCell("Proposed-Tuned", coll.Hierarchical, dense, noIPC)},
+		{"Allgatherv/Ring/dense", agPlanCell("Proposed-Tuned", coll.Ring, dense)},
+		{"Allgatherv/Bruck/dense", agPlanCell("Proposed-Tuned", coll.Bruck, dense)},
+		{"Allgatherv/Hierarchical/dense", agPlanCell("Proposed-Tuned", coll.Hierarchical, dense)},
+		{"Gatherv/Hierarchical/root5", gathervPlanCell("Proposed-Tuned", coll.Hierarchical, 5, dense)},
+		{"Scatterv/Hierarchical/root5", scattervPlanCell("Proposed-Tuned", coll.Hierarchical, 5, dense)},
+		{"NeighborAlltoallw/ring", neighborPlanCell("Proposed-Tuned", dense)},
+		{"Alltoallw/Hierarchical/baseline-scheme", a2aPlanCell("GPU-Sync", coll.Hierarchical, dense, nil)},
+	}
+	if testing.Short() {
+		cells = cells[:6]
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			planDiffCell(t, c.name, c.run)
+		})
+	}
+}

@@ -1,0 +1,228 @@
+package datatype
+
+import (
+	"testing"
+)
+
+func TestCanonicalizeContig(t *testing.T) {
+	c := Canonicalize([]Block{{0, 64}}, 64)
+	if len(c.Runs) != 1 || c.Runs[0] != (Run{Offset: 0, Len: 64, Stride: 0, Count: 1}) {
+		t.Fatalf("runs = %+v", c.Runs)
+	}
+	if c.SizeBytes != 64 || c.ExtentBytes != 64 {
+		t.Fatalf("size=%d extent=%d", c.SizeBytes, c.ExtentBytes)
+	}
+}
+
+func TestCanonicalizeStrided(t *testing.T) {
+	// 4 blocks of 8 bytes, 32 apart: one run.
+	blocks := []Block{{0, 8}, {32, 8}, {64, 8}, {96, 8}}
+	c := Canonicalize(blocks, 128)
+	if len(c.Runs) != 1 {
+		t.Fatalf("runs = %+v, want 1 run", c.Runs)
+	}
+	r := c.Runs[0]
+	if r.Stride != 32 || r.Count != 4 || r.Len != 8 {
+		t.Fatalf("run = %+v", r)
+	}
+	if c.NumBlocks() != 4 || c.SizeBytes != 32 {
+		t.Fatalf("blocks=%d size=%d", c.NumBlocks(), c.SizeBytes)
+	}
+}
+
+func TestCanonicalizeIrregular(t *testing.T) {
+	// Mixed lengths break runs; irregular strides break runs.
+	blocks := []Block{{0, 8}, {32, 8}, {50, 4}, {60, 4}, {70, 4}}
+	c := Canonicalize(blocks, 128)
+	if len(c.Runs) != 2 {
+		t.Fatalf("runs = %+v, want 2", c.Runs)
+	}
+	if c.Runs[0].Count != 2 || c.Runs[1].Count != 3 || c.Runs[1].Stride != 10 {
+		t.Fatalf("runs = %+v", c.Runs)
+	}
+}
+
+func TestCanonicalizeDescendingPreservesOrder(t *testing.T) {
+	// Indexed displacements may descend; pack order is semantic and the
+	// canonical form must preserve it (negative stride run).
+	blocks := []Block{{64, 4}, {32, 4}, {0, 4}}
+	c := Canonicalize(blocks, 128)
+	if len(c.Runs) != 1 || c.Runs[0].Stride != -32 {
+		t.Fatalf("runs = %+v, want one descending run", c.Runs)
+	}
+	exp := c.Expand()
+	for i, b := range blocks {
+		if exp[i] != b {
+			t.Fatalf("expand[%d] = %+v, want %+v", i, exp[i], b)
+		}
+	}
+}
+
+func TestCanonicalExpandRoundTrip(t *testing.T) {
+	for _, blocks := range [][]Block{
+		nil,
+		{{0, 16}},
+		{{0, 4}, {8, 4}, {16, 4}},
+		{{0, 4}, {8, 8}, {16, 4}, {40, 4}, {64, 4}},
+		{{100, 2}, {50, 2}, {0, 2}, {7, 3}},
+	} {
+		c := Canonicalize(blocks, 256)
+		exp := c.Expand()
+		if len(exp) != len(blocks) {
+			t.Fatalf("expand len %d, want %d (%+v)", len(exp), len(blocks), c.Runs)
+		}
+		for i := range blocks {
+			if exp[i] != blocks[i] {
+				t.Fatalf("expand[%d] = %+v, want %+v", i, exp[i], blocks[i])
+			}
+		}
+	}
+}
+
+func TestExtentIsPartOfIdentity(t *testing.T) {
+	a := Canonicalize([]Block{{0, 8}}, 8)
+	b := Canonicalize([]Block{{0, 8}}, 64)
+	if a.Equal(b) || a.Hash() == b.Hash() {
+		t.Fatal("extent must distinguish canonical forms (Repeat semantics)")
+	}
+}
+
+func TestEquivalentSpellings(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Type
+	}{
+		{"vector-vs-hindexed",
+			Vector(4, 2, 8, Byte),
+			Hindexed([]int{2, 2, 2, 2}, []int64{0, 8, 16, 24}, Byte)},
+		{"vector-vs-hvector",
+			Vector(3, 2, 5, Int32),
+			Hvector(3, 2, 20, Int32)},
+		{"contig-vs-vector-stride-eq-blocklen",
+			Contiguous(6, Float64),
+			Vector(3, 2, 2, Float64)},
+		{"subarray-vs-indexed",
+			Subarray([]int{4, 4}, []int{2, 4}, []int{1, 0}, Byte),
+			Resized(Indexed([]int{8}, []int{4}, Byte), 16)},
+		{"indexedblock-vs-indexed",
+			IndexedBlock(2, []int{0, 4, 8}, Int32),
+			Indexed([]int{2, 2, 2}, []int{0, 4, 8}, Int32)},
+	}
+	for _, c := range cases {
+		if !Equivalent(c.a, c.b) {
+			la, lb := Commit(c.a), Commit(c.b)
+			t.Errorf("%s: not equivalent:\n a: %s\n b: %s", c.name, la.Canonical(), lb.Canonical())
+		}
+		la, lb := Commit(c.a), Commit(c.b)
+		if la.CanonicalForm().Hash() != lb.CanonicalForm().Hash() {
+			t.Errorf("%s: hashes differ", c.name)
+		}
+	}
+}
+
+func TestNotEquivalent(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Type
+	}{
+		{"different-payload", Vector(4, 2, 8, Byte), Vector(4, 3, 8, Byte)},
+		{"different-stride", Vector(4, 2, 8, Byte), Vector(4, 2, 9, Byte)},
+		// Same blocks, different extent: Repeat lays them out differently.
+		{"different-extent", Vector(2, 1, 4, Byte), Resized(Vector(2, 1, 4, Byte), 16)},
+		// Same byte set, different pack order: wire streams differ.
+		{"different-order",
+			Hindexed([]int{4, 4}, []int64{0, 8}, Byte),
+			Hindexed([]int{4, 4}, []int64{8, 0}, Byte)},
+		{"invalid-vs-self", Contiguous(-1, Byte), Contiguous(-1, Byte)},
+	}
+	for _, c := range cases {
+		if Equivalent(c.a, c.b) {
+			t.Errorf("%s: spuriously equivalent", c.name)
+		}
+	}
+}
+
+func TestPlanKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		t    Type
+		kind PlanKind
+	}{
+		{"empty", Contiguous(0, Byte), PlanEmpty},
+		{"contig", Contiguous(64, Byte), PlanContig},
+		{"strided", Vector(8, 2, 4, Float64), PlanStrided},
+		{"gather", Struct([]int{1, 1}, []int64{0, 10}, []Type{Int64, Int32}), PlanGather},
+	}
+	for _, c := range cases {
+		l := Commit(c.t)
+		p := CompilePlan(l.CanonicalForm())
+		if p.Kind != c.kind {
+			t.Errorf("%s: kind = %s, want %s (canon %s)", c.name, p.Kind, c.kind, l.Canonical())
+		}
+	}
+}
+
+func TestPlanPackUnpackMatchesLayout(t *testing.T) {
+	types := []Type{
+		Contiguous(32, Byte),
+		Vector(7, 3, 11, Int32),
+		Vector(9, 1, 2, Float64), // 8-byte fast path
+		Vector(5, 1, 3, Int32),   // 4-byte fast path
+		Vector(4, 1, 2, Complex128),
+		Hindexed([]int{3, 1, 5, 2}, []int64{40, 0, 17, 90}, Byte),
+		Struct([]int{2, 1, 3}, []int64{0, 32, 48}, []Type{Float64, Int32, Byte}),
+		Indexed([]int{3, 1, 3}, []int{0, 7, 12}, Int32),   // mixed 12/4-byte flat gather
+		IndexedBlock(9, []int{0, 10, 40}, Int32),          // uniform 36-byte flat gather
+		Hindexed([]int{4, 4}, []int64{0, 64}, Complex128), // uniform 64-byte flat gather
+	}
+	for _, typ := range types {
+		l := Commit(typ)
+		c := l.CanonicalForm()
+		p := CompilePlan(c)
+		span := l.ExtentBytes
+		for _, b := range l.Blocks {
+			if end := b.Offset + b.Len; end > span {
+				span = end
+			}
+		}
+		src := make([]byte, span)
+		for i := range src {
+			src[i] = byte(i*37 + 5)
+		}
+		want := make([]byte, l.SizeBytes)
+		l.Pack(src, want)
+		got := make([]byte, l.SizeBytes)
+		if n := p.Pack(src, got); n != l.SizeBytes {
+			t.Fatalf("%s: plan packed %d, want %d", typ.TypeName(), n, l.SizeBytes)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: pack byte %d: plan %d legacy %d", typ.TypeName(), i, got[i], want[i])
+			}
+		}
+		// Unpack round trip into a poisoned buffer.
+		dstPlan := make([]byte, span)
+		dstRef := make([]byte, span)
+		for i := range dstPlan {
+			dstPlan[i] = 0xEE
+			dstRef[i] = 0xEE
+		}
+		l.Unpack(want, dstRef)
+		if n := p.Unpack(want, dstPlan); n != l.SizeBytes {
+			t.Fatalf("%s: plan unpacked %d, want %d", typ.TypeName(), n, l.SizeBytes)
+		}
+		for i := range dstRef {
+			if dstPlan[i] != dstRef[i] {
+				t.Fatalf("%s: unpack byte %d: plan %d legacy %d", typ.TypeName(), i, dstPlan[i], dstRef[i])
+			}
+		}
+	}
+}
+
+func TestLayoutStringNamesFamily(t *testing.T) {
+	l := Commit(Vector(4, 2, 8, Byte))
+	s := l.String()
+	if s == "" || s == l.Name {
+		t.Fatalf("String() = %q should append the canonical family", s)
+	}
+}

@@ -7,9 +7,51 @@
 package datatype
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 )
+
+// ErrInvalidType is the sentinel every *InvalidTypeError unwraps to:
+// errors.Is(err, ErrInvalidType) matches any malformed-constructor error.
+var ErrInvalidType = errors.New("datatype: invalid constructor input")
+
+// InvalidTypeError is the typed validation error CommitE returns for a
+// malformed constructor input (negative counts, mismatched slice lengths,
+// out-of-range subarray bounds). Constructors defer the report — they
+// return a poisoned Type carrying the error — so building a type never
+// panics; Commit (the panicking wrapper) and CommitE (the typed-error
+// form) surface it, mirroring the Alloc/AllocE convention of the facade.
+type InvalidTypeError struct {
+	// Constructor names the offending MPI-style constructor.
+	Constructor string
+	// Reason describes what was malformed.
+	Reason string
+}
+
+func (e *InvalidTypeError) Error() string {
+	return fmt.Sprintf("datatype: %s: %s", e.Constructor, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrInvalidType) match.
+func (e *InvalidTypeError) Unwrap() error { return ErrInvalidType }
+
+// invalidType is the poisoned Type a constructor returns for malformed
+// input. It is inert (zero size and extent, no blocks) so accidental use
+// before Commit cannot corrupt anything; Commit/CommitE report the error.
+type invalidType struct {
+	err *InvalidTypeError
+}
+
+func invalid(constructor, format string, args ...any) Type {
+	return invalidType{&InvalidTypeError{Constructor: constructor, Reason: fmt.Sprintf(format, args...)}}
+}
+
+func (t invalidType) Size() int64                      { return 0 }
+func (t invalidType) Extent() int64                    { return 0 }
+func (t invalidType) TypeName() string                 { return fmt.Sprintf("invalid(%s)", t.err.Constructor) }
+func (t invalidType) flatten(base int64, out *[]Block) {}
+func (t invalidType) check() *InvalidTypeError         { return t.err }
 
 // Block is one contiguous span of a flattened layout: Offset bytes from the
 // buffer base, Len bytes long.
@@ -30,6 +72,10 @@ type Type interface {
 	TypeName() string
 	// flatten appends the element's blocks, shifted by base, to out.
 	flatten(base int64, out *[]Block)
+	// check reports a deferred constructor-validation error (nil when the
+	// type tree is well-formed). CommitE surfaces it as a typed error;
+	// Commit panics on it.
+	check() *InvalidTypeError
 }
 
 // --- primitives ---
@@ -45,6 +91,7 @@ func (p primitive) TypeName() string { return p.name }
 func (p primitive) flatten(base int64, out *[]Block) {
 	*out = append(*out, Block{Offset: base, Len: p.size})
 }
+func (p primitive) check() *InvalidTypeError { return nil }
 
 // Predefined primitive types (sizes per the usual MPI bindings).
 var (
@@ -69,7 +116,7 @@ type contiguous struct {
 // (MPI_Type_contiguous).
 func Contiguous(count int, base Type) Type {
 	if count < 0 {
-		panic("datatype: negative count")
+		return invalid("Contiguous", "negative count %d", count)
 	}
 	return contiguous{count, base}
 }
@@ -79,6 +126,7 @@ func (c contiguous) Extent() int64 { return int64(c.count) * c.base.Extent() }
 func (c contiguous) TypeName() string {
 	return fmt.Sprintf("contiguous(%d,%s)", c.count, c.base.TypeName())
 }
+func (c contiguous) check() *InvalidTypeError { return c.base.check() }
 func (c contiguous) flatten(base int64, out *[]Block) {
 	// Dense composition (gap-free primitives back to back) flattens to one
 	// block in O(1) instead of one block per element — contiguous byte
@@ -132,16 +180,24 @@ func Hvector(count, blocklen int, strideBytes int64, base Type) Type {
 
 func (v vector) Size() int64 { return int64(v.count) * int64(v.blocklen) * v.base.Size() }
 func (v vector) Extent() int64 {
-	if v.count == 0 {
+	if v.count <= 0 || v.strideBytes < 0 {
+		// Invalid shapes (check reports them) stay inert: a negative
+		// stride would span from before the base, which the engine
+		// refuses — the workloads never need it.
 		return 0
 	}
-	last := int64(v.count-1)*v.strideBytes + int64(v.blocklen)*v.base.Extent()
-	if v.strideBytes < 0 {
-		// Negative strides still span from 0; keep it simple and
-		// refuse — the workloads never need them.
-		panic("datatype: negative stride unsupported")
+	return int64(v.count-1)*v.strideBytes + int64(v.blocklen)*v.base.Extent()
+}
+func (v vector) check() *InvalidTypeError {
+	switch {
+	case v.count < 0:
+		return &InvalidTypeError{Constructor: "Vector", Reason: fmt.Sprintf("negative count %d", v.count)}
+	case v.blocklen < 0:
+		return &InvalidTypeError{Constructor: "Vector", Reason: fmt.Sprintf("negative blocklen %d", v.blocklen)}
+	case v.strideBytes < 0:
+		return &InvalidTypeError{Constructor: "Vector", Reason: fmt.Sprintf("negative stride %d bytes unsupported", v.strideBytes)}
 	}
-	return last
+	return v.base.check()
 }
 func (v vector) TypeName() string {
 	return fmt.Sprintf("hvector(%d,%d,%d,%s)", v.count, v.blocklen, v.strideBytes, v.base.TypeName())
@@ -164,7 +220,7 @@ type hindexed struct {
 // Indexed is MPI_Type_indexed: displacements counted in base extents.
 func Indexed(blocklens, displs []int, base Type) Type {
 	if len(blocklens) != len(displs) {
-		panic("datatype: Indexed length mismatch")
+		return invalid("Indexed", "%d blocklens vs %d displacements", len(blocklens), len(displs))
 	}
 	d := make([]int64, len(displs))
 	for i, v := range displs {
@@ -176,7 +232,7 @@ func Indexed(blocklens, displs []int, base Type) Type {
 // Hindexed is MPI_Type_create_hindexed: displacements in bytes.
 func Hindexed(blocklens []int, displsBytes []int64, base Type) Type {
 	if len(blocklens) != len(displsBytes) {
-		panic("datatype: Hindexed length mismatch")
+		return invalid("Hindexed", "%d blocklens vs %d displacements", len(blocklens), len(displsBytes))
 	}
 	return hindexed{appendCopy(blocklens), append([]int64(nil), displsBytes...), base}
 }
@@ -212,6 +268,14 @@ func (h hindexed) Extent() int64 {
 func (h hindexed) TypeName() string {
 	return fmt.Sprintf("hindexed(%d blocks,%s)", len(h.blocklens), h.base.TypeName())
 }
+func (h hindexed) check() *InvalidTypeError {
+	for i, l := range h.blocklens {
+		if l < 0 {
+			return &InvalidTypeError{Constructor: "Indexed", Reason: fmt.Sprintf("negative blocklen %d at block %d", l, i)}
+		}
+	}
+	return h.base.check()
+}
 func (h hindexed) flatten(base int64, out *[]Block) {
 	for i, l := range h.blocklens {
 		Contiguous(l, h.base).flatten(base+h.displs[i], out)
@@ -230,7 +294,8 @@ type structT struct {
 // displacements.
 func Struct(blocklens []int, displsBytes []int64, types []Type) Type {
 	if len(blocklens) != len(displsBytes) || len(blocklens) != len(types) {
-		panic("datatype: Struct length mismatch")
+		return invalid("Struct", "%d blocklens vs %d displacements vs %d types",
+			len(blocklens), len(displsBytes), len(types))
 	}
 	return structT{appendCopy(blocklens), append([]int64(nil), displsBytes...), append([]Type(nil), types...)}
 }
@@ -255,6 +320,17 @@ func (s structT) Extent() int64 {
 func (s structT) TypeName() string {
 	return fmt.Sprintf("struct(%d fields)", len(s.blocklens))
 }
+func (s structT) check() *InvalidTypeError {
+	for i, l := range s.blocklens {
+		if l < 0 {
+			return &InvalidTypeError{Constructor: "Struct", Reason: fmt.Sprintf("negative blocklen %d at field %d", l, i)}
+		}
+		if err := s.types[i].check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 func (s structT) flatten(base int64, out *[]Block) {
 	for i, l := range s.blocklens {
 		Contiguous(l, s.types[i]).flatten(base+s.displs[i], out)
@@ -272,11 +348,13 @@ type subarray struct {
 // dimension is contiguous in memory.
 func Subarray(sizes, subsizes, starts []int, base Type) Type {
 	if len(sizes) == 0 || len(sizes) != len(subsizes) || len(sizes) != len(starts) {
-		panic("datatype: Subarray dimension mismatch")
+		return invalid("Subarray", "dimension mismatch: %d sizes, %d subsizes, %d starts",
+			len(sizes), len(subsizes), len(starts))
 	}
 	for d := range sizes {
 		if subsizes[d] < 0 || starts[d] < 0 || starts[d]+subsizes[d] > sizes[d] {
-			panic(fmt.Sprintf("datatype: Subarray dim %d out of range", d))
+			return invalid("Subarray", "dim %d out of range: start %d + subsize %d vs size %d",
+				d, starts[d], subsizes[d], sizes[d])
 		}
 	}
 	return subarray{appendCopy(sizes), appendCopy(subsizes), appendCopy(starts), base}
@@ -299,6 +377,7 @@ func (s subarray) Extent() int64 {
 func (s subarray) TypeName() string {
 	return fmt.Sprintf("subarray(%v of %v)", s.subsizes, s.sizes)
 }
+func (s subarray) check() *InvalidTypeError { return s.base.check() }
 func (s subarray) flatten(base int64, out *[]Block) {
 	for _, v := range s.subsizes {
 		if v == 0 {
@@ -350,7 +429,7 @@ type resized struct {
 // `extent` bytes apart, which is how applications space strided sends.
 func Resized(base Type, extent int64) Type {
 	if extent < 0 {
-		panic("datatype: Resized negative extent")
+		return invalid("Resized", "negative extent %d", extent)
 	}
 	return resized{base: base, extent: extent}
 }
@@ -360,6 +439,7 @@ func (r resized) Extent() int64 { return r.extent }
 func (r resized) TypeName() string {
 	return fmt.Sprintf("resized(%s,%d)", r.base.TypeName(), r.extent)
 }
+func (r resized) check() *InvalidTypeError         { return r.base.check() }
 func (r resized) flatten(base int64, out *[]Block) { r.base.flatten(base, out) }
 
 // --- commit / layout ---
@@ -369,7 +449,9 @@ var uidCounter atomic.Int64
 // Layout is a committed datatype: the canonical flattened block list for
 // one element, with adjacent blocks coalesced. It is immutable.
 type Layout struct {
-	// UID is unique per Commit call and keys the layout cache.
+	// UID is unique per Commit call. Identity for caching is the
+	// canonical signature, not the UID: distinct commits of equivalent
+	// spellings share one cache entry.
 	UID int64
 	// Name echoes the constructor tree.
 	Name string
@@ -382,10 +464,19 @@ type Layout struct {
 	ExtentBytes int64
 	// MaxBlockBytes is the largest single block.
 	MaxBlockBytes int64
+
+	canon *Canonical
 }
 
-// Commit flattens t into a Layout (MPI_Type_commit).
-func Commit(t Type) *Layout {
+// CommitE flattens t into a Layout (MPI_Type_commit), returning a typed
+// *InvalidTypeError (unwrapping to ErrInvalidType) when any constructor in
+// the tree was given malformed input — negative counts, mismatched slice
+// lengths, out-of-range subarray bounds. Commit is the panicking wrapper,
+// mirroring the Alloc/AllocE convention on the facade.
+func CommitE(t Type) (*Layout, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
 	var raw []Block
 	t.flatten(0, &raw)
 	blocks := Coalesce(raw)
@@ -404,7 +495,45 @@ func Commit(t Type) *Layout {
 	if l.SizeBytes != t.Size() {
 		panic(fmt.Sprintf("datatype: flatten lost bytes for %s: %d != %d", t.TypeName(), l.SizeBytes, t.Size()))
 	}
+	l.canon = Canonicalize(blocks, l.ExtentBytes)
+	return l, nil
+}
+
+// Commit flattens t into a Layout and panics on malformed constructor
+// input. Use CommitE for the error-returning variant.
+func Commit(t Type) *Layout {
+	l, err := CommitE(t)
+	if err != nil {
+		panic(err.Error())
+	}
 	return l
+}
+
+// CanonicalForm is the stride-run normal form computed at commit.
+func (l *Layout) CanonicalForm() *Canonical { return l.canon }
+
+// Canonical is the canonical identity string: equivalent spellings of the
+// same memory access pattern (at equal extent) return equal strings.
+func (l *Layout) Canonical() string { return l.canon.Signature() }
+
+// String names the layout for debug output: the spelling plus the family.
+func (l *Layout) String() string {
+	return fmt.Sprintf("%s %s", l.Name, l.canon.String())
+}
+
+// Equivalent reports whether two type spellings commit to the same
+// canonical form (same pack sequence, same extent). Malformed types are
+// equivalent to nothing, including themselves.
+func Equivalent(a, b Type) bool {
+	la, err := CommitE(a)
+	if err != nil {
+		return false
+	}
+	lb, err := CommitE(b)
+	if err != nil {
+		return false
+	}
+	return la.canon.Equal(lb.canon)
 }
 
 // Coalesce merges blocks that are exactly adjacent (b.Offset == prev end).

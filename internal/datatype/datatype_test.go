@@ -2,6 +2,7 @@ package datatype
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -162,12 +163,17 @@ func TestSubarray3DColumnCount(t *testing.T) {
 }
 
 func TestSubarrayOutOfRangePanics(t *testing.T) {
+	// Construction is total: the error surfaces at commit time.
+	tt := Subarray([]int{4}, []int{3}, []int{2}, Byte)
+	if _, err := CommitE(tt); !errors.Is(err, ErrInvalidType) {
+		t.Fatalf("CommitE err = %v, want ErrInvalidType", err)
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	Subarray([]int{4}, []int{3}, []int{2}, Byte)
+	Commit(tt)
 }
 
 func TestNestedVectorOfVector(t *testing.T) {
@@ -284,18 +290,23 @@ func TestCoalesceDropsEmpty(t *testing.T) {
 }
 
 func TestLengthMismatchPanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { Indexed([]int{1}, []int{0, 1}, Byte) },
-		func() { Hindexed([]int{1, 2}, []int64{0}, Byte) },
-		func() { Struct([]int{1}, []int64{0, 8}, []Type{Byte}) },
+	// Constructors are total; CommitE surfaces the typed error and Commit
+	// panics with it.
+	for _, tt := range []Type{
+		Indexed([]int{1}, []int{0, 1}, Byte),
+		Hindexed([]int{1, 2}, []int64{0}, Byte),
+		Struct([]int{1}, []int64{0, 8}, []Type{Byte}),
 	} {
+		if _, err := CommitE(tt); !errors.Is(err, ErrInvalidType) {
+			t.Errorf("CommitE(%s) err = %v, want ErrInvalidType", tt.TypeName(), err)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
 					t.Error("expected panic")
 				}
 			}()
-			fn()
+			Commit(tt)
 		}()
 	}
 }
@@ -440,10 +451,17 @@ func TestResizedChangesExtentOnly(t *testing.T) {
 }
 
 func TestResizedNegativePanics(t *testing.T) {
+	tt := Resized(Byte, -1)
+	var ite *InvalidTypeError
+	if _, err := CommitE(tt); !errors.As(err, &ite) {
+		t.Fatalf("CommitE err = %v, want *InvalidTypeError", err)
+	} else if ite.Constructor != "Resized" {
+		t.Fatalf("constructor = %q, want Resized", ite.Constructor)
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	Resized(Byte, -1)
+	Commit(tt)
 }

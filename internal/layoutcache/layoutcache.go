@@ -1,7 +1,10 @@
 // Package layoutcache caches flattened datatype layouts, following the
 // datatype-layout caching scheme of Chu et al. (HiPC 2019) that the paper's
-// request objects reference: the first send with a (datatype, count) pair
-// pays the flattening cost; subsequent sends reuse the cached block list.
+// request objects reference, re-keyed on *canonical identity* after TEMPI:
+// the first send with a (canonical form, count) pair pays the flattening
+// and plan-compilation cost; subsequent sends — including sends using a
+// distinct-but-equivalent spelling of the datatype — reuse the cached block
+// list and compiled pack plan.
 package layoutcache
 
 import (
@@ -10,14 +13,16 @@ import (
 	"repro/internal/datatype"
 )
 
-// Key identifies a cached entry: a committed datatype UID plus the element
-// count of the communication call.
+// Key identifies a cached entry: the canonical signature of the committed
+// datatype plus the element count of the communication call. Two layouts
+// committed from equivalent spellings share a signature and therefore a
+// cache entry.
 type Key struct {
-	UID   int64
+	Sig   string
 	Count int
 }
 
-// Entry is an immutable cached flattened layout for (datatype, count).
+// Entry is an immutable cached flattened layout for (canonical form, count).
 type Entry struct {
 	Key      Key
 	Blocks   []datatype.Block
@@ -25,6 +30,12 @@ type Entry struct {
 	Segments int   // contiguous segments per message
 	MaxBlock int64 // largest contiguous segment
 	Extent   int64 // memory span of the full message
+
+	// Canon is the canonical stride-run form of the *repeated* block list
+	// (count elements at extent stride), and Plan the pack routine
+	// compiled from it. Plan is nil when the owning cache disables plans.
+	Canon *datatype.Canonical
+	Plan  *datatype.Plan
 }
 
 // CostModel prices cache interactions in virtual nanoseconds so the MPI
@@ -50,6 +61,34 @@ func (m CostModel) Lookup(hit bool, segments int) int64 {
 	return m.MissBaseNs + int64(m.MissPerBlockNs*float64(segments))
 }
 
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Compiled counts plans compiled since creation, by plan kind.
+	Compiled [datatype.NumPlanKinds]int64
+}
+
+// Add accumulates o into s (for aggregating per-rank caches).
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	for i := range s.Compiled {
+		s.Compiled[i] += o.Compiled[i]
+	}
+}
+
+// TotalCompiled sums plan compilations across kinds.
+func (s Stats) TotalCompiled() int64 {
+	var n int64
+	for _, c := range s.Compiled {
+		n += c
+	}
+	return n
+}
+
 // Cache is an LRU layout cache. It is not safe for concurrent use; in the
 // simulation each rank owns one cache, matching the per-process caches of
 // the real runtime.
@@ -58,10 +97,15 @@ type Cache struct {
 	items    map[Key]*list.Element
 	lru      *list.List // front = most recent
 
+	// DisablePlans skips plan compilation, forcing consumers onto the
+	// legacy block-list path (the differential-oracle control arm).
+	DisablePlans bool
+
 	// Stats
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	Compiled  [datatype.NumPlanKinds]int64
 }
 
 // New creates a cache holding at most capacity entries; capacity <= 0 means
@@ -77,10 +121,17 @@ func New(capacity int) *Cache {
 // Len reports the number of cached entries.
 func (c *Cache) Len() int { return c.lru.Len() }
 
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.Hits, Misses: c.Misses, Evictions: c.Evictions, Compiled: c.Compiled}
+}
+
 // Get returns the flattened layout for count elements of l, computing and
 // caching it on first use. The boolean reports whether this was a hit.
+// The key is l's canonical signature, so equivalent spellings hit the same
+// entry and the plan is compiled once per family.
 func (c *Cache) Get(l *datatype.Layout, count int) (*Entry, bool) {
-	k := Key{UID: l.UID, Count: count}
+	k := Key{Sig: l.Canonical(), Count: count}
 	if el, ok := c.items[k]; ok {
 		c.Hits++
 		c.lru.MoveToFront(el)
@@ -100,6 +151,11 @@ func (c *Cache) Get(l *datatype.Layout, count int) (*Entry, bool) {
 			e.MaxBlock = b.Len
 		}
 	}
+	e.Canon = datatype.Canonicalize(blocks, e.Extent)
+	if !c.DisablePlans {
+		e.Plan = datatype.CompilePlan(e.Canon)
+		c.Compiled[int(e.Plan.Kind)]++
+	}
 	c.items[k] = c.lru.PushFront(e)
 	if c.capacity > 0 && c.lru.Len() > c.capacity {
 		victim := c.lru.Back()
@@ -112,7 +168,7 @@ func (c *Cache) Get(l *datatype.Layout, count int) (*Entry, bool) {
 
 // Invalidate drops the entry for (l, count) if present (MPI_Type_free).
 func (c *Cache) Invalidate(l *datatype.Layout, count int) {
-	k := Key{UID: l.UID, Count: count}
+	k := Key{Sig: l.Canonical(), Count: count}
 	if el, ok := c.items[k]; ok {
 		c.lru.Remove(el)
 		delete(c.items, k)

@@ -57,7 +57,10 @@ func TestEntryAggregates(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := New(2)
-	l1, l2, l3 := vecLayout(), vecLayout(), vecLayout()
+	// Distinct canonical forms: different blocklens.
+	l1 := datatype.Commit(datatype.Vector(4, 1, 5, datatype.Float64))
+	l2 := datatype.Commit(datatype.Vector(4, 2, 5, datatype.Float64))
+	l3 := datatype.Commit(datatype.Vector(4, 3, 5, datatype.Float64))
 	c.Get(l1, 1)
 	c.Get(l2, 1)
 	c.Get(l1, 1) // touch l1 so l2 is the LRU victim
@@ -76,10 +79,89 @@ func TestLRUEviction(t *testing.T) {
 func TestUnboundedCacheNeverEvicts(t *testing.T) {
 	c := New(0)
 	for i := 0; i < 100; i++ {
-		c.Get(vecLayout(), 1)
+		// Distinct counts give distinct keys even though the layouts are
+		// all canonically equal.
+		c.Get(vecLayout(), i+1)
 	}
 	if c.Evictions != 0 || c.Len() != 100 {
 		t.Fatalf("evictions=%d len=%d", c.Evictions, c.Len())
+	}
+}
+
+// Equivalent spellings — the same memory access pattern committed through
+// different constructors — share one cache entry: the second commit's first
+// Get is already a hit and compiles nothing.
+func TestEquivalentSpellingsShareEntry(t *testing.T) {
+	c := New(8)
+	vec := datatype.Commit(datatype.Vector(4, 2, 8, datatype.Byte))
+	hidx := datatype.Commit(datatype.Hindexed([]int{2, 2, 2, 2}, []int64{0, 8, 16, 24}, datatype.Byte))
+	if vec.Canonical() != hidx.Canonical() {
+		t.Fatalf("canonical mismatch:\n %s\n %s", vec.Canonical(), hidx.Canonical())
+	}
+	e1, hit := c.Get(vec, 3)
+	if hit {
+		t.Fatal("first access must miss")
+	}
+	compiledAfterFirst := c.Stats().TotalCompiled()
+	e2, hit := c.Get(hidx, 3)
+	if !hit {
+		t.Fatal("equivalent spelling must hit the shared entry")
+	}
+	if e1 != e2 {
+		t.Fatal("equivalent spellings must share one entry")
+	}
+	if got := c.Stats().TotalCompiled(); got != compiledAfterFirst {
+		t.Fatalf("recompiled: %d plans after hit, want %d", got, compiledAfterFirst)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+// DisablePlans leaves Entry.Plan nil and compiles nothing — the control
+// arm of the plans-on/plans-off differential oracle.
+func TestDisablePlans(t *testing.T) {
+	c := New(8)
+	c.DisablePlans = true
+	e, _ := c.Get(vecLayout(), 2)
+	if e.Plan != nil {
+		t.Fatal("plan compiled with DisablePlans set")
+	}
+	if e.Canon == nil {
+		t.Fatal("canonical form should still be computed")
+	}
+	if c.Stats().TotalCompiled() != 0 {
+		t.Fatal("compile counters must stay zero")
+	}
+}
+
+// A compiled plan's Pack agrees byte-for-byte with the legacy block-list
+// gather over the entry's blocks.
+func TestEntryPlanMatchesBlocks(t *testing.T) {
+	c := New(8)
+	l := datatype.Commit(datatype.Vector(5, 3, 7, datatype.Int32))
+	e, _ := c.Get(l, 2)
+	if e.Plan == nil {
+		t.Fatal("plan not compiled")
+	}
+	src := make([]byte, e.Extent)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	want := make([]byte, e.Bytes)
+	var w int64
+	for _, b := range e.Blocks {
+		copy(want[w:w+b.Len], src[b.Offset:b.Offset+b.Len])
+		w += b.Len
+	}
+	got := make([]byte, e.Bytes)
+	if n := e.Plan.Pack(src, got); n != e.Bytes {
+		t.Fatalf("plan packed %d bytes, want %d", n, e.Bytes)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: plan %d, legacy %d", i, got[i], want[i])
+		}
 	}
 }
 

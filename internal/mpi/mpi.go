@@ -92,6 +92,12 @@ type Config struct {
 	// DisableLayoutCache makes every datatype lookup pay the full
 	// flattening cost (ablation of the layout cache of [24]).
 	DisableLayoutCache bool
+	// DisablePackPlans forces the legacy block-list pack/unpack loops
+	// instead of the compiled per-canonical-form plans (the control arm of
+	// the plans-on/plans-off differential oracle). Plans never change
+	// virtual-time charges, only host execution, so results must be
+	// bit-identical either way.
+	DisablePackPlans bool
 	// PipelineChunkBytes enables chunked (pipelined) rendezvous for
 	// non-contiguous RGET sends larger than this: each chunk packs as
 	// its own request and transfers as soon as it is ready. Zero
@@ -225,14 +231,17 @@ func NewWorld(c *cluster.Cluster, cfg Config, factory SchemeFactory) *World {
 	for n := 0; n < c.Spec.Nodes; n++ {
 		for g := 0; g < c.Spec.GPUsPerNode; g++ {
 			r := &Rank{
-				world: w,
-				id:    id,
-				node:  n,
-				Dev:   c.Device(n, g),
-				cache: layoutcache.New(cfg.CacheCapacity),
-				Trace: &trace.Breakdown{},
-				tl:    w.tl.Rank(id),
+				world:     w,
+				id:        id,
+				node:      n,
+				Dev:       c.Device(n, g),
+				cache:     layoutcache.New(cfg.CacheCapacity),
+				plancache: layoutcache.New(cfg.CacheCapacity),
+				Trace:     &trace.Breakdown{},
+				tl:        w.tl.Rank(id),
 			}
+			r.cache.DisablePlans = cfg.DisablePackPlans
+			r.plancache.DisablePlans = cfg.DisablePackPlans
 			r.Dev.TL = r.tl
 			if inj != nil {
 				r.fsite = inj.Site(fmt.Sprintf("mpi:rank%d", id))
@@ -311,13 +320,18 @@ func (w *World) stallDiag() string {
 
 // Rank is one MPI process bound to one GPU.
 type Rank struct {
-	world  *World
-	id     int
-	node   int
-	Dev    *gpu.Device
-	proc   *sim.Proc
-	cache  *layoutcache.Cache
-	scheme Scheme
+	world *World
+	id    int
+	node  int
+	Dev   *gpu.Device
+	proc  *sim.Proc
+	cache *layoutcache.Cache
+	// plancache serves uncharged lookups (LayoutEntry): collective
+	// engines fetch compiled plans through it without perturbing the
+	// charged cache's hit pattern, keeping virtual-time charges identical
+	// to the pre-plan runtime.
+	plancache *layoutcache.Cache
+	scheme    Scheme
 
 	// Trace accrues the Fig. 11 cost taxonomy for this rank.
 	Trace *trace.Breakdown
@@ -586,6 +600,24 @@ func (r *Rank) lookupLayout(p *sim.Proc, l *datatype.Layout, count int) *layoutc
 	return e
 }
 
+// LayoutEntry returns the cached flattened layout + compiled plan for
+// (l, count) WITHOUT charging virtual time. Collective engines use it to
+// reach the compiled pack plans; point-to-point posting keeps charging
+// through lookupLayout. The uncharged lookups go to a separate per-rank
+// cache so the charged cache's hit pattern (and therefore every
+// virtual-time trace) is unchanged from the pre-plan runtime.
+func (r *Rank) LayoutEntry(l *datatype.Layout, count int) *layoutcache.Entry {
+	e, _ := r.plancache.Get(l, count)
+	return e
+}
+
+// CacheStats aggregates this rank's charged and plan-cache counters.
+func (r *Rank) CacheStats() layoutcache.Stats {
+	s := r.cache.Stats()
+	s.Add(r.plancache.Stats())
+	return s
+}
+
 // TagError is the typed configuration error returned (through
 // Request.Err and Wait/Waitall) when a user point-to-point operation uses
 // a tag inside the reserved collective range [CollTagBase, ∞). It unwraps
@@ -685,6 +717,7 @@ func (r *Rank) IsendRaw(p *sim.Proc, dest, tag int, buf *gpu.Buffer, l *datatype
 
 	q.packed = r.stagingBuf(e.Bytes)
 	job := pack.NewJob(pack.OpPack, buf, q.packed, e.Blocks)
+	job.Plan = e.Plan
 	q.handle = r.scheme.Pack(p, job)
 	q.state = stPacking
 	if r.world.Cfg.Rendezvous == RPUT && q.bytes > r.world.Cfg.EagerLimitBytes {
@@ -1197,6 +1230,7 @@ func (r *Rank) progressRecv(p *sim.Proc, q *Request) {
 			return
 		}
 		job := pack.NewJob(pack.OpUnpack, q.packed, q.buf, q.entry.Blocks)
+		job.Plan = q.entry.Plan
 		q.handle = r.scheme.Unpack(p, job)
 		q.state = stUnpacking
 	case stUnpacking:

@@ -32,6 +32,7 @@ func (r *Rank) Pack(p *sim.Proc, inbuf *gpu.Buffer, l *datatype.Layout, count in
 		panic(fmt.Sprintf("mpi: Pack overflow: position %d + %d bytes > buffer %d", *position, e.Bytes, outbuf.Len()))
 	}
 	job := pack.NewJob(pack.OpPack, inbuf, outbuf, e.Blocks)
+	job.Plan = e.Plan
 	job.TargetOff = *position
 	h := r.scheme.Pack(p, job)
 	r.blockOn(p, h)
@@ -46,6 +47,7 @@ func (r *Rank) Unpack(p *sim.Proc, inbuf *gpu.Buffer, position *int64, outbuf *g
 		panic(fmt.Sprintf("mpi: Unpack underflow: position %d + %d bytes > buffer %d", *position, e.Bytes, inbuf.Len()))
 	}
 	job := pack.NewJob(pack.OpUnpack, inbuf, outbuf, e.Blocks)
+	job.Plan = e.Plan
 	job.OriginOff = *position
 	h := r.scheme.Unpack(p, job)
 	r.blockOn(p, h)

@@ -58,6 +58,12 @@ type Job struct {
 	// TargetBlocks is the destination layout for OpDirectIPC only; nil
 	// means same layout as Blocks.
 	TargetBlocks []datatype.Block
+	// Plan is the compiled pack routine for Blocks' canonical form, when
+	// the owning rank's layout cache has one (OpPack/OpUnpack only; nil
+	// falls back to the legacy block-list loops). Plans change host
+	// execution speed only — Bytes/Segments/MaxBlock stay block-derived,
+	// so kernel specs and virtual-time charges are identical either way.
+	Plan *datatype.Plan
 	// Aggregates for the cost model.
 	Bytes    int64
 	Segments int
@@ -91,20 +97,44 @@ func (j *Job) Execute() {
 	case OpPack:
 		if lazy {
 			w := j.TargetOff
+			if j.Plan != nil {
+				// Lazy-aware plan variant: iterate the compiled runs
+				// and emit the same span sequence as the block list.
+				j.Plan.Canon.EachBlock(func(off, n int64) {
+					gpu.CopyRange(j.Target, w, j.Origin, off, n)
+					w += n
+				})
+				return
+			}
 			for _, b := range j.Blocks {
 				gpu.CopyRange(j.Target, w, j.Origin, b.Offset, b.Len)
 				w += b.Len
 			}
 			return
 		}
+		if j.Plan != nil {
+			j.Plan.Pack(j.Origin.Data, j.Target.Data[j.TargetOff:])
+			return
+		}
 		gather(j.Origin.Data, j.Blocks, j.Target.Data[j.TargetOff:])
 	case OpUnpack:
 		if lazy {
 			r := j.OriginOff
+			if j.Plan != nil {
+				j.Plan.Canon.EachBlock(func(off, n int64) {
+					gpu.CopyRange(j.Target, off, j.Origin, r, n)
+					r += n
+				})
+				return
+			}
 			for _, b := range j.Blocks {
 				gpu.CopyRange(j.Target, b.Offset, j.Origin, r, b.Len)
 				r += b.Len
 			}
+			return
+		}
+		if j.Plan != nil {
+			j.Plan.Unpack(j.Origin.Data[j.OriginOff:], j.Target.Data)
 			return
 		}
 		scatter(j.Origin.Data[j.OriginOff:], j.Target.Data, j.Blocks)

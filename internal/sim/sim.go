@@ -67,9 +67,9 @@ type Env struct {
 	stopped  bool
 	panicv   any // re-panicked out of Run
 
-	idle          []*worker // workers with no Proc bound, ready for reuse
-	workersAlive  int       // goroutines currently parked or running
-	workersTotal  int       // goroutines ever started (reuse oracle)
+	idle         []*worker // workers with no Proc bound, ready for reuse
+	workersAlive int       // goroutines currently parked or running
+	workersTotal int       // goroutines ever started (reuse oracle)
 
 	// No-progress watchdog (SetWatchdog). Zero timeout = disarmed.
 	wdTimeout int64
