@@ -12,6 +12,7 @@
 //	halo3d -n 64 -coll          # NeighborAlltoallw with fused launches
 //	halo3d -n 32 -ranks 1024 -lazy -coll   # 16x8x8 grid, lazy-bytes payloads
 //	halo3d -n 16 -faults rank-crash -recover
+//	halo3d -n 16 -lazy -faults rank-crash -recover
 //
 // -lazy switches the session to the lazy-bytes payload mode: grid buffers
 // carry a span algebra instead of real bytes, so rank counts in the
@@ -19,12 +20,16 @@
 // spot-checked by materializing only rank 0's ghost region and its
 // neighbors' faces after the run.
 //
-// The last form is the checkpointless-recovery demo: a seeded fault plan
-// kills one rank mid-exchange, the survivors observe the typed failure,
-// agree on it, shrink the world (ULFM-style), re-decompose the halo as a
-// 1D z-chain over the survivor communicator, and re-verify the exchanged
-// faces byte-exactly. The process exits non-zero if any survivor misses
-// the failure, the recovery exchange mismatches, or requests leak.
+// The last two forms are the recovery demo, built on the coordinated
+// checkpoint subsystem (internal/ckpt): every rank checkpoints its grid,
+// a seeded fault plan kills one rank mid-exchange, the survivors observe
+// the typed failure, agree on it, and shrink the world (ULFM-style) —
+// which rolls their torn grids back to the checkpoint — then re-decompose
+// the halo as a 1D z-chain over the survivor communicator and re-verify
+// the exchanged faces byte-exactly. The dead rank's snapshot is finally
+// adopted by its buddy. The process exits non-zero if any survivor misses
+// the failure, the rollback or the recovery exchange mismatches, or
+// requests leak. Works in both payload modes (-lazy included).
 package main
 
 import (
@@ -287,19 +292,30 @@ func verifySample(cart *dkf.CartComm, faces map[string]*dkf.Layout, grids, ghost
 	return checked, nil
 }
 
-// runRecover is the checkpointless-recovery demo: the 2x2x2 halo exchange
-// runs under faultSpec until a rank dies and every survivor has observed
-// the failure (typed *RankFailedError / ErrCommRevoked via the collective's
-// self-healing revocation), then the survivors Agree on the outcome, Shrink
-// the world, re-decompose the halo as a 1D z-chain over the dense survivor
-// communicator, exchange the z faces with fresh tags, and the driver
-// re-verifies every exchanged face byte-exactly against the sender's grid.
-func runRecover(w io.Writer, scheme string, n int, faultSpec string) error {
+// runRecover is the rank-failure recovery demo, built on the coordinated
+// checkpoint subsystem (internal/ckpt): every rank registers its grid and
+// checkpoints before the exchange loop, then the 2x2x2 halo exchange runs
+// under faultSpec until a rank dies and every survivor has observed the
+// failure (typed *RankFailedError / ErrCommRevoked via the collective's
+// self-healing revocation). The survivors Agree on the outcome, scribble
+// their grids (standing in for a timestep torn by the failure), and
+// Shrink the world — which automatically rolls every survivor's
+// registered state back to the checkpoint. The halo is then re-decomposed
+// as a 1D z-chain over the dense survivor communicator and the boundary
+// faces re-exchanged with fresh tags; the driver re-verifies every
+// exchanged face byte-exactly against the sender's restored grid, checks
+// the rollback itself by checksum, and finally adopts the dead rank's
+// snapshot onto its buddy. Works in both payload modes.
+func runRecover(w io.Writer, scheme string, n int, faultSpec string, lazy bool) error {
 	plan, err := dkf.ParseFaultPlan(faultSpec)
 	if err != nil {
 		return err
 	}
-	sess, err := dkf.NewSession(dkf.SessionConfig{Scheme: dkf.Scheme(scheme), Faults: plan})
+	cfg := dkf.SessionConfig{Scheme: dkf.Scheme(scheme), Faults: plan}
+	if lazy {
+		cfg.Payload = dkf.PayloadLazy
+	}
+	sess, err := dkf.NewSession(cfg)
 	if err != nil {
 		return err
 	}
@@ -311,13 +327,16 @@ func runRecover(w io.Writer, scheme string, n int, faultSpec string) error {
 	grids := make([]*dkf.Buffer, nr)
 	ghosts := make([]*dkf.Buffer, nr)
 	rghosts := make([]*dkf.Buffer, nr)
+	initSums := make([]uint64, nr)
 	for r := 0; r < nr; r++ {
 		grids[r] = sess.Alloc(r, "grid", gridBytes)
 		ghosts[r] = sess.Alloc(r, "ghost", gridBytes)
 		rghosts[r] = sess.Alloc(r, "rghost", gridBytes)
-		dkf.FillPattern(grids[r].Data, uint64(r+1))
+		grids[r].FillStream(uint64(r + 1))
 		// Junk so the verification can only pass if recovery wrote it.
-		dkf.FillPattern(rghosts[r].Data, uint64(0xdead+r))
+		rghosts[r].FillStream(uint64(0xdead + r))
+		initSums[r] = grids[r].Checksum()
+		sess.CheckpointRegister(r, grids[r])
 	}
 	axes := []struct {
 		axis          int
@@ -331,6 +350,11 @@ func runRecover(w io.Writer, scheme string, n int, faultSpec string) error {
 	recoverErrs := make([]error, nr)
 	err = sess.Run(func(c *dkf.RankCtx) {
 		me := c.ID()
+		if ft {
+			// Coordinated checkpoint of the registered grids before any
+			// exchange traffic; Shrink rolls survivors back to this epoch.
+			c.Checkpoint()
+		}
 		// No per-step barrier here: ranks leave the loop at different
 		// times once the failure propagates, and a rendezvous with ranks
 		// that already moved on to Agree would wedge the survivors.
@@ -362,16 +386,20 @@ func runRecover(w io.Writer, scheme string, n int, faultSpec string) error {
 		if agreed == 1 && aerr == nil {
 			return // everyone finished clean and nobody died
 		}
+		// The failure tore the in-flight timestep: scribble the grid so the
+		// downstream verification can only pass if Shrink's automatic
+		// restore actually rolled it back to the checkpoint.
+		grids[me].FillStream(uint64(0xbad0 + me))
 		sub, serr := c.Shrink(c.World())
 		if serr != nil {
 			recoverErrs[me] = serr
 			return
 		}
-		// Checkpointless re-decomposition: the survivors' grids are intact
-		// in device memory, so the halo is re-laid-out as a 1D z-chain in
-		// comm-rank order and the boundary faces re-exchanged with fresh
-		// tags (the shrunken epoch keeps collective traffic separate; these
-		// point-to-point legs use tags outside the failed step's range).
+		// Re-decomposition from the restored checkpoint: the halo is
+		// re-laid-out as a 1D z-chain in comm-rank order and the boundary
+		// faces re-exchanged with fresh tags (the shrunken epoch keeps
+		// collective traffic separate; these point-to-point legs use tags
+		// outside the failed step's range).
 		cc := c.On(sub)
 		cr := cc.Rank()
 		var reqs []*dkf.Request
@@ -429,14 +457,21 @@ func runRecover(w io.Writer, scheme string, n int, faultSpec string) error {
 	}
 	fmt.Fprintf(w, "halo3d: rank(s) %v crashed at step ~%d; survivors detected the failure and revoked the world\n",
 		crashed, steps)
-	fmt.Fprintf(w, "halo3d: shrunk world %d -> %d ranks; halo re-decomposed as a %d-rank z-chain\n",
-		nr, len(survivors), len(survivors))
+	fmt.Fprintf(w, "halo3d: shrunk world %d -> %d ranks; checkpoint epoch %d restored; halo re-decomposed as a %d-rank z-chain\n",
+		nr, len(survivors), sess.CheckpointEpoch(), len(survivors))
+	// The scribble must be gone: every survivor's grid is back at the
+	// checkpointed content.
+	for _, s := range survivors {
+		if grids[s].Checksum() != initSums[s] {
+			return fmt.Errorf("halo3d: rank %d grid not rolled back to the checkpoint after Shrink", s)
+		}
+	}
 	for i := 0; i+1 < len(survivors); i++ {
 		a, b := survivors[i], survivors[i+1]
-		if verr := dkf.VerifyBlocks(faces["z-"], 1, grids[a].Data, rghosts[b].Data); verr != nil {
+		if verr := dkf.VerifyBlocks(faces["z-"], 1, grids[a].Materialize(), rghosts[b].Materialize()); verr != nil {
 			return fmt.Errorf("halo3d: recovery exchange %d->%d (z-) mismatch: %w", a, b, verr)
 		}
-		if verr := dkf.VerifyBlocks(faces["z+"], 1, grids[b].Data, rghosts[a].Data); verr != nil {
+		if verr := dkf.VerifyBlocks(faces["z+"], 1, grids[b].Materialize(), rghosts[a].Materialize()); verr != nil {
 			return fmt.Errorf("halo3d: recovery exchange %d->%d (z+) mismatch: %w", b, a, verr)
 		}
 	}
@@ -445,6 +480,22 @@ func runRecover(w io.Writer, scheme string, n int, faultSpec string) error {
 	}
 	fmt.Fprintf(w, "halo3d: recovery exchange byte-exact across %d survivor pairs; no leaked requests\n",
 		len(survivors)-1)
+	// Buddy adoption: the dead rank's checkpointed grid is still
+	// recoverable on its buddy, byte-for-byte what it held at the capture.
+	for _, d := range crashed {
+		if !sess.CheckpointAvailable(d) {
+			return fmt.Errorf("halo3d: dead rank %d's snapshot unavailable despite buddy placement", d)
+		}
+		buddy := sess.CheckpointBuddy(d)
+		adopted := sess.Alloc(buddy, fmt.Sprintf("adopted-%d", d), gridBytes)
+		if aerr := sess.CheckpointAdopt(buddy, d, adopted); aerr != nil {
+			return fmt.Errorf("halo3d: buddy adoption of rank %d: %w", d, aerr)
+		}
+		if adopted.Checksum() != initSums[d] {
+			return fmt.Errorf("halo3d: adopted grid of rank %d differs from its checkpointed content", d)
+		}
+		fmt.Fprintf(w, "halo3d: rank %d's checkpointed grid adopted by buddy rank %d, checksum-exact\n", d, buddy)
+	}
 	return nil
 }
 
@@ -483,11 +534,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "halo3d: -faults and -recover must be used together")
 			os.Exit(2)
 		}
-		if *ranks != 8 || *lazy {
-			fmt.Fprintln(os.Stderr, "halo3d: -recover supports only the default 8-rank exact mode (not -ranks/-lazy)")
+		if *ranks != 8 {
+			fmt.Fprintln(os.Stderr, "halo3d: -recover supports only the default 8-rank world (not -ranks)")
 			os.Exit(2)
 		}
-		if err := runRecover(os.Stdout, *scheme, *n, *faultSpec); err != nil {
+		if err := runRecover(os.Stdout, *scheme, *n, *faultSpec, *lazy); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

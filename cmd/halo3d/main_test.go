@@ -81,23 +81,35 @@ func TestRunLazyRanks(t *testing.T) {
 	}
 }
 
-// TestRunRecover drives the checkpointless-recovery demo on a tiny grid:
-// a planned crash kills one rank, the survivors shrink and re-exchange,
-// and runRecover's own byte-exactness checks must pass.
+// TestRunRecover drives the checkpoint-backed recovery demo on a tiny
+// grid in both payload modes: a planned crash kills one rank, the
+// survivors shrink (rolling their grids back to the pre-run checkpoint)
+// and re-exchange, and runRecover's own rollback, byte-exactness, and
+// buddy-adoption checks must pass.
 func TestRunRecover(t *testing.T) {
-	var buf bytes.Buffer
-	if err := runRecover(&buf, "Proposed-Tuned", 8, "crash=2@20000"); err != nil {
-		t.Fatal(err)
-	}
-	out := buf.String()
-	for _, want := range []string{
-		"rank(s) [2] crashed",
-		"shrunk world 8 -> 7 ranks",
-		"recovery exchange byte-exact across 6 survivor pairs",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("recovery report missing %q:\n%s", want, out)
+	for _, lazy := range []bool{false, true} {
+		name := "exact"
+		if lazy {
+			name = "lazy"
 		}
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runRecover(&buf, "Proposed-Tuned", 8, "crash=2@20000", lazy); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range []string{
+				"rank(s) [2] crashed",
+				"shrunk world 8 -> 7 ranks",
+				"checkpoint epoch 1 restored",
+				"recovery exchange byte-exact across 6 survivor pairs",
+				"checkpointed grid adopted by buddy rank 3",
+			} {
+				if !strings.Contains(out, want) {
+					t.Errorf("recovery report missing %q:\n%s", want, out)
+				}
+			}
+		})
 	}
 }
 
@@ -110,7 +122,7 @@ func TestRunRecoverPresetSeeds(t *testing.T) {
 	for _, seed := range []uint64{1, 2, 3} {
 		var buf bytes.Buffer
 		spec := fmt.Sprintf("rank-crash,seed=%d", seed)
-		if err := runRecover(&buf, "Proposed-Tuned", 8, spec); err != nil {
+		if err := runRecover(&buf, "Proposed-Tuned", 8, spec, seed%2 == 0); err != nil {
 			t.Errorf("seed %d: %v\n%s", seed, err, buf.String())
 		}
 	}

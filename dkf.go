@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/coll"
 	"repro/internal/datatype"
@@ -339,9 +340,11 @@ type SessionConfig struct {
 	// mode is verified against. PayloadLazy carries buffers at or above
 	// LazyThreshold as a seed+span+checksum algebra instead, making copy
 	// costs independent of message size; timings, traces, and checksums
-	// are identical to the exact run by construction. Incompatible with
-	// Faults: the reliability layer checksums and corrupts real wire
-	// bytes.
+	// are identical to the exact run by construction. Composes with
+	// Faults: the reliability layer checksums lazy payloads through the
+	// same composable FNV-1a algebra and models in-flight corruption as a
+	// deterministic span splice, so chaos runs scale to lazy-mode world
+	// sizes.
 	Payload PayloadMode
 	// LazyThreshold is the minimum allocation size, in bytes, carried
 	// lazily under PayloadLazy (0 = 4 KiB default). Smaller buffers stay
@@ -375,57 +378,72 @@ const (
 // PayloadLazy carries buffers lazily when LazyThreshold is unset.
 const DefaultLazyThreshold = 4096
 
-// validate rejects configurations that would misbehave downstream.
+// ConfigError is the typed error NewSession returns for an invalid
+// SessionConfig. Option names the offending field (dotted for nested
+// fields, e.g. "Heartbeat.TimeoutNs"); Reason says what is wrong with it.
+type ConfigError struct {
+	Option string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "dkf: invalid SessionConfig." + e.Option + ": " + e.Reason
+}
+
+func cfgErr(option, format string, args ...any) *ConfigError {
+	return &ConfigError{Option: option, Reason: fmt.Sprintf(format, args...)}
+}
+
+// validate rejects configurations that would misbehave downstream. Only
+// genuinely unsupported combinations are refused; every rejection is a
+// *ConfigError naming the offending option.
 func (cfg *SessionConfig) validate() error {
 	if cfg.FusionThreshold < 0 {
-		return fmt.Errorf("dkf: negative FusionThreshold %d", cfg.FusionThreshold)
+		return cfgErr("FusionThreshold", "negative FusionThreshold %d", cfg.FusionThreshold)
 	}
 	if cfg.EagerLimit < 0 {
-		return fmt.Errorf("dkf: negative EagerLimit %d", cfg.EagerLimit)
+		return cfgErr("EagerLimit", "negative EagerLimit %d", cfg.EagerLimit)
 	}
 	if cfg.PipelineChunk < 0 {
-		return fmt.Errorf("dkf: negative PipelineChunk %d", cfg.PipelineChunk)
+		return cfgErr("PipelineChunk", "negative PipelineChunk %d", cfg.PipelineChunk)
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
-			return fmt.Errorf("dkf: %w", err)
+			return cfgErr("Faults", "%v", err)
 		}
 	}
 	if cfg.Heartbeat.IntervalNs < 0 {
-		return fmt.Errorf("dkf: negative Heartbeat.IntervalNs %d", cfg.Heartbeat.IntervalNs)
+		return cfgErr("Heartbeat.IntervalNs", "negative Heartbeat.IntervalNs %d", cfg.Heartbeat.IntervalNs)
 	}
 	if cfg.Heartbeat.TimeoutNs < 0 {
-		return fmt.Errorf("dkf: negative Heartbeat.TimeoutNs %d", cfg.Heartbeat.TimeoutNs)
+		return cfgErr("Heartbeat.TimeoutNs", "negative Heartbeat.TimeoutNs %d", cfg.Heartbeat.TimeoutNs)
 	}
 	if cfg.Heartbeat.TimeoutNs > 0 && cfg.Faults == nil {
-		return fmt.Errorf("dkf: Heartbeat requires a fault plan (set Faults; an empty plan enables the reliability layer)")
+		return cfgErr("Heartbeat.TimeoutNs", "Heartbeat requires a fault plan (set Faults; an empty plan enables the reliability layer)")
 	}
 	if cfg.CustomSpec == nil {
 		if cfg.System < SystemLassen || cfg.System > SystemABCI {
-			return fmt.Errorf("dkf: unknown System %d (valid: SystemLassen, SystemABCI)", int(cfg.System))
+			return cfgErr("System", "unknown System %d (valid: SystemLassen, SystemABCI)", int(cfg.System))
 		}
 	} else {
 		if cfg.CustomSpec.Nodes < 1 {
-			return fmt.Errorf("dkf: CustomSpec needs at least one node, got %d", cfg.CustomSpec.Nodes)
+			return cfgErr("CustomSpec", "CustomSpec needs at least one node, got %d", cfg.CustomSpec.Nodes)
 		}
 		if cfg.CustomSpec.GPUsPerNode < 1 {
-			return fmt.Errorf("dkf: CustomSpec needs at least one GPU per node, got %d", cfg.CustomSpec.GPUsPerNode)
+			return cfgErr("CustomSpec", "CustomSpec needs at least one GPU per node, got %d", cfg.CustomSpec.GPUsPerNode)
 		}
 	}
 	if cfg.Payload != PayloadExact && cfg.Payload != PayloadLazy {
-		return fmt.Errorf("dkf: unknown PayloadMode %d (valid: PayloadExact, PayloadLazy)", int(cfg.Payload))
+		return cfgErr("Payload", "unknown PayloadMode %d (valid: PayloadExact, PayloadLazy)", int(cfg.Payload))
 	}
 	if cfg.LazyThreshold < 0 {
-		return fmt.Errorf("dkf: negative LazyThreshold %d", cfg.LazyThreshold)
+		return cfgErr("LazyThreshold", "negative LazyThreshold %d", cfg.LazyThreshold)
 	}
 	if cfg.LazyThreshold > 0 && cfg.Payload != PayloadLazy {
-		return fmt.Errorf("dkf: LazyThreshold requires Payload: PayloadLazy")
-	}
-	if cfg.Payload == PayloadLazy && cfg.Faults != nil {
-		return fmt.Errorf("dkf: PayloadLazy is incompatible with Faults: the reliability layer checksums and corrupts real wire bytes (use PayloadExact for fault runs)")
+		return cfgErr("LazyThreshold", "LazyThreshold requires Payload: PayloadLazy")
 	}
 	if cfg.PollInterval < 0 {
-		return fmt.Errorf("dkf: negative PollInterval %d", cfg.PollInterval)
+		return cfgErr("PollInterval", "negative PollInterval %d", cfg.PollInterval)
 	}
 	known := false
 	for _, n := range validSchemes() {
@@ -435,7 +453,7 @@ func (cfg *SessionConfig) validate() error {
 		}
 	}
 	if !known {
-		return fmt.Errorf("dkf: unknown scheme %q (valid: %s)",
+		return cfgErr("Scheme", "unknown scheme %q (valid: %s)",
 			cfg.Scheme, strings.Join(validSchemes(), ", "))
 	}
 	return nil
@@ -449,6 +467,7 @@ type Session struct {
 	world   *mpi.World
 	coll    *coll.Engine
 	subs    map[*mpi.Comm]*coll.Engine
+	ckpt    *ckpt.Store
 	closed  bool
 }
 
@@ -516,6 +535,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		cluster: cl,
 		world:   world,
 		coll:    coll.New(world, cfg.Coll),
+		ckpt:    ckpt.NewStore(world.Size()),
 	}, nil
 }
 
@@ -632,6 +652,95 @@ func (s *Session) FailedRanks() []int { return s.world.FailedRanks() }
 // CrashedRanks lists the ranks whose processes were killed — ground truth,
 // a superset of FailedRanks until detection catches up — sorted.
 func (s *Session) CrashedRanks() []int { return s.world.CrashedRanks() }
+
+// --- checkpoint/restore (internal/ckpt) ---
+
+// CheckpointRegister adds bufs to rank r's recoverable state in the
+// session's epoch-consistent checkpoint store. Register everything a rank
+// needs to roll back BEFORE the first Checkpoint; registration order is
+// restore order. Snapshots are cheap span clones in lazy payload mode and
+// byte copies in exact mode.
+func (s *Session) CheckpointRegister(r int, bufs ...*Buffer) {
+	s.ckpt.Register(r, bufs...)
+}
+
+// syncCkptDead mirrors crashed ranks into the checkpoint store so quorums
+// shrink and buddy availability reflects reality.
+func (s *Session) syncCkptDead() {
+	for _, r := range s.world.CrashedRanks() {
+		s.ckpt.MarkDead(r)
+	}
+}
+
+// Checkpoint takes a driver-side coordinated checkpoint of every live
+// registered rank (no virtual time passes — use RankCtx.Checkpoint inside
+// Run to charge the simulated machine). It returns the committed epoch
+// sequence number, or 0 when nothing is registered.
+func (s *Session) Checkpoint() int {
+	s.syncCkptDead()
+	e := s.ckpt.CaptureAll(s.env.Now(), s.world.WorldComm().Epoch())
+	if e == nil {
+		return 0
+	}
+	return e.Seq
+}
+
+// Restore rolls every live registered rank back to the latest committed
+// checkpoint epoch (driver-side, no virtual time). It fails if no epoch
+// has committed or a rank's snapshot was lost (rank and buddy both dead).
+func (s *Session) Restore() error {
+	s.syncCkptDead()
+	var firstErr error
+	restored := 0
+	for r := 0; r < s.world.Size(); r++ {
+		if s.world.IsCrashed(r) || s.ckpt.Registered(r) == 0 {
+			continue
+		}
+		if _, _, err := s.ckpt.RestoreRank(r); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		restored++
+	}
+	if firstErr != nil {
+		return fmt.Errorf("dkf: Restore: %w", firstErr)
+	}
+	if restored == 0 {
+		return fmt.Errorf("dkf: Restore: no committed checkpoint epoch")
+	}
+	return nil
+}
+
+// CheckpointEpoch reports the latest committed checkpoint epoch sequence
+// number (0 before the first commit).
+func (s *Session) CheckpointEpoch() int {
+	if e := s.ckpt.Latest(); e != nil {
+		return e.Seq
+	}
+	return 0
+}
+
+// CheckpointBuddy is the rank mirroring r's snapshots: r's state stays
+// recoverable after r crashes for as long as the buddy survives.
+func (s *Session) CheckpointBuddy(r int) int { return s.ckpt.Buddy(r) }
+
+// CheckpointAvailable reports whether rank r's latest snapshot is
+// recoverable under the buddy-placement model.
+func (s *Session) CheckpointAvailable(r int) bool {
+	s.syncCkptDead()
+	return s.ckpt.Available(r)
+}
+
+// CheckpointAdopt copies dead rank's latest snapshot into the supplied
+// buffers (matching count, sizes, and payload modes). Only dead's buddy
+// holds the mirror, so adopter must be CheckpointBuddy(dead).
+func (s *Session) CheckpointAdopt(adopter, dead int, into ...*Buffer) error {
+	s.syncCkptDead()
+	_, err := s.ckpt.AdoptRank(adopter, dead, into)
+	return err
+}
 
 // engineFor resolves the collective engine scoped to cm, deriving and
 // caching a sub-engine per shrunken communicator (the simulation scheduler
@@ -929,7 +1038,56 @@ func (c *RankCtx) Revoke(cm *Comm) { cm.Revoke(c.proc, c.rank) }
 // members returning a dense re-ranked communicator of the survivors at a
 // fresh epoch. Members that die mid-rendezvous are excluded when the
 // detector declares them, so Shrink completes within the heartbeat bound.
-func (c *RankCtx) Shrink(cm *Comm) (*Comm, error) { return cm.Shrink(c.proc, c.rank) }
+//
+// When a committed checkpoint epoch covers this rank, Shrink additionally
+// rolls the rank's registered buffers back to it (automatic
+// restore-on-Shrink), charging the restore memcpy to the simulated clock.
+func (c *RankCtx) Shrink(cm *Comm) (*Comm, error) {
+	sub, err := cm.Shrink(c.proc, c.rank)
+	if err != nil || sub == nil {
+		return sub, err
+	}
+	c.sess.syncCkptDead()
+	st := c.sess.ckpt
+	if st.Latest() != nil && st.Registered(c.ID()) > 0 {
+		if n, _, rerr := st.RestoreRank(c.ID()); rerr == nil {
+			c.chargeCkpt("restore", n)
+		}
+	}
+	return sub, nil
+}
+
+// chargeCkpt bills a checkpoint/restore memcpy of n logical bytes to the
+// simulated machine at device-memory bandwidth under trace.Recovery. The
+// charge is by logical size in BOTH payload modes — the machine copies the
+// bytes even when the host-side representation is a span clone — so lazy
+// and exact runs stay clock-identical.
+func (c *RankCtx) chargeCkpt(what string, n int64) {
+	d := int64(float64(n) / c.rank.Dev.Arch.MemBWBytesPerNs)
+	if d <= 0 {
+		return
+	}
+	t0 := c.proc.Now()
+	c.rank.Trace.Add(trace.Recovery, d)
+	c.proc.Sleep(d)
+	if tl := c.sess.world.Timeline(); tl != nil {
+		tl.Rank(c.ID()).Span(timeline.LayerFault, trace.Recovery, "", "ckpt-"+what, t0, d)
+	}
+}
+
+// Checkpoint contributes this rank's registered buffers to the open
+// coordinated checkpoint epoch (opening one if needed) and reports whether
+// this contribution committed it — true on the last live registered rank.
+// The snapshot memcpy is charged to the simulated clock (trace.Recovery).
+// Call from every live rank at a consistent point (e.g. after a Barrier or
+// a completed collective) to get an epoch no rank can tear.
+func (c *RankCtx) Checkpoint() bool {
+	s := c.sess
+	s.syncCkptDead()
+	c.chargeCkpt("capture", s.ckpt.RegisteredBytes(c.ID()))
+	_, committed := s.ckpt.CaptureRank(c.ID(), c.proc.Now(), s.world.WorldComm().Epoch())
+	return committed
+}
 
 // Agree is the MPIX_Comm_agree analogue: a fault-tolerant agreement
 // returning the bitwise AND of the live members' flags. When a member of cm

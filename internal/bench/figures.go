@@ -272,15 +272,18 @@ func Run(fig string) ([]*Table, error) {
 		return Coll(cluster.Lassen()), nil
 	case "scale":
 		return []*Table{Scale(1024)}, nil
+	case "chaos-scale":
+		return []*Table{ChaosScale(1024)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14, coll, scale)", fig)
+		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14, coll, scale, chaos-scale)", fig)
 	}
 }
 
-// Figures lists the reproducible figure ids. "coll" and "scale" are the
-// repository's own subsystem experiments, not paper figures.
+// Figures lists the reproducible figure ids. "coll", "scale", and
+// "chaos-scale" are the repository's own subsystem experiments, not paper
+// figures.
 func Figures() []string {
-	return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll", "scale"}
+	return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll", "scale", "chaos-scale"}
 }
 
 // mutRendezvous returns a config mutator selecting the rendezvous mode

@@ -52,6 +52,12 @@ type scaleMeasure struct {
 // scaleWorld builds a Lassen-model world with ranks/4 nodes; lazy flips
 // every device to the 4 KiB lazy-bytes threshold.
 func scaleWorld(ranks int, lazy bool) (*sim.Env, *mpi.World, error) {
+	return scaleWorldCfg(ranks, lazy, nil)
+}
+
+// scaleWorldCfg is scaleWorld with a config hook, for runs that need
+// fault injection or tracing on top of the scale defaults.
+func scaleWorldCfg(ranks int, lazy bool, mut func(*mpi.Config)) (*sim.Env, *mpi.World, error) {
 	if ranks < 8 || ranks%4 != 0 {
 		return nil, nil, fmt.Errorf("bench: scale needs ranks >= 8 divisible by 4, got %d", ranks)
 	}
@@ -70,6 +76,9 @@ func scaleWorld(ranks int, lazy bool) (*sim.Env, *mpi.World, error) {
 	}
 	cfg := mpi.DefaultConfig()
 	cfg.PollIntervalNs = scalePollNs
+	if mut != nil {
+		mut(&cfg)
+	}
 	return env, mpi.NewWorld(c, cfg, schemes.Factory("Proposed-Tuned")), nil
 }
 
@@ -103,16 +112,10 @@ func measure(env *sim.Env, w *mpi.World, body func(r *mpi.Rank, p *sim.Proc)) (s
 	return m, err
 }
 
-// runScaleA2A runs the sparse hierarchical Alltoallw: every rank has
-// nonzero legs only with its scaleNeighbors wrap-around peers, a
-// world-sized op vector otherwise zero — the shape the hierarchical
-// schedule's zero-leg skipping turns from O(ranks^2) into O(ranks x K).
-func runScaleA2A(ranks int, lazy bool) (scaleMeasure, error) {
-	env, w, err := scaleWorld(ranks, lazy)
-	if err != nil {
-		return scaleMeasure{}, err
-	}
-	l := collLayout() // 32 KiB strided legs
+// makeScaleA2AOps builds the sparse op matrix: every rank has nonzero legs
+// only with its scaleNeighbors wrap-around peers, a world-sized op vector
+// otherwise zero.
+func makeScaleA2AOps(w *mpi.World, l *datatype.Layout) [][]coll.WOp {
 	size := w.Size()
 	half := scaleNeighbors / 2
 	ops := make([][]coll.WOp, size)
@@ -131,6 +134,18 @@ func runScaleA2A(ranks int, lazy bool) (scaleMeasure, error) {
 			}
 		}
 	}
+	return ops
+}
+
+// runScaleA2A runs the sparse hierarchical Alltoallw — the shape the
+// hierarchical schedule's zero-leg skipping turns from O(ranks^2) into
+// O(ranks x K).
+func runScaleA2A(ranks int, lazy bool) (scaleMeasure, error) {
+	env, w, err := scaleWorld(ranks, lazy)
+	if err != nil {
+		return scaleMeasure{}, err
+	}
+	ops := makeScaleA2AOps(w, collLayout()) // 32 KiB strided legs
 	e := coll.New(w, coll.Tuning{Alltoallw: coll.Hierarchical})
 	var bodyErr error
 	m, err := measure(env, w, func(r *mpi.Rank, p *sim.Proc) {

@@ -1,0 +1,94 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestChaosLazyDifferentialAllPresets is satellite oracle #4 of the lazy
+// fault-tolerance work: for every fault preset and several injection
+// seeds, a byte-exact chaos run and a lazy-bytes chaos run under the same
+// plan must be observationally identical — same outcome (success or the
+// same typed errors), same delivered checksum, same virtual clock, same
+// fault-event and retransmission counts, zero leaks in both modes. This
+// is what licenses trusting 1024-rank lazy chaos results: the fault
+// machinery provably cannot tell the payload representations apart.
+func TestChaosLazyDifferentialAllPresets(t *testing.T) {
+	seeds := []uint64{1, 7}
+	schemes := []string{"GPU-Sync", "Proposed-Tuned"}
+	if testing.Short() {
+		seeds = seeds[:1]
+		schemes = schemes[1:]
+	}
+	for _, preset := range fault.PresetNames() {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			for _, seed := range seeds {
+				plan, err := fault.Preset(preset, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc := chaosScenario(plan)
+				for _, scheme := range schemes {
+					if err := ChaosLazyDifferential(sc, scheme); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosLazyDeterminism runs the same lazy chaos scenario twice and
+// requires bit-identical observables — same-seed ⇒ same-timings must keep
+// holding when faults and lazy payloads combine.
+func TestChaosLazyDeterminism(t *testing.T) {
+	plan, err := fault.Preset("mixed", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := chaosScenario(plan)
+	for _, scheme := range []string{"GPU-Sync", "Proposed-Tuned"} {
+		a, err := RunScenarioPayload(sc, scheme, true)
+		if err != nil {
+			t.Fatalf("%s run 1: %v", scheme, err)
+		}
+		b, err := RunScenarioPayload(sc, scheme, true)
+		if err != nil {
+			t.Fatalf("%s run 2: %v", scheme, err)
+		}
+		if a.FinalClock != b.FinalClock || a.RecvSum != b.RecvSum ||
+			a.FaultEvents != b.FaultEvents || a.Retrans != b.Retrans {
+			t.Fatalf("%s lazy chaos replay diverged: clock %d/%d sum %#x/%#x events %d/%d retrans %d/%d",
+				scheme, a.FinalClock, b.FinalClock, a.RecvSum, b.RecvSum,
+				a.FaultEvents, b.FaultEvents, a.Retrans, b.Retrans)
+		}
+	}
+}
+
+// TestChaosLazyCorruptionForcesRetransmission pins the corrupt-splice path
+// specifically: under a corrupt-heavy plan the lazy run must observe
+// retransmissions (the CRC actually rejected damaged frames) and still
+// deliver the exact-mode checksum.
+func TestChaosLazyCorruptionForcesRetransmission(t *testing.T) {
+	plan, err := fault.Preset("corrupt-heavy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := chaosScenario(plan)
+	res, err := RunScenarioPayload(sc, "Proposed-Tuned", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retrans == 0 {
+		t.Fatal("corrupt-heavy lazy run saw zero retransmissions — corruption not reaching the CRC path?")
+	}
+	exact, err := RunScenarioPayload(sc, "Proposed-Tuned", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecvSum != exact.RecvSum {
+		t.Fatalf("lazy delivered %#x, exact %#x", res.RecvSum, exact.RecvSum)
+	}
+}

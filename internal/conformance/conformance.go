@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/datatype"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/schemes"
 	"repro/internal/sim"
@@ -98,6 +99,11 @@ type Result struct {
 	// requests still registered in-flight after the run (must be zero).
 	FaultEvents int
 	Leaked      int
+	// Retrans counts reliability-layer retransmissions (messages and RDMA
+	// re-issues). The chaos differential requires it to be identical
+	// between payload modes: fabric decisions are keyed by site name and
+	// traffic order, never by payload representation.
+	Retrans int64
 	// PendingFused counts pack/unpack jobs still parked in live ranks'
 	// fusion schedulers after the run — the error-path window-teardown
 	// invariant: a collective or exchange that fails mid-phase must not
@@ -203,6 +209,7 @@ func runScenario(sc Scenario, scheme string, fill fillKind, lazy bool) (*Result,
 	res.LiveProcs = env.LiveProcs()
 	res.FaultEvents = len(world.FaultEvents())
 	res.Leaked = world.LeakedRequests()
+	res.Retrans = world.Injector().Count(fault.Retransmit)
 	res.PendingFused = world.PendingFusedJobs()
 	for i := 0; i < world.Size(); i++ {
 		st := world.Rank(i).Dev.Stats
@@ -359,6 +366,70 @@ func LazyDifferential(sc Scenario, scheme string) error {
 		if r.Leaked != 0 || r.PendingFused != 0 || r.LiveProcs != 0 {
 			return fmt.Errorf("conformance: %s %s run leaked state: requests=%d fused=%d procs=%d",
 				scheme, map[bool]string{false: "exact", true: "lazy"}[r == lazy], r.Leaked, r.PendingFused, r.LiveProcs)
+		}
+	}
+	return nil
+}
+
+// errText renders an endpoint error for cross-mode comparison ("" = nil).
+// OpError strings carry ranks, tags, phases, and attempt counts but never
+// payload bytes, so exact and lazy runs under the same fault plan must
+// produce identical text.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// ChaosLazyDifferential runs sc — which must carry a fault plan — under
+// one scheme in byte-exact and lazy payload modes and asserts the two
+// chaos runs are observationally identical: same outcome (success, or the
+// same typed endpoint errors text-for-text), same receive checksum, same
+// final virtual clock, same fault-event and retransmission counts, and
+// zero leaked requests/fused jobs on both sides. Fabric drop/corrupt/dup
+// decisions are keyed by site name and traffic order, never by payload
+// representation, so any divergence is a payload-mode leak into the
+// control flow — exactly the class of bug that would silently invalidate
+// 1024-rank lazy chaos results.
+func ChaosLazyDifferential(sc Scenario, scheme string) error {
+	if sc.Faults == nil {
+		return fmt.Errorf("conformance: ChaosLazyDifferential needs a fault plan")
+	}
+	exact, exactErr := RunScenarioPayload(sc, scheme, false)
+	lazy, lazyErr := RunScenarioPayload(sc, scheme, true)
+	if (exactErr == nil) != (lazyErr == nil) {
+		return fmt.Errorf("conformance: %s chaos outcome differs: exact=%v lazy=%v", scheme, exactErr, lazyErr)
+	}
+	if errText(exact.SendErr) != errText(lazy.SendErr) {
+		return fmt.Errorf("conformance: %s chaos send error differs:\n  exact: %v\n  lazy:  %v",
+			scheme, exact.SendErr, lazy.SendErr)
+	}
+	if errText(exact.RecvErr) != errText(lazy.RecvErr) {
+		return fmt.Errorf("conformance: %s chaos recv error differs:\n  exact: %v\n  lazy:  %v",
+			scheme, exact.RecvErr, lazy.RecvErr)
+	}
+	if exact.RecvSum != lazy.RecvSum {
+		return fmt.Errorf("conformance: %s chaos lazy recv checksum %#x != exact %#x", scheme, lazy.RecvSum, exact.RecvSum)
+	}
+	if exact.FinalClock != lazy.FinalClock {
+		return fmt.Errorf("conformance: %s chaos lazy final clock %d ns != exact %d ns", scheme, lazy.FinalClock, exact.FinalClock)
+	}
+	if exact.FaultEvents != lazy.FaultEvents {
+		return fmt.Errorf("conformance: %s chaos lazy fault events %d != exact %d", scheme, lazy.FaultEvents, exact.FaultEvents)
+	}
+	if exact.Retrans != lazy.Retrans {
+		return fmt.Errorf("conformance: %s chaos lazy retransmissions %d != exact %d", scheme, lazy.Retrans, exact.Retrans)
+	}
+	if exact.Kernels != lazy.Kernels || exact.MovedBytes != lazy.MovedBytes {
+		return fmt.Errorf("conformance: %s chaos lazy GPU accounting (kernels=%d bytes=%d) != exact (kernels=%d bytes=%d)",
+			scheme, lazy.Kernels, lazy.MovedBytes, exact.Kernels, exact.MovedBytes)
+	}
+	for _, r := range []*Result{exact, lazy} {
+		mode := map[bool]string{false: "exact", true: "lazy"}[r == lazy]
+		if r.Leaked != 0 || r.PendingFused != 0 {
+			return fmt.Errorf("conformance: %s %s chaos run leaked state: requests=%d fused=%d",
+				scheme, mode, r.Leaked, r.PendingFused)
 		}
 	}
 	return nil

@@ -91,6 +91,18 @@ func (b *Buffer) Checksum() uint64 {
 	return payload.Checksum(b.Data)
 }
 
+// ChecksumRange hashes buffer range [off, off+n) the same way Checksum
+// hashes the whole buffer: FNV-1a over real bytes in exact mode, the
+// composable span-algebra checksum in lazy mode — identical values for
+// identical logical content. The reliability layer uses it to stamp and
+// verify wire CRCs without ever materializing lazy payloads.
+func (b *Buffer) ChecksumRange(off, n int64) uint64 {
+	if b.Lazy != nil {
+		return b.Lazy.ChecksumRange(off, n)
+	}
+	return payload.Checksum(b.Data[off : off+n])
+}
+
 // CopyRange copies n bytes from src at srcOff into dst at dstOff, handling
 // every real/lazy combination. It is the single copy primitive the pack
 // kernels and MPI runtime use once lazy mode is in play.

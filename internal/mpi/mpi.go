@@ -834,7 +834,7 @@ func (r *Rank) arriveD(m *message, d fabric.Delivery) {
 			if d.Corrupt {
 				// Damaged frame: header/payload CRC rejects it; the
 				// sender's retransmission recovers.
-				if m.payload != nil && verifyDamaged(m.payload, m.sum) {
+				if msgCorruptionUndetected(m) {
 					panic("mpi: corruption not detected by checksum")
 				}
 				return
@@ -936,20 +936,11 @@ func (r *Rank) deliver(q *Request, m *message) {
 
 // --- transfer initiation (sender side) ---
 
-// srcSpan returns the wire bytes for a send request (packed or contiguous).
-// Byte-exact mode only: the reliability layer uses it to checksum and
-// corrupt real bytes, which is exactly what lazy mode cannot provide (and
-// why lazy + faults is rejected at configuration time).
-func (q *Request) srcSpan() []byte {
-	if q.contig {
-		b := q.entry.Blocks[0]
-		return q.buf.Data[b.Offset : b.Offset+b.Len]
-	}
-	return q.packed.Data[:q.bytes]
-}
-
-// srcBuf returns the buffer and base offset holding a send's wire bytes —
-// the payload-mode-independent form of srcSpan.
+// srcBuf returns the buffer and base offset holding a send's wire bytes,
+// independent of payload mode. The reliability layer checksums the range
+// through Buffer.ChecksumRange (real FNV in exact mode, the composable
+// span algebra in lazy mode) and lands it with gpu.CopyRange, so every
+// reliable path works identically on byte-exact and lazy payloads.
 func (q *Request) srcBuf() (*gpu.Buffer, int64) {
 	if q.contig {
 		return q.buf, q.entry.Blocks[0].Offset

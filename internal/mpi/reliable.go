@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/fault"
+	"repro/internal/gpu"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 	"repro/internal/trace"
@@ -120,6 +121,41 @@ func verifyDamaged(payload []byte, sum uint64) bool {
 	return checksum(dam) == sum
 }
 
+// msgCorruptionUndetected models a damaged eager frame in either payload
+// mode and reports whether the receiver's CRC would (impossibly) still
+// accept it. Exact mode flips one real byte; lazy mode applies the
+// deterministic PRF corrupt splice to a span clone. Either way the FNV-1a
+// single-byte-change bijection makes an undetected corruption unreachable,
+// which arriveD turns into a sanity panic.
+func msgCorruptionUndetected(m *message) bool {
+	if m.lazy != nil {
+		dam := m.lazy.Slice(0, m.lazy.Len())
+		dam.CorruptSplice(0, dam.Len(), m.sum)
+		return dam.Checksum() == m.sum
+	}
+	if m.payload != nil {
+		return verifyDamaged(m.payload, m.sum)
+	}
+	return false // header-only control frame: nothing to mis-verify
+}
+
+// corruptionUndetected is the RDMA-side twin of msgCorruptionUndetected: it
+// damages a copy of buffer range [off, off+n) — one byte flip in exact
+// mode, the PRF corrupt splice on a span clone in lazy mode — and reports
+// whether the damaged range still checksums to want.
+func corruptionUndetected(b *gpu.Buffer, off, n int64, want uint64) bool {
+	if b.IsLazy() {
+		dam := b.Lazy.Slice(off, n)
+		dam.CorruptSplice(0, n, want)
+		return dam.Checksum() == want
+	}
+	dam := append([]byte(nil), b.Data[off:off+n]...)
+	if len(dam) > 0 {
+		dam[len(dam)/2] ^= 0xa5
+	}
+	return checksum(dam) == want
+}
+
 // pendingMsg tracks one unacked reliable message on the sender.
 type pendingMsg struct {
 	m        *message
@@ -205,6 +241,8 @@ func (r *Rank) sendReliable(p *sim.Proc, owner *Request, m *message, wire int64)
 	m.id = r.world.nextMsgID
 	if m.payload != nil {
 		m.sum = checksum(m.payload)
+	} else if m.lazy != nil {
+		m.sum = m.lazy.Checksum()
 	}
 	owner.unacked++
 	pm := &pendingMsg{m: m, owner: owner, wire: wire}
@@ -431,23 +469,22 @@ func (r *Rank) issueRead(p *sim.Proc, q *Request, op *readOp, retrans bool) {
 	sender := q.matched.sender
 	fromNode := r.world.ranks[q.matched.from].node
 	off, n := op.off, op.bytes
-	want := checksum(sender.srcSpan()[off : off+n])
+	sb, so := sender.srcBuf()
+	want := sb.ChecksumRange(so+off, n)
 	net.RDMAReadF(r.node, fromNode, n, func(d fabric.Delivery) {
 		if op.done || d.Dup || q.settled() {
 			return
 		}
-		data := sender.srcSpan()[off : off+n]
 		if d.Corrupt {
-			dam := append([]byte(nil), data...)
-			if len(dam) > 0 {
-				dam[len(dam)/2] ^= 0xa5
+			// CRC reject: discard, re-read on timeout. An undetected
+			// corruption is impossible (one-byte FNV flip always changes
+			// the sum), so surviving the check is a simulator bug.
+			if corruptionUndetected(sb, so+off, n, want) {
+				panic("mpi: rdma-read corruption not detected by checksum")
 			}
-			data = dam
+			return
 		}
-		if checksum(data) != want {
-			return // CRC reject: discard, re-read on timeout
-		}
-		copy(q.packed.Data[off:off+n], data)
+		gpu.CopyRange(q.packed, off, sb, so+off, n)
 		op.done = true
 		q.recvdBytes += n
 		if q.recvdBytes == q.bytes {
@@ -499,24 +536,21 @@ func (r *Rank) issueWrite(p *sim.Proc, q *Request, recvReq *Request, retrans boo
 	}
 	net := r.world.Cluster.Net
 	peerNode := r.world.ranks[q.peer].node
-	want := checksum(q.srcSpan())
+	sb, so := q.srcBuf()
+	want := sb.ChecksumRange(so, q.bytes)
 	net.RDMAWriteF(r.node, peerNode, q.bytes, func(d fabric.Delivery) {
 		if q.finHere || d.Dup || q.settled() {
 			return
 		}
-		data := q.srcSpan()
 		if d.Corrupt {
-			dam := append([]byte(nil), data...)
-			if len(dam) > 0 {
-				dam[len(dam)/2] ^= 0xa5
+			// Receiver-side CRC reject: sender rewrites on timeout.
+			if corruptionUndetected(sb, so, q.bytes, want) {
+				panic("mpi: rdma-write corruption not detected by checksum")
 			}
-			data = dam
-		}
-		if checksum(data) != want {
-			return // receiver-side CRC reject: sender rewrites on timeout
+			return
 		}
 		if recvReq != nil {
-			copy(recvReq.packed.Data, data)
+			gpu.CopyRange(recvReq.packed, 0, sb, so, q.bytes)
 			recvReq.dataHere = true
 		}
 		q.finHere = true // local write completion

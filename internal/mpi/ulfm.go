@@ -165,6 +165,9 @@ func (w *World) isCrashed(i int) bool {
 	return w.ftOn && w.crashed[i]
 }
 
+// IsCrashed is the exported ground-truth liveness probe for rank i.
+func (w *World) IsCrashed(i int) bool { return w.isCrashed(i) }
+
 // heartbeat refreshes rank r's liveness stamp; piggybacked on every
 // progress-engine call.
 func (w *World) heartbeat(r *Rank) {

@@ -6,6 +6,105 @@ import (
 	"testing"
 )
 
+// checkSpanInvariants asserts the structural health of a span list:
+// sorted, non-overlapping, non-empty, inside [0, Len), literal lengths
+// consistent, and fully coalesced (no two adjacent mergeable fill spans).
+func checkSpanInvariants(t *testing.T, c *Content) {
+	t.Helper()
+	prevEnd := int64(0)
+	for i, s := range c.spans {
+		if s.n <= 0 {
+			t.Fatalf("span %d: non-positive length %d", i, s.n)
+		}
+		if s.off < prevEnd {
+			t.Fatalf("span %d: offset %d overlaps previous end %d", i, s.off, prevEnd)
+		}
+		if s.off+s.n > c.n {
+			t.Fatalf("span %d: [%d,%d) exceeds content length %d", i, s.off, s.off+s.n, c.n)
+		}
+		if s.kind == srcLit && int64(len(s.lit)) != s.n {
+			t.Fatalf("span %d: literal length %d != span length %d", i, len(s.lit), s.n)
+		}
+		if i > 0 && mergeable(c.spans[i-1], s) {
+			t.Fatalf("span %d: mergeable neighbor survived coalescing", i)
+		}
+		prevEnd = s.off + s.n
+	}
+}
+
+// FuzzLazyCorruptSplice drives the deterministic corrupt-splice primitive
+// the reliability layer models in-flight corruption with: for any content
+// built from a fill + literal-write program, a splice must (1) keep the
+// span invariants, (2) keep the span checksum consistent with the
+// materialized bytes, (3) always change the checksum — the CRC-reject
+// guarantee — while touching exactly one byte, and (4) undo itself when
+// applied twice with the same parameters (XOR involution).
+func FuzzLazyCorruptSplice(f *testing.F) {
+	f.Add(uint16(128), uint64(7), uint16(0), uint16(128), []byte{1, 2, 3})
+	f.Add(uint16(257), uint64(0xdead), uint16(31), uint16(64), []byte{})
+	f.Add(uint16(1), uint64(1), uint16(0), uint16(1), []byte{0xa5})
+	f.Add(uint16(4096), uint64(42), uint16(1000), uint16(2048), bytes.Repeat([]byte{9}, 33))
+	f.Fuzz(func(t *testing.T, size uint16, seed uint64, off, n uint16, lit []byte) {
+		ln := int64(size)
+		if ln == 0 {
+			ln = 1
+		}
+		c := New(ln)
+		c.Fill(seed ^ 0x9e37)
+		if len(lit) > 0 {
+			wo := int64(off) % ln
+			w := lit
+			if int64(len(w)) > ln-wo {
+				w = w[:ln-wo]
+			}
+			c.WriteBytes(wo, w)
+		}
+		so := int64(off) % ln
+		sn := int64(n) % (ln - so + 1)
+		if sn == 0 {
+			return // empty splice range is a no-op by contract
+		}
+		before := make([]byte, ln)
+		c.ReadAt(before, 0)
+		sumBefore := c.Checksum()
+		if sumBefore != Checksum(before) {
+			t.Fatal("pre-splice checksum diverges from materialized bytes")
+		}
+
+		c.CorruptSplice(so, sn, seed)
+		checkSpanInvariants(t, c)
+		after := make([]byte, ln)
+		c.ReadAt(after, 0)
+		sumAfter := c.Checksum()
+		if sumAfter != Checksum(after) {
+			t.Fatal("post-splice checksum diverges from materialized bytes")
+		}
+		if sumAfter == sumBefore {
+			t.Fatal("corrupt splice left the checksum unchanged — CRC could not reject it")
+		}
+		diffs := 0
+		for i := range before {
+			if before[i] != after[i] {
+				if int64(i) < so || int64(i) >= so+sn {
+					t.Fatalf("splice touched byte %d outside [%d,%d)", i, so, so+sn)
+				}
+				diffs++
+			}
+		}
+		if diffs != 1 {
+			t.Fatalf("splice changed %d bytes, want exactly 1", diffs)
+		}
+
+		c.CorruptSplice(so, sn, seed)
+		checkSpanInvariants(t, c)
+		restored := make([]byte, ln)
+		c.ReadAt(restored, 0)
+		if !bytes.Equal(restored, before) || c.Checksum() != sumBefore {
+			t.Fatal("double splice did not restore the original content")
+		}
+	})
+}
+
 // FuzzLazyChecksumAlgebra interprets the fuzz input as a little op program
 // over a Content and a []byte shadow model, then requires the lazy and
 // exact views to agree on bytes, checksum, and a range checksum. Ops are

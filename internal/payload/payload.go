@@ -351,6 +351,32 @@ func Concat(a, b *Content) *Content {
 	return out
 }
 
+// CorruptSplice deterministically damages range [off, off+n) in place —
+// the span-algebra model of in-flight wire corruption. The byte at
+// off + n/2 (the same index the byte-exact reliability layer flips) is
+// XOR-ed with a non-zero mask drawn from PRF stream `seed` at that
+// position and spliced back as a one-byte literal span. FNV-1a is a
+// bijection per input byte, so a single-byte change always changes
+// Checksum(): a spliced-corrupt payload can never slip past the
+// receiver's CRC. Applying the same (off, n, seed) splice twice restores
+// the original content exactly (XOR involution), which the fuzz target
+// exploits.
+func (c *Content) CorruptSplice(off, n int64, seed uint64) {
+	c.checkRange("CorruptSplice", off, n)
+	if n == 0 {
+		return
+	}
+	pos := off + n/2
+	var b, m [1]byte
+	c.ReadAt(b[:], pos)
+	StreamAt(seed, pos, m[:])
+	if m[0] == 0 {
+		m[0] = 0xa5
+	}
+	b[0] ^= m[0]
+	c.WriteBytes(pos, b[:])
+}
+
 // Checksum returns the FNV-1a 64 hash of the full logical byte string,
 // streamed from the spans without materializing the content. Zero gaps
 // advance the hash in O(log gap).
