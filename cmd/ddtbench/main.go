@@ -11,6 +11,7 @@
 //	ddtbench -extended            # all eight ddtbench workloads
 //	ddtbench -plans               # pack-plan speedups + plan-cache counters
 //	ddtbench -scaling             # node-count ring scaling
+//	ddtbench -fig rma             # put-based vs two-sided collectives
 //	ddtbench -fig 12 -format csv  # machine-readable output
 package main
 
@@ -42,7 +43,7 @@ func emitTo(w io.Writer, format string, tabs []*bench.Table) {
 func emit(tabs []*bench.Table) { emitTo(os.Stdout, *format, tabs) }
 
 func main() {
-	fig := flag.String("fig", "", "figure id to regenerate (1, 8, 9, 10, 11, 12, 13, 14, coll, or 'all')")
+	fig := flag.String("fig", "", "figure id to regenerate (1, 8, 9, 10, 11, 12, 13, 14, coll, scale, chaos-scale, rma, or 'all')")
 	list := flag.Bool("list", false, "list reproducible experiments")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablation experiments")
 	approaches := flag.Bool("approaches", false, "compare the Section III approaches (Algorithms 1-3)")

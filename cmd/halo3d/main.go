@@ -10,9 +10,17 @@
 //	halo3d -n 64 -steps 10 -scheme Proposed-Tuned
 //	halo3d -n 64 -compare
 //	halo3d -n 64 -coll          # NeighborAlltoallw with fused launches
+//	halo3d -n 64 -rma           # one-sided: fused pack-puts into ghost windows
 //	halo3d -n 32 -ranks 1024 -lazy -coll   # 16x8x8 grid, lazy-bytes payloads
 //	halo3d -n 16 -faults rank-crash -recover
 //	halo3d -n 16 -lazy -faults rank-crash -recover
+//
+// -rma swaps the exchange for the one-sided backend: every rank opens a
+// symmetric window (an inbound slot plus a staging slot per face) and a
+// six-slot signal, then each step fuse-packs its faces straight into the
+// neighbors' windows (GPU-triggered doorbell, no rendezvous round-trip),
+// waits on the per-face signals, and unpacks the deposits into its ghost
+// grid. Works with -lazy and -ranks; mutually exclusive with -coll.
 //
 // -lazy switches the session to the lazy-bytes payload mode: grid buffers
 // carry a span algebra instead of real bytes, so rank counts in the
@@ -114,8 +122,16 @@ func compareFace(sent, ghost *dkf.Layout, src, dst []byte, cover []uint8) error 
 	return nil
 }
 
-func run(w io.Writer, scheme string, n, steps, ranks int, lazy, useColl, quiet bool, tracePath string) (int64, error) {
+// faceOrder fixes the window-slot order for the -rma exchange: offsets
+// are derived per rank from this sequence, so every rank computes the
+// same symmetric layout.
+var faceOrder = []string{"x-", "x+", "y-", "y+", "z-", "z+"}
+
+func run(w io.Writer, scheme string, n, steps, ranks int, lazy, useColl, useRMA, quiet bool, tracePath string) (int64, error) {
 	cfg := dkf.SessionConfig{Scheme: dkf.Scheme(scheme)}
+	if useRMA {
+		cfg.Backend = dkf.BackendRMA
+	}
 	if ranks != 8 {
 		if ranks < 8 || ranks%4 != 0 {
 			return 0, fmt.Errorf("halo3d: -ranks must be >= 8 and divisible by 4 (one node is 4 GPUs), got %d", ranks)
@@ -159,10 +175,57 @@ func run(w io.Writer, scheme string, n, steps, ranks int, lazy, useColl, quiet b
 
 	var stepNs int64
 	err = sess.Run(func(c *dkf.RankCtx) {
+		me := c.ID()
+		// One-sided setup: a symmetric window split into an inbound half
+		// (one slot per ghost face, where neighbors deposit) and a staging
+		// half (where this rank's fused pack kernels build outgoing faces
+		// before the NIC reads them), plus one signal slot per face.
+		var win *dkf.Window
+		var sig *dkf.Signal
+		inOff := make(map[string]int64, len(faceOrder))
+		slotOf := make(map[string]int, len(faceOrder))
+		var half int64
+		if useRMA {
+			for i, f := range faceOrder {
+				inOff[f] = half
+				slotOf[f] = i
+				half += c.PackSize(faces[f], 1)
+			}
+			var werr error
+			if win, werr = c.Window("halo", 2*half); werr != nil {
+				panic(werr)
+			}
+			var serr error
+			if sig, serr = c.OpenSignal("halo", len(faceOrder)); serr != nil {
+				panic(serr)
+			}
+		}
 		for s := 0; s < steps; s++ {
 			c.Barrier()
 			t0 := c.Now()
-			if useColl {
+			if useRMA {
+				// My minus face is the minus neighbor's plus ghost face and
+				// vice versa (same pairing as the pt2pt tags). The step-top
+				// barrier makes staging reuse safe: nobody re-packs a slot
+				// until every rank has seen (and therefore received) the
+				// previous step's signals.
+				for _, ax := range axes {
+					mPeer, pPeer := cart.Shift(me, ax.axis, 1)
+					if perr := c.PackPut(win, mPeer, inOff[ax.plusF], grids[me], faces[ax.minusF], 1,
+						half+inOff[ax.minusF], sig, slotOf[ax.plusF], 1, true); perr != nil {
+						panic(perr)
+					}
+					if perr := c.PackPut(win, pPeer, inOff[ax.minusF], grids[me], faces[ax.plusF], 1,
+						half+inOff[ax.plusF], sig, slotOf[ax.minusF], 1, true); perr != nil {
+						panic(perr)
+					}
+				}
+				for _, f := range faceOrder {
+					c.WaitSignal(sig, slotOf[f], uint64(s+1))
+					pos := inOff[f]
+					c.Unpack(win.Buf(me), &pos, ghosts[me], faces[f], 1)
+				}
+			} else if useColl {
 				// Collective path: one NeighborAlltoallw per step, ops in
 				// the fixed (-x,+x,-y,+y,-z,+z) order so every rank's legs
 				// line up, with per-phase fused pack/unpack launches.
@@ -204,6 +267,16 @@ func run(w io.Writer, scheme string, n, steps, ranks int, lazy, useColl, quiet b
 			// Interior compute phase (fixed virtual cost).
 			c.Sleep(int64(n*n) * 2)
 		}
+		if useRMA {
+			if qerr := c.Quiet(); qerr != nil {
+				panic(qerr)
+			}
+			c.Barrier()
+			c.CloseSignal(sig)
+			if cerr := c.CloseWindow(win); cerr != nil {
+				panic(cerr)
+			}
+		}
 	})
 	if err != nil {
 		return 0, err
@@ -225,6 +298,11 @@ func run(w io.Writer, scheme string, n, steps, ranks int, lazy, useColl, quiet b
 	if !quiet {
 		fmt.Fprintf(w, "%-16s grid=%d^3  ranks=%d (%v)  faces=6x2  avg step latency = %.1f us (simulated)\n",
 			scheme, n, nr, cart.Dims(), float64(avg)/1000)
+		if useRMA {
+			st := sess.RMAStats()
+			fmt.Fprintf(w, "halo3d: one-sided exchange: %d fused pack-puts, %d doorbells, %d retransmits\n",
+				st.PackPuts, st.Doorbells, st.Retransmits)
+		}
 	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
@@ -500,10 +578,10 @@ func runRecover(w io.Writer, scheme string, n int, faultSpec string, lazy bool) 
 }
 
 // compareAll runs the scheme shoot-out and reports speedups vs GPU-Sync.
-func compareAll(w io.Writer, n, steps, ranks int, lazy, useColl bool) error {
+func compareAll(w io.Writer, n, steps, ranks int, lazy, useColl, useRMA bool) error {
 	var base int64
 	for _, s := range []string{"GPU-Sync", "GPU-Async", "CPU-GPU-Hybrid", "Proposed-Tuned"} {
-		avg, err := run(w, s, n, steps, ranks, lazy, useColl, true, "")
+		avg, err := run(w, s, n, steps, ranks, lazy, useColl, useRMA, true, "")
 		if err != nil {
 			return err
 		}
@@ -524,14 +602,23 @@ func main() {
 	scheme := flag.String("scheme", "Proposed-Tuned", "DDT scheme")
 	compare := flag.Bool("compare", false, "compare all schemes")
 	useColl := flag.Bool("coll", false, "exchange halos with the NeighborAlltoallw collective (fused per-phase launches) instead of raw Isend/Irecv")
+	useRMA := flag.Bool("rma", false, "exchange halos with one-sided fused pack-puts into symmetric ghost windows (no rendezvous round-trip)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (single-scheme mode only)")
 	faultSpec := flag.String("faults", "", "fault-plan spec for the recovery demo (e.g. \"rank-crash\", \"rank-crash,seed=3\", \"crash=1@20000\"); requires -recover")
 	doRecover := flag.Bool("recover", false, "survive a planned rank crash: agree on the failure, shrink the world, re-decompose the halo, and verify byte-exactness")
 	flag.Parse()
 
+	if *useRMA && *useColl {
+		fmt.Fprintln(os.Stderr, "halo3d: -rma and -coll are mutually exclusive")
+		os.Exit(2)
+	}
 	if *doRecover || *faultSpec != "" {
 		if !*doRecover || *faultSpec == "" {
 			fmt.Fprintln(os.Stderr, "halo3d: -faults and -recover must be used together")
+			os.Exit(2)
+		}
+		if *useRMA {
+			fmt.Fprintln(os.Stderr, "halo3d: -recover uses the two-sided ULFM path; drop -rma")
 			os.Exit(2)
 		}
 		if *ranks != 8 {
@@ -549,13 +636,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "halo3d: -trace is not supported with -compare")
 			os.Exit(2)
 		}
-		if err := compareAll(os.Stdout, *n, *steps, *ranks, *lazy, *useColl); err != nil {
+		if err := compareAll(os.Stdout, *n, *steps, *ranks, *lazy, *useColl, *useRMA); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if _, err := run(os.Stdout, *scheme, *n, *steps, *ranks, *lazy, *useColl, false, *tracePath); err != nil {
+	if _, err := run(os.Stdout, *scheme, *n, *steps, *ranks, *lazy, *useColl, *useRMA, false, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

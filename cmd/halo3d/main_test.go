@@ -11,7 +11,7 @@ import (
 // grid and golden-checks the report line.
 func TestRunSmallGrid(t *testing.T) {
 	var buf bytes.Buffer
-	avg, err := run(&buf, "GPU-Sync", 8, 1, 8, false, false, false, "")
+	avg, err := run(&buf, "GPU-Sync", 8, 1, 8, false, false, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,11 +26,41 @@ func TestRunSmallGrid(t *testing.T) {
 	}
 }
 
+// TestRunRMAMode runs the exchange through the one-sided path — fused
+// pack-puts into symmetric ghost windows — in exact mode at 8 ranks and
+// lazy mode at 64 ranks (where run() sample-verifies rank 0's faces).
+func TestRunRMAMode(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		ranks := 8
+		if lazy {
+			ranks = 64
+		}
+		var buf bytes.Buffer
+		avg, err := run(&buf, "Proposed-Tuned", 8, 2, ranks, lazy, false, true, false, "")
+		if err != nil {
+			t.Fatalf("lazy=%v: %v", lazy, err)
+		}
+		if avg <= 0 {
+			t.Errorf("lazy=%v: avg step latency %d ns, want > 0", lazy, avg)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "one-sided exchange") || !strings.Contains(out, "fused pack-puts") {
+			t.Errorf("lazy=%v: missing one-sided stats line:\n%s", lazy, out)
+		}
+		if strings.Contains(out, " 0 fused pack-puts") {
+			t.Errorf("lazy=%v: no pack-puts issued:\n%s", lazy, out)
+		}
+		if lazy && !strings.Contains(out, "sampled faces around rank 0 verified byte-exact") {
+			t.Errorf("lazy=%v: missing verification line:\n%s", lazy, out)
+		}
+	}
+}
+
 // TestRunCollMode runs the same timestep through the NeighborAlltoallw
 // collective path and checks it completes with a plausible report.
 func TestRunCollMode(t *testing.T) {
 	var buf bytes.Buffer
-	avg, err := run(&buf, "Proposed-Tuned", 8, 1, 8, false, true, false, "")
+	avg, err := run(&buf, "Proposed-Tuned", 8, 1, 8, false, true, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +94,7 @@ func TestDims3(t *testing.T) {
 func TestRunLazyRanks(t *testing.T) {
 	for _, useColl := range []bool{false, true} {
 		var buf bytes.Buffer
-		avg, err := run(&buf, "Proposed-Tuned", 8, 1, 64, true, useColl, false, "")
+		avg, err := run(&buf, "Proposed-Tuned", 8, 1, 64, true, useColl, false, false, "")
 		if err != nil {
 			t.Fatalf("coll=%v: %v", useColl, err)
 		}
@@ -135,7 +165,7 @@ func TestCompareAllSmall(t *testing.T) {
 		t.Skip("runs four full exchanges")
 	}
 	var buf bytes.Buffer
-	if err := compareAll(&buf, 8, 1, 8, false, false); err != nil {
+	if err := compareAll(&buf, 8, 1, 8, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

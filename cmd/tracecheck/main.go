@@ -7,13 +7,19 @@
 //
 // Usage:
 //
-//	tracecheck trace.json
+//	tracecheck [-require-layer name[,name...]] trace.json
+//
+// -require-layer additionally demands at least one span event from each
+// named timeline layer (the event's "cat" field): CI uses it to prove
+// the rma layer really exports (e.g. -require-layer rma,gpu).
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 type traceFile struct {
@@ -23,6 +29,7 @@ type traceFile struct {
 
 type traceEvent struct {
 	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
 	Ph   string          `json:"ph"`
 	Pid  int             `json:"pid"`
 	Tid  int             `json:"tid"`
@@ -31,7 +38,7 @@ type traceEvent struct {
 	Args json.RawMessage `json:"args"`
 }
 
-func check(path string) error {
+func check(path string, requireLayers []string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -44,6 +51,7 @@ func check(path string) error {
 		return fmt.Errorf("%s: no traceEvents", path)
 	}
 	var spans, metas int
+	layers := make(map[string]int)
 	for i, e := range tf.TraceEvents {
 		if e.Name == "" {
 			return fmt.Errorf("%s: event %d has no name", path, i)
@@ -51,11 +59,13 @@ func check(path string) error {
 		switch e.Ph {
 		case "X":
 			spans++
+			layers[e.Cat]++
 			if e.Ts < 0 || e.Dur < 0 {
 				return fmt.Errorf("%s: event %d (%s): negative ts/dur", path, i, e.Name)
 			}
 		case "i":
 			spans++
+			layers[e.Cat]++
 			if e.Ts < 0 {
 				return fmt.Errorf("%s: event %d (%s): negative ts", path, i, e.Name)
 			}
@@ -68,16 +78,37 @@ func check(path string) error {
 	if spans == 0 {
 		return fmt.Errorf("%s: only metadata events, no spans", path)
 	}
+	for _, want := range requireLayers {
+		if layers[want] == 0 {
+			have := make([]string, 0, len(layers))
+			for l := range layers {
+				if l != "" {
+					have = append(have, l)
+				}
+			}
+			return fmt.Errorf("%s: no events from required layer %q (have: %s)",
+				path, want, strings.Join(have, ", "))
+		}
+	}
 	fmt.Printf("%s: OK (%d span/instant events, %d metadata events)\n", path, spans, metas)
 	return nil
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+	requireLayer := flag.String("require-layer", "", "comma-separated timeline layers that must each contribute at least one span")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require-layer name[,name...]] <trace.json>")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	if err := check(os.Args[1]); err != nil {
+	var layers []string
+	if *requireLayer != "" {
+		layers = strings.Split(*requireLayer, ",")
+	}
+	if err := check(flag.Arg(0), layers); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/layoutcache"
 	"repro/internal/mpi"
+	"repro/internal/rma"
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/timeline"
@@ -361,6 +362,45 @@ type SessionConfig struct {
 	// speed: checksums, virtual clocks, and kernel counts are identical
 	// either way.
 	DisablePackPlans bool
+	// Backend selects the default communication backend for the
+	// collective engine. BackendP2P (default) keeps the two-sided
+	// eager/rendezvous schedules; BackendRMA builds the one-sided fabric
+	// up front and defaults Allgatherv/Alltoallw to the put-based
+	// one-sided ring (explicit CollTuning overrides still win). The
+	// RankCtx one-sided verbs (Window/Put/Get/Quiet/...) work under
+	// either backend — the choice only moves the collective default.
+	Backend Backend
+}
+
+// Backend selects the communication backend for the collective engine
+// (see SessionConfig.Backend).
+type Backend int
+
+const (
+	// BackendP2P schedules collectives over two-sided send/recv (default).
+	BackendP2P Backend = iota
+	// BackendRMA schedules collectives over one-sided puts into
+	// symmetric windows with signal-based sync — no rendezvous
+	// round-trips, no target-side progress.
+	BackendRMA
+)
+
+// ParseBackend resolves a backend name ("p2p" or "rma").
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "p2p":
+		return BackendP2P, nil
+	case "rma":
+		return BackendRMA, nil
+	}
+	return BackendP2P, fmt.Errorf("dkf: unknown backend %q (valid: p2p, rma)", s)
+}
+
+func (b Backend) String() string {
+	if b == BackendRMA {
+		return "rma"
+	}
+	return "p2p"
 }
 
 // PayloadMode selects how message payloads are represented (see
@@ -445,6 +485,9 @@ func (cfg *SessionConfig) validate() error {
 	if cfg.PollInterval < 0 {
 		return cfgErr("PollInterval", "negative PollInterval %d", cfg.PollInterval)
 	}
+	if cfg.Backend != BackendP2P && cfg.Backend != BackendRMA {
+		return cfgErr("Backend", "unknown Backend %d (valid: BackendP2P, BackendRMA)", int(cfg.Backend))
+	}
 	known := false
 	for _, n := range validSchemes() {
 		if n == string(cfg.Scheme) {
@@ -467,8 +510,20 @@ type Session struct {
 	world   *mpi.World
 	coll    *coll.Engine
 	subs    map[*mpi.Comm]*coll.Engine
+	rma     *rma.Fabric // lazily built; shared with the collective engine
 	ckpt    *ckpt.Store
 	closed  bool
+}
+
+// rmaFabric returns the session's one-sided fabric, building it (and
+// pointing the collective engine at it) on first use — user verbs and
+// the put-based collectives share one symmetric heap.
+func (s *Session) rmaFabric() *rma.Fabric {
+	if s.rma == nil {
+		s.rma = rma.New(s.world)
+		s.coll.UseRMA(s.rma)
+	}
+	return s.rma
 }
 
 // NewSession builds the cluster and world. It returns a descriptive error
@@ -529,14 +584,29 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		}
 	}
 	world := mpi.NewWorld(cl, mcfg, factory)
-	return &Session{
+	ctun := cfg.Coll
+	if cfg.Backend == BackendRMA {
+		// The RMA backend's defaults: put-based schedules wherever a
+		// one-sided algorithm exists, unless explicitly overridden.
+		if ctun.Allgatherv == coll.Auto {
+			ctun.Allgatherv = coll.OneSidedRing
+		}
+		if ctun.Alltoallw == coll.Auto {
+			ctun.Alltoallw = coll.OneSidedRing
+		}
+	}
+	s := &Session{
 		cfg:     cfg,
 		env:     env,
 		cluster: cl,
 		world:   world,
-		coll:    coll.New(world, cfg.Coll),
+		coll:    coll.New(world, ctun),
 		ckpt:    ckpt.NewStore(world.Size()),
-	}, nil
+	}
+	if cfg.Backend == BackendRMA {
+		s.rmaFabric() // build the fabric up front, shared with the engine
+	}
+	return s, nil
 }
 
 // NumRanks reports the number of ranks (one per GPU).
@@ -949,10 +1019,13 @@ const (
 	CollBruck             = coll.Bruck
 	CollRecursiveDoubling = coll.RecursiveDoubling
 	CollHierarchical      = coll.Hierarchical
+	CollOneSidedRing      = coll.OneSidedRing
+	CollOneSidedBruck     = coll.OneSidedBruck
 )
 
 // ParseCollAlgorithm resolves an algorithm name ("auto", "linear",
-// "pairwise", "ring", "bruck", "recursive-doubling", "hierarchical").
+// "pairwise", "ring", "bruck", "recursive-doubling", "hierarchical",
+// "onesided-ring", "onesided-bruck").
 func ParseCollAlgorithm(s string) (CollAlgorithm, error) { return coll.ParseAlgorithm(s) }
 
 // WOp is one peer's slot of an Alltoallw: per-peer send/recv buffers,
@@ -1019,6 +1092,108 @@ func (c *RankCtx) NeighborAlltoallw(ops []NeighborOp) error {
 // kernel fusion; this per-message path remains as the naive reference.
 func (c *RankCtx) NeighborExchange(ops []NeighborOp) {
 	c.rank.NeighborExchange(c.proc, ops)
+}
+
+// --- one-sided RMA (symmetric windows, put/get/signal) ---
+
+// Window is a symmetric-heap window: a named allocation mirrored across
+// every rank, offset-addressable by one-sided verbs.
+type Window = rma.Window
+
+// Signal is a slotted remote-completion flag array bumped by
+// PutSignal/PackPut deposits; see WaitSignal.
+type Signal = rma.Signal
+
+// RMAStats counts one-sided activity (puts, gets, doorbells,
+// retransmits, bytes) across the session's fabric.
+type RMAStats = rma.Stats
+
+// RMAOpError wraps a failed one-sided operation, surfaced by Quiet.
+type RMAOpError = rma.OpError
+
+// ErrRMARetriesExhausted matches (via errors.Is) a one-sided op whose
+// bounded retransmissions all failed.
+var ErrRMARetriesExhausted = rma.ErrRetriesExhausted
+
+// RMAStats aggregates one-sided counters across all ranks; zero when no
+// one-sided verb or collective has run.
+func (s *Session) RMAStats() RMAStats {
+	if s.rma == nil {
+		return RMAStats{}
+	}
+	return s.rma.TotalStats()
+}
+
+// Window opens (SPMD rendezvous) a named symmetric window of size bytes
+// on every rank; all ranks must call with the same name and size, and
+// balance it with CloseWindow.
+func (c *RankCtx) Window(name string, size int64) (*Window, error) {
+	return c.sess.rmaFabric().OpenWindow(c.rank.ID(), name, size)
+}
+
+// WindowSized opens a dynamic window whose size differs per rank; the
+// offsets of a peer's regions must be learned out of band (e.g. through
+// a Signal exchange), as they are not symmetric.
+func (c *RankCtx) WindowSized(name string, localSize int64) (*Window, error) {
+	return c.sess.rmaFabric().OpenWindowSized(c.rank.ID(), name, localSize)
+}
+
+// CloseWindow balances one Window/WindowSized open; the last close
+// releases the heap space.
+func (c *RankCtx) CloseWindow(w *Window) error { return c.sess.rmaFabric().CloseWindow(w) }
+
+// OpenSignal opens (SPMD rendezvous) a named signal with the given slot
+// count; balance with CloseSignal.
+func (c *RankCtx) OpenSignal(name string, slots int) (*Signal, error) {
+	return c.sess.rmaFabric().OpenSignal(name, slots)
+}
+
+// CloseSignal balances one OpenSignal.
+func (c *RankCtx) CloseSignal(s *Signal) { c.sess.rmaFabric().CloseSignal(s) }
+
+// Put deposits n bytes from src[srcOff:] into target's window region at
+// dstOff — one-sided, no target CPU involvement. Completion is local:
+// Quiet drains all outstanding puts.
+func (c *RankCtx) Put(w *Window, target int, dstOff int64, src *Buffer, srcOff, n int64) error {
+	return c.sess.rmaFabric().Endpoint(c.rank.ID()).Put(c.proc, w, target, dstOff, src, srcOff, n)
+}
+
+// PutSignal is Put plus a remote signal bump after the payload lands:
+// sig[target][slot] += add, payload-before-signal ordering guaranteed.
+func (c *RankCtx) PutSignal(w *Window, target int, dstOff int64, src *Buffer, srcOff, n int64, sig *Signal, slot int, add uint64) error {
+	return c.sess.rmaFabric().Endpoint(c.rank.ID()).PutSignal(c.proc, w, target, dstOff, src, srcOff, n, sig, slot, add)
+}
+
+// Get reads n bytes from target's window region at srcOff into the
+// local dst[dstOff:] (RDMA read; completion via Quiet).
+func (c *RankCtx) Get(w *Window, target int, srcOff int64, dst *Buffer, dstOff, n int64) error {
+	return c.sess.rmaFabric().Endpoint(c.rank.ID()).Get(c.proc, w, target, srcOff, dst, dstOff, n)
+}
+
+// PackPut packs count elements of layout l from origin into this rank's
+// own region of w at packOff, then deposits the packed bytes at
+// target's dstOff, optionally bumping sig[target][slot] by add. Fused,
+// one kernel launch triggers the wire leg at retirement (GPU-initiated
+// communication); unfused, the CPU synchronizes the pack stream first.
+func (c *RankCtx) PackPut(w *Window, target int, dstOff int64, origin *Buffer, l *Layout, count int, packOff int64, sig *Signal, slot int, add uint64, fused bool) error {
+	return c.sess.rmaFabric().Endpoint(c.rank.ID()).PackPut(c.proc, w, target, dstOff, origin, l, count, packOff, sig, slot, add, fused)
+}
+
+// WaitSignal blocks until sig's slot on this rank reaches atLeast.
+func (c *RankCtx) WaitSignal(sig *Signal, slot int, atLeast uint64) {
+	c.sess.rmaFabric().Endpoint(c.rank.ID()).WaitSignal(c.proc, sig, slot, atLeast)
+}
+
+// Quiet blocks until every one-sided op this rank issued has completed,
+// returning (and clearing) the first failure.
+func (c *RankCtx) Quiet() error {
+	return c.sess.rmaFabric().Endpoint(c.rank.ID()).Quiet(c.proc)
+}
+
+// Fence orders this rank's prior puts before subsequent ones at every
+// target (modeled conservatively as full remote completion).
+func (c *RankCtx) Fence() error {
+	return c.sess.rmaFabric().Endpoint(c.rank.ID()).Fence(c.proc)
 }
 
 // --- rank-failure recovery (ULFM verbs) ---

@@ -155,8 +155,8 @@ func TestWorkloadsExposed(t *testing.T) {
 	if _, ok := dkf.WorkloadByName("NAS_MG"); !ok {
 		t.Fatal("NAS_MG missing")
 	}
-	if len(dkf.Figures()) != 11 {
-		t.Fatal("want 11 figures (8 paper figures + coll + scale + chaos-scale)")
+	if len(dkf.Figures()) != 12 {
+		t.Fatal("want 12 figures (8 paper figures + coll + scale + chaos-scale + rma)")
 	}
 }
 

@@ -274,16 +274,18 @@ func Run(fig string) ([]*Table, error) {
 		return []*Table{Scale(1024)}, nil
 	case "chaos-scale":
 		return []*Table{ChaosScale(1024)}, nil
+	case "rma":
+		return []*Table{RMAFig(256)}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14, coll, scale, chaos-scale)", fig)
+		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14, coll, scale, chaos-scale, rma)", fig)
 	}
 }
 
-// Figures lists the reproducible figure ids. "coll", "scale", and
-// "chaos-scale" are the repository's own subsystem experiments, not paper
-// figures.
+// Figures lists the reproducible figure ids. "coll", "scale",
+// "chaos-scale", and "rma" are the repository's own subsystem
+// experiments, not paper figures.
 func Figures() []string {
-	return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll", "scale", "chaos-scale"}
+	return []string{"1", "8", "9", "10", "11", "12", "13", "14", "coll", "scale", "chaos-scale", "rma"}
 }
 
 // mutRendezvous returns a config mutator selecting the rendezvous mode

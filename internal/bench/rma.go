@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coll"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/rma"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+	"repro/internal/trace"
+)
+
+// The rma figure (ddtbench -fig rma) compares the put-based one-sided
+// collectives against the two-sided rendezvous baseline on the same
+// Allgatherv workload: every rank contributes one 32 KiB strided leg —
+// well above the eager limit, so the two-sided path pays the RTS/CTS
+// rendezvous round-trip that a put replaces with a single doorbell.
+// Rows run at 8 ranks in exact-payload mode and at 64/256 ranks in lazy
+// mode (same split as -fig scale: real bytes stop where memory would
+// scale with ranks x message size).
+
+// rmaMeasure is one collective run under the rma figure: virtual
+// completion time, fabric message count, progress events (Sync-category
+// timeline events: progress-engine polls, stream syncs, signal waits),
+// kernel launches, plan-cache counters, and — for one-sided rows — the
+// fabric's own verb counters.
+type rmaMeasure struct {
+	ns       int64
+	msgs     int64
+	progress int64
+	launches int64
+	plans    [datatype.NumPlanKinds]int64
+	reuse    int64
+	rma      rma.Stats
+}
+
+// runRMAAllgatherv runs one Allgatherv over ranks (Lassen model,
+// ranks/4 nodes) and measures it. One-sided algorithms get an explicit
+// fabric so the verb counters can be read back; two-sided algorithms
+// never touch it.
+func runRMAAllgatherv(ranks int, lazy bool, alg coll.Algorithm) (rmaMeasure, error) {
+	env, w, err := scaleWorldCfg(ranks, lazy, func(c *mpi.Config) {
+		// A small ring per rank: Count() stays exact when events drop,
+		// and the rma figure only reads counts, never the events.
+		c.Timeline = &timeline.Options{Capacity: 64}
+	})
+	if err != nil {
+		return rmaMeasure{}, err
+	}
+	l := collLayout() // 32 KiB strided legs
+	size := w.Size()
+	sends := make([]coll.VOp, size)
+	recvs := make([][]coll.VOp, size)
+	for r := 0; r < size; r++ {
+		dev := w.Rank(r).Dev
+		sb := dev.Alloc(fmt.Sprintf("rma-s-%d", r), int(l.ExtentBytes))
+		sb.FillStream(uint64(r + 1))
+		sends[r] = coll.VOp{Buf: sb, Type: l, Count: 1}
+		recvs[r] = make([]coll.VOp, size)
+		for src := 0; src < size; src++ {
+			rb := dev.Alloc(fmt.Sprintf("rma-r-%d-%d", r, src), int(l.ExtentBytes))
+			recvs[r][src] = coll.VOp{Buf: rb, Type: l, Count: 1}
+		}
+	}
+	e := coll.New(w, coll.Tuning{Allgatherv: alg})
+	f := rma.New(w)
+	e.UseRMA(f)
+	var bodyErr error
+	err = w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if cerr := e.Allgatherv(p, r, sends[r.ID()], recvs[r.ID()]); cerr != nil && bodyErr == nil {
+			bodyErr = fmt.Errorf("rank %d: %w", r.ID(), cerr)
+		}
+	})
+	if err == nil {
+		err = bodyErr
+	}
+	if err == nil {
+		if lk := w.LeakedRequests(); lk != 0 {
+			err = fmt.Errorf("bench: rma run leaked %d requests", lk)
+		}
+	}
+	if err == nil {
+		if po := f.PendingOps(); po != 0 {
+			err = fmt.Errorf("bench: rma run left %d one-sided ops pending", po)
+		}
+	}
+	m := rmaMeasure{
+		ns:   env.Now(),
+		msgs: w.Cluster.Net.TotalMessages(),
+		rma:  f.TotalStats(),
+	}
+	tl := w.Timeline()
+	for i := 0; i < size; i++ {
+		m.launches += w.Rank(i).Dev.Stats.KernelLaunches
+		m.progress += tl.Rank(i).Count(trace.Sync)
+		cs := w.Rank(i).CacheStats()
+		m.reuse += cs.Hits
+		for k := range cs.Compiled {
+			m.plans[k] += cs.Compiled[k]
+		}
+	}
+	return m, err
+}
+
+// fmtPlanKinds renders the per-kind plan-compile counters compactly,
+// omitting kinds that never compiled ("strided:8 gather:2").
+func fmtPlanKinds(plans [datatype.NumPlanKinds]int64) string {
+	var parts []string
+	for k, n := range plans {
+		if n != 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", datatype.PlanKind(k), n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// rmaRow runs one (ranks, mode, algorithm) cell and renders it.
+func rmaRow(ranks int, lazy bool, alg coll.Algorithm) []string {
+	mode := "exact"
+	if lazy {
+		mode = "lazy"
+	}
+	m, err := runRMAAllgatherv(ranks, lazy, alg)
+	if err != nil {
+		return []string{fmt.Sprint(ranks), mode, alg.String(), "ERROR: " + err.Error(), "", "", "", "", "", "", ""}
+	}
+	return []string{
+		fmt.Sprint(ranks), mode, alg.String(),
+		fmtUs(m.ns),
+		fmt.Sprint(m.msgs),
+		fmt.Sprint(m.progress),
+		fmt.Sprint(m.launches),
+		fmt.Sprint(m.rma.PackPuts + m.rma.Puts),
+		fmt.Sprint(m.rma.Doorbells),
+		fmtPlanKinds(m.plans),
+		fmt.Sprint(m.reuse),
+	}
+}
+
+// rmaAlgs is the algorithm menu of the rma figure: the two-sided ring
+// baseline against both put-based one-sided schedules.
+var rmaAlgs = []coll.Algorithm{coll.Ring, coll.OneSidedRing, coll.OneSidedBruck}
+
+// RMAFig is the one-sided-backend benchmark table (ddtbench -fig rma):
+// put-based ring and Bruck Allgatherv against the two-sided ring at
+// {8, 64, 256} ranks (capped at maxRanks). progress_ev counts
+// Sync-category timeline events — the polls and stream syncs a blocked
+// rank burns; puts retire on the NIC without the receiver polling a
+// rendezvous state machine, so the one-sided rows show both lower
+// modeled latency and fewer progress events. plan_compiles/plan_reuse
+// expose the pack-plan cache per kind: every rank compiles its strided
+// leg once and the fused pack-puts replay the cached plan.
+func RMAFig(maxRanks int) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("One-sided RMA backend: put-based vs two-sided Allgatherv, 32 KiB strided legs, Lassen model, poll %d ns",
+			int64(scalePollNs)),
+		Header: []string{"ranks", "mode", "algorithm", "time_us", "net_msgs", "progress_ev", "launches", "puts", "doorbells", "plan_compiles", "plan_reuse"},
+	}
+	for _, ranks := range []int{8, 64, 256} {
+		if ranks > maxRanks {
+			continue
+		}
+		lazy := ranks > 8
+		for _, alg := range rmaAlgs {
+			t.Rows = append(t.Rows, rmaRow(ranks, lazy, alg))
+		}
+	}
+	return t
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/coll"
+)
+
+// TestRMAFigAcceptance is the CI gate on the one-sided backend's headline
+// claim: on the 8-rank exact workload the put-based schedules must beat
+// the two-sided ring on modeled latency, and at least one of them must
+// also burn fewer progress events. The per-kind plan counters and the
+// reuse column must be live.
+func TestRMAFigAcceptance(t *testing.T) {
+	tab := RMAFig(8)
+	if len(tab.Rows) != len(rmaAlgs) {
+		t.Fatalf("want %d rows at 8 ranks, got %d", len(rmaAlgs), len(tab.Rows))
+	}
+	type row struct {
+		timeUs   float64
+		progress int64
+		puts     int64
+		plans    string
+		reuse    int64
+	}
+	byAlg := map[string]row{}
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[3], "ERROR") {
+			t.Fatalf("row %v errored", r)
+		}
+		tUs, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			t.Fatalf("row %v: bad time_us: %v", r, err)
+		}
+		prog, _ := strconv.ParseInt(r[5], 10, 64)
+		puts, _ := strconv.ParseInt(r[7], 10, 64)
+		reuse, _ := strconv.ParseInt(r[10], 10, 64)
+		byAlg[r[2]] = row{timeUs: tUs, progress: prog, puts: puts, plans: r[9], reuse: reuse}
+	}
+	base, ok := byAlg[coll.Ring.String()]
+	if !ok {
+		t.Fatalf("no two-sided ring baseline row: %v", byAlg)
+	}
+	if base.puts != 0 {
+		t.Fatalf("two-sided baseline touched the one-sided fabric: %+v", base)
+	}
+	var fewerProgress bool
+	for _, alg := range []coll.Algorithm{coll.OneSidedRing, coll.OneSidedBruck} {
+		os, ok := byAlg[alg.String()]
+		if !ok {
+			t.Fatalf("no %s row", alg)
+		}
+		if os.timeUs >= base.timeUs {
+			t.Errorf("%s: %.1f us, not below the two-sided ring's %.1f us", alg, os.timeUs, base.timeUs)
+		}
+		if os.puts == 0 {
+			t.Errorf("%s row recorded no puts", alg)
+		}
+		if os.progress < base.progress {
+			fewerProgress = true
+		}
+	}
+	if !fewerProgress {
+		t.Errorf("no put-based schedule burned fewer progress events than the baseline (%d)", base.progress)
+	}
+	for alg, r := range byAlg {
+		if !strings.Contains(r.plans, "strided:") {
+			t.Errorf("%s: plan_compiles %q does not count the strided pack plan", alg, r.plans)
+		}
+		if r.reuse == 0 {
+			t.Errorf("%s: plan cache recorded no reuse", alg)
+		}
+	}
+}
+
+// TestRMAFigExactLazyAgree: the one-sided ring cell must report the same
+// virtual completion time, message count, and kernel launches in both
+// payload modes — the bench-level echo of the lazy conformance oracle.
+func TestRMAFigExactLazyAgree(t *testing.T) {
+	ex, err := runRMAAllgatherv(8, false, coll.OneSidedRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz, err := runRMAAllgatherv(8, true, coll.OneSidedRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.ns != lz.ns || ex.msgs != lz.msgs || ex.launches != lz.launches {
+		t.Fatalf("exact/lazy diverged: ns %d vs %d, msgs %d vs %d, launches %d vs %d",
+			ex.ns, lz.ns, ex.msgs, lz.msgs, ex.launches, lz.launches)
+	}
+}

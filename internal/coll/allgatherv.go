@@ -38,7 +38,7 @@ func (e *Engine) Allgatherv(p *sim.Proc, r *mpi.Rank, send VOp, recvs []VOp) err
 		return fmt.Errorf("coll: Allgatherv: %d recv slots for %d ranks", len(recvs), e.size())
 	}
 	alg := e.tuning.Allgatherv
-	if err := validAlg("allgatherv", alg, Linear, Ring, Bruck, RecursiveDoubling, Hierarchical); err != nil {
+	if err := validAlg("allgatherv", alg, Linear, Ring, Bruck, RecursiveDoubling, Hierarchical, OneSidedRing, OneSidedBruck); err != nil {
 		return err
 	}
 	if alg == Auto {
@@ -61,6 +61,8 @@ func (e *Engine) Allgatherv(p *sim.Proc, r *mpi.Rank, send VOp, recvs []VOp) err
 		err = c.allgathervRD(send, recvs)
 	case Hierarchical:
 		err = c.allgathervHier(send, recvs)
+	case OneSidedRing, OneSidedBruck:
+		err = c.allgathervOneSided(send, recvs, alg == OneSidedBruck)
 	}
 	return c.finish("allgatherv", alg, err)
 }

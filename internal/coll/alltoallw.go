@@ -47,7 +47,7 @@ func (e *Engine) Alltoallw(p *sim.Proc, r *mpi.Rank, ops []WOp) error {
 		return fmt.Errorf("coll: Alltoallw: %d ops for %d ranks", len(ops), e.size())
 	}
 	alg := e.tuning.Alltoallw
-	if err := validAlg("alltoallw", alg, Linear, Pairwise, Hierarchical); err != nil {
+	if err := validAlg("alltoallw", alg, Linear, Pairwise, Hierarchical, OneSidedRing, OneSidedBruck); err != nil {
 		return err
 	}
 	if alg == Auto {
@@ -67,6 +67,8 @@ func (e *Engine) Alltoallw(p *sim.Proc, r *mpi.Rank, ops []WOp) error {
 		err = c.alltoallwPairwise(ops)
 	case Hierarchical:
 		err = c.alltoallwHier(ops)
+	case OneSidedRing, OneSidedBruck:
+		err = c.alltoallwOneSided(ops, alg == OneSidedBruck)
 	}
 	return c.finish("alltoallw", alg, err)
 }

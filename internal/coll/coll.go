@@ -31,6 +31,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/mpi"
 	"repro/internal/pack"
+	"repro/internal/rma"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 	"repro/internal/trace"
@@ -57,11 +58,23 @@ const (
 	// Hierarchical aggregates on a node leader over NVLink, crosses IB
 	// once per node pair, then scatters locally.
 	Hierarchical
+	// OneSidedRing runs the ring schedule over one-sided puts into a
+	// symmetric window with slotted-signal sync — no rendezvous
+	// round-trips, no target-side progress (allgatherv, alltoallw).
+	OneSidedRing
+	// OneSidedBruck runs log-round dissemination over one-sided puts
+	// (allgatherv), or a power-of-two-phased direct-put schedule
+	// (alltoallw).
+	OneSidedBruck
 )
 
 var algorithmNames = [...]string{
 	"auto", "linear", "pairwise", "ring", "bruck", "recursive-doubling", "hierarchical",
+	"onesided-ring", "onesided-bruck",
 }
+
+// oneSided reports whether alg runs over the rma backend.
+func oneSided(alg Algorithm) bool { return alg == OneSidedRing || alg == OneSidedBruck }
 
 func (a Algorithm) String() string {
 	if int(a) < len(algorithmNames) {
@@ -157,6 +170,9 @@ type Engine struct {
 	comm   *mpi.Comm // nil = world communicator
 	tuning Tuning
 	ranks  []*rankState
+
+	rmaF *rma.Fabric // lazily created; shared by UseRMA with the facade
+	osID int         // window/signal namespace id within the fabric
 }
 
 type shiftKey struct {
@@ -186,6 +202,24 @@ func New(w *mpi.World, t Tuning) *Engine {
 
 // Tuning returns the engine's effective tuning.
 func (e *Engine) Tuning() Tuning { return e.tuning }
+
+// UseRMA points the engine at an existing one-sided fabric (the facade
+// shares one fabric between user verbs and the put-based collectives).
+// Without it, the first one-sided collective lazily builds a private
+// fabric over the world.
+func (e *Engine) UseRMA(f *rma.Fabric) {
+	e.rmaF = f
+	e.osID = f.NextCollID()
+}
+
+// rmaFabric returns the engine's one-sided fabric, building one on
+// first use.
+func (e *Engine) rmaFabric() *rma.Fabric {
+	if e.rmaF == nil {
+		e.UseRMA(rma.New(e.w))
+	}
+	return e.rmaF
+}
 
 // Sub derives an engine running over comm (typically a Shrink survivor
 // communicator), inheriting the parent's tuning. Only members may call its
@@ -217,10 +251,11 @@ func (e *Engine) worldScope() bool {
 }
 
 // flatten downgrades topology-bound algorithm choices on a shrunken
-// communicator: Hierarchical needs world-rank node layout, so sub-comm
-// calls run Linear instead.
+// communicator: Hierarchical needs world-rank node layout, and the
+// one-sided algorithms address symmetric windows by world rank, so
+// sub-comm calls run Linear instead.
 func (e *Engine) flatten(alg Algorithm) Algorithm {
-	if alg == Hierarchical && !e.worldScope() {
+	if (alg == Hierarchical || oneSided(alg)) && !e.worldScope() {
 		return Linear
 	}
 	return alg

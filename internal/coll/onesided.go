@@ -1,0 +1,266 @@
+package coll
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// One-sided collective schedules: the same ring/Bruck communication
+// patterns as the two-sided algorithms, but over rma puts into a
+// per-call window with slotted-signal synchronization instead of
+// rendezvous. The cost shape is the paper's motivation for
+// GPU-initiated transfer: each hop pays a NIC doorbell and a wire leg —
+// no RTS/CTS/FIN control round-trip, no target-side progress engine —
+// and the first hop is a fused PackPut (one kernel launch deposits the
+// packed bytes directly on the wire) whenever the engine's fusion
+// window is enabled.
+//
+// Signal slots encode the schedule round, so a delayed round-k deposit
+// can never satisfy a round-j waiter (j < k) when deliveries reorder
+// under fault injection. Window and signal names carry the engine's
+// fabric namespace id and the call sequence number; like tags, this
+// relies on the SPMD contract that every rank issues the same
+// collectives in the same order.
+
+// osName is the per-call rendezvous namespace for windows and signals.
+func (c *call) osName() string {
+	return fmt.Sprintf("coll-os-%d-%d", c.e.osID, c.seq)
+}
+
+// allgathervOneSided gathers every rank's contribution into a symmetric
+// window laid out as the concatenation of all blocks (block i at the
+// globally uniform offset offs[i]), then unpacks each block into the
+// caller's receive layouts with one fused kernel.
+//
+// Ring: step s forwards block (id-s+1) to the right neighbour; slot s
+// signals its arrival, and step s+1 waits on slot s before forwarding.
+// Bruck: round k (span 2^k) sends the min(span, size-span) blocks
+// starting at id to rank id-span; slot k counts the round's arrivals.
+func (c *call) allgathervOneSided(send VOp, recvs []VOp, bruck bool) error {
+	e, p := c.e, c.p
+	f := e.rmaFabric()
+	size := c.size()
+	id := c.r.ID()
+	ep := f.Endpoint(id)
+	fused := c.batch != nil
+
+	offs := make([]int64, size+1)
+	for i, op := range recvs {
+		offs[i+1] = offs[i] + op.bytes()
+	}
+	total := offs[size]
+	if total <= 0 {
+		total = 1
+	}
+	name := c.osName()
+	win, err := f.OpenWindow(id, name, total)
+	if err != nil {
+		return err
+	}
+	defer f.CloseWindow(win)
+	sig, err := f.OpenSignal(name+"-sig", size)
+	if err != nil {
+		return err
+	}
+	defer f.CloseSignal(sig)
+
+	ownBytes := send.bytes()
+	packPut := func(target, slot int) error {
+		if ownBytes > 0 {
+			c.bytes += ownBytes
+			return ep.PackPut(p, win, target, offs[id], send.Buf, send.Type, send.Count, offs[id], sig, slot, 1, fused)
+		}
+		return ep.SignalPut(p, sig, target, slot, 1)
+	}
+	forward := func(target, blk, slot int) error {
+		n := offs[blk+1] - offs[blk]
+		c.bytes += n
+		return ep.PutSignal(p, win, target, offs[blk], win.Buf(id), offs[blk], n, sig, slot, 1)
+	}
+
+	switch {
+	case size == 1:
+		if ownBytes > 0 {
+			if err := ep.PackPut(p, win, id, offs[id], send.Buf, send.Type, send.Count, offs[id], nil, 0, 0, fused); err != nil {
+				return err
+			}
+		}
+	case bruck:
+		// Round 0 packs the own block and deposits it one rank to the
+		// left; round k forwards the lowest min(2^k, size-2^k) held
+		// blocks a span of 2^k to the left, after round k-1's batch
+		// (cnt deposits on slot k-1) has fully arrived.
+		prevCnt := 0
+		k := 0
+		for span := 1; span < size; span <<= 1 {
+			to := (id - span + size) % size
+			cnt := span
+			if size-span < cnt {
+				cnt = size - span
+			}
+			if k == 0 {
+				if err := packPut(to, 0); err != nil {
+					return err
+				}
+			} else {
+				ep.WaitSignal(p, sig, k-1, uint64(prevCnt))
+				for j := 0; j < cnt; j++ {
+					if err := forward(to, (id+j)%size, k); err != nil {
+						return err
+					}
+				}
+			}
+			prevCnt, k = cnt, k+1
+		}
+		ep.WaitSignal(p, sig, k-1, uint64(prevCnt))
+	default: // ring
+		right := (id + 1) % size
+		if err := packPut(right, 1); err != nil {
+			return err
+		}
+		for s := 2; s < size; s++ {
+			ep.WaitSignal(p, sig, s-1, 1)
+			if err := forward(right, (id-s+1+size)%size, s); err != nil {
+				return err
+			}
+		}
+		ep.WaitSignal(p, sig, size-1, 1)
+	}
+
+	// Every block has landed: unpack them all in one fused window, then
+	// drain our outstanding puts before the window can be released.
+	c.openWin()
+	var hs []mpi.Handle
+	for i, op := range recvs {
+		if op.bytes() == 0 {
+			continue
+		}
+		hs = append(hs, c.unpackJob(win.Buf(id), op.Buf, op.Type, op.Count, offs[i]))
+	}
+	c.closeWin()
+	if err := c.waitHandles(hs); err != nil {
+		return err
+	}
+	return ep.Quiet(p)
+}
+
+// alltoallwOneSided runs the personalized exchange over puts into a
+// dynamic (per-rank-sized) window: the in-region holds one slot per
+// source at locally computed offsets, and peers learn where to deposit
+// through a signal-borne offset exchange (a zero-byte SignalPut whose
+// value is the offset) — the control metadata never rides in a payload
+// buffer, so lazy mode stays exact. Each destination leg is a fused
+// PackPut from the caller's send layout via the window's out-region;
+// slot src of the data signal announces src's deposit.
+//
+// The ring schedule issues destinations in (id+s) order, one peer per
+// step; the Bruck schedule groups destinations into power-of-two
+// distance phases before issuing.
+func (c *call) alltoallwOneSided(ops []WOp, bruck bool) error {
+	e, p := c.e, c.p
+	f := e.rmaFabric()
+	size := c.size()
+	id := c.r.ID()
+	ep := f.Endpoint(id)
+	fused := c.batch != nil
+
+	inOff := make([]int64, size+1)
+	outOff := make([]int64, size+1)
+	for i, op := range ops {
+		inOff[i+1] = inOff[i] + op.recvBytes()
+		outOff[i+1] = outOff[i] + op.sendBytes()
+	}
+	inTotal := inOff[size]
+	local := inTotal + outOff[size]
+	if local <= 0 {
+		local = 1
+	}
+	name := c.osName()
+	win, err := f.OpenWindowSized(id, name, local)
+	if err != nil {
+		return err
+	}
+	defer f.CloseWindow(win)
+	sigOff, err := f.OpenSignal(name+"-off", size)
+	if err != nil {
+		return err
+	}
+	defer f.CloseSignal(sigOff)
+	sigDat, err := f.OpenSignal(name+"-dat", size)
+	if err != nil {
+		return err
+	}
+	defer f.CloseSignal(sigDat)
+
+	// Offset exchange: tell every peer where its bytes land in our
+	// window. Sent before any data wait, and only after our window is
+	// attached — so a peer that has our offset also has our window.
+	for s := 1; s < size; s++ {
+		dst := (id + s) % size
+		if err := ep.SignalPut(p, sigOff, dst, id, uint64(inOff[dst])+1); err != nil {
+			return err
+		}
+	}
+
+	putTo := func(dst int) error {
+		var off int64
+		if dst == id {
+			off = inOff[id]
+		} else {
+			ep.WaitSignal(p, sigOff, dst, 1)
+			off = int64(sigOff.Value(id, dst) - 1)
+		}
+		op := ops[dst]
+		n := op.sendBytes()
+		if n == 0 {
+			// Zero-byte leg: the arrival signal still fires so the
+			// receiver's wait loop stays uniform.
+			return ep.SignalPut(p, sigDat, dst, id, 1)
+		}
+		c.bytes += n
+		return ep.PackPut(p, win, dst, off, op.SendBuf, op.SendType, op.SendCount, inTotal+outOff[dst], sigDat, id, 1, fused)
+	}
+
+	if bruck {
+		if err := putTo(id); err != nil {
+			return err
+		}
+		for span := 1; span < size; span <<= 1 {
+			hi := 2 * span
+			if size < hi {
+				hi = size
+			}
+			for s := span; s < hi; s++ {
+				if err := putTo((id + s) % size); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		for s := 0; s < size; s++ {
+			if err := putTo((id + s) % size); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Wait for every source's deposit, unpack the in-region in one
+	// fused window, and drain our own outstanding puts.
+	for src := 0; src < size; src++ {
+		ep.WaitSignal(p, sigDat, src, 1)
+	}
+	c.openWin()
+	var hs []mpi.Handle
+	for src, op := range ops {
+		if op.recvBytes() == 0 {
+			continue
+		}
+		hs = append(hs, c.unpackJob(win.Buf(id), op.RecvBuf, op.RecvType, op.RecvCount, inOff[src]))
+	}
+	c.closeWin()
+	if err := c.waitHandles(hs); err != nil {
+		return err
+	}
+	return ep.Quiet(p)
+}

@@ -1,0 +1,229 @@
+package coll_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coll"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/rma"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+// TestOneSidedConformance is the byte-exact matrix for the put-based
+// algorithm family: one-sided ring and Bruck Allgatherv/Alltoallw must
+// match the sequential pt2pt reference on every scheme (schemes without
+// batch hooks exercise the unfused pack-put arm for free).
+func TestOneSidedConformance(t *testing.T) {
+	l := denseVec()
+	for _, alg := range []coll.Algorithm{coll.OneSidedRing, coll.OneSidedBruck} {
+		for _, s := range schemes.Names() {
+			alg, s := alg, s
+			t.Run("allgatherv/"+alg.String()+"/"+s, func(t *testing.T) {
+				runAllgatherv(t, s, alg, l)
+			})
+			t.Run("alltoallw/"+alg.String()+"/"+s, func(t *testing.T) {
+				runAlltoallw(t, s, alg, l, nil)
+			})
+		}
+	}
+}
+
+// TestOneSidedRendezvousSized pushes the one-sided family through
+// payloads far above the eager limit — the regime where the two-sided
+// path pays the rendezvous round-trip that puts avoid entirely.
+func TestOneSidedRendezvousSized(t *testing.T) {
+	l := bigVec()
+	for _, alg := range []coll.Algorithm{coll.OneSidedRing, coll.OneSidedBruck} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			runAllgatherv(t, "Proposed-Tuned", alg, l)
+			runAlltoallw(t, "Proposed-Tuned", alg, l, nil)
+		})
+	}
+}
+
+// TestOneSidedUnfused pins the unfused arm explicitly: with the fusion
+// window disabled, every PackPut takes the launch → stream-sync →
+// doorbell path and the bytes must still be exact.
+func TestOneSidedUnfused(t *testing.T) {
+	w := collWorld("Proposed-Tuned", nil)
+	sends, recvs := makeAG(w, denseVec())
+	e := coll.New(w, coll.Tuning{Allgatherv: coll.OneSidedRing, DisableFusionWindow: true})
+	f := rma.New(w)
+	e.UseRMA(f)
+	err := w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if cerr := e.Allgatherv(p, r, sends[r.ID()], recvs[r.ID()]); cerr != nil {
+			t.Errorf("rank %d: %v", r.ID(), cerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNoLeaks(t, w, "unfused")
+	if f.PendingOps() != 0 {
+		t.Fatalf("%d one-sided ops leaked", f.PendingOps())
+	}
+	if st := f.TotalStats(); st.PackPuts == 0 {
+		t.Fatal("one-sided allgatherv issued no pack-puts")
+	}
+	ref := collWorld("GPU-Sync", nil)
+	rSends, rRecvs := makeAG(ref, denseVec())
+	refAllgatherv(t, ref, rSends, rRecvs)
+	for r := range recvs {
+		for src := range recvs[r] {
+			if got, want := recvs[r][src].Buf.Checksum(), rRecvs[r][src].Buf.Checksum(); got != want {
+				t.Fatalf("rank %d contribution-of-%d differs from reference", r, src)
+			}
+		}
+	}
+}
+
+// TestOneSidedLazyMatrix runs the one-sided cells under the lazy-vs-exact
+// differential oracle: identical checksums, final clock, and kernel
+// launches in both payload modes.
+func TestOneSidedLazyMatrix(t *testing.T) {
+	dense := denseVec()
+	big := bigVec()
+	cells := []struct {
+		name string
+		run  func(t *testing.T, lazy bool) cellResult
+	}{
+		{"Allgatherv/OneSidedRing/dense", agCell("Proposed-Tuned", coll.OneSidedRing, dense)},
+		{"Allgatherv/OneSidedBruck/dense", agCell("Proposed-Tuned", coll.OneSidedBruck, dense)},
+		{"Allgatherv/OneSidedRing/big-rendezvous", agCell("Proposed-Tuned", coll.OneSidedRing, big)},
+		{"Alltoallw/OneSidedRing/dense", a2aCell("Proposed-Tuned", coll.OneSidedRing, dense, nil)},
+		{"Alltoallw/OneSidedBruck/dense", a2aCell("Proposed-Tuned", coll.OneSidedBruck, dense, nil)},
+	}
+	if testing.Short() {
+		cells = cells[:2]
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			diffCell(t, c.name, c.run)
+		})
+	}
+}
+
+// TestOneSidedReplay pins bit-identical replay: the same one-sided cell
+// run twice produces the same clock, kernel count, and checksums.
+func TestOneSidedReplay(t *testing.T) {
+	for _, alg := range []coll.Algorithm{coll.OneSidedRing, coll.OneSidedBruck} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			run := agCell("Proposed-Tuned", alg, denseVec())
+			a := run(t, false)
+			b := run(t, false)
+			if a.clock != b.clock || a.kernels != b.kernels {
+				t.Fatalf("replay diverged: clock %d vs %d, kernels %d vs %d", a.clock, b.clock, a.kernels, b.kernels)
+			}
+			for i := range a.sums {
+				if a.sums[i] != b.sums[i] {
+					t.Fatalf("replay diverged at leg %d: %#x vs %#x", i, a.sums[i], b.sums[i])
+				}
+			}
+		})
+	}
+}
+
+// oneSidedChaosCell runs an allgatherv over the flaky one-sided fabric
+// and returns the clock, injected-event count, and recv checksums.
+func oneSidedChaosCell(t *testing.T, alg coll.Algorithm, lazy bool, seed uint64) (int64, int, []uint64) {
+	t.Helper()
+	plan, err := fault.Preset("rma-flaky", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, w := lazyCollWorld("Proposed-Tuned", lazy, func(c *mpi.Config) { c.Faults = plan })
+	sends, recvs := makeAGPRF(w, denseVec())
+	e := coll.New(w, coll.Tuning{Allgatherv: alg})
+	f := rma.New(w)
+	e.UseRMA(f)
+	err = w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		if cerr := e.Allgatherv(p, r, sends[r.ID()], recvs[r.ID()]); cerr != nil {
+			t.Errorf("rank %d: %v", r.ID(), cerr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNoLeaks(t, w, fmt.Sprintf("chaos/%s/lazy=%v", alg, lazy))
+	if f.PendingOps() != 0 {
+		t.Fatalf("%d one-sided ops leaked under chaos", f.PendingOps())
+	}
+	var sums []uint64
+	for r := range recvs {
+		for src := range recvs[r] {
+			sums = append(sums, recvs[r][src].Buf.Checksum())
+		}
+	}
+	return env.Now(), len(w.FaultEvents()), sums
+}
+
+// TestOneSidedChaos: under the rma-flaky preset (drops, CRC rejects,
+// delays, signal loss on the put path) the one-sided collectives must
+// deliver byte-exact results in exact and lazy modes, with faults
+// actually injected.
+func TestOneSidedChaos(t *testing.T) {
+	// Fault-free exact run is the byte oracle.
+	_, wantW := lazyCollWorld("GPU-Sync", false, nil)
+	wSends, wRecvs := makeAGPRF(wantW, denseVec())
+	refAllgatherv(t, wantW, wSends, wRecvs)
+	var want []uint64
+	for r := range wRecvs {
+		for src := range wRecvs[r] {
+			want = append(want, wRecvs[r][src].Buf.Checksum())
+		}
+	}
+	for _, alg := range []coll.Algorithm{coll.OneSidedRing, coll.OneSidedBruck} {
+		for _, lazy := range []bool{false, true} {
+			alg, lazy := alg, lazy
+			t.Run(fmt.Sprintf("%s/lazy=%v", alg, lazy), func(t *testing.T) {
+				_, events, sums := oneSidedChaosCell(t, alg, lazy, 17)
+				if events == 0 {
+					t.Fatal("rma-flaky injected no faults")
+				}
+				for i := range sums {
+					if sums[i] != want[i] {
+						t.Fatalf("leg %d checksum %#x differs from fault-free reference %#x", i, sums[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOneSidedChaosReplay: same seed, same run — clock, event count, and
+// bytes all reproduce under active injection.
+func TestOneSidedChaosReplay(t *testing.T) {
+	c1, e1, s1 := oneSidedChaosCell(t, coll.OneSidedRing, false, 5)
+	c2, e2, s2 := oneSidedChaosCell(t, coll.OneSidedRing, false, 5)
+	if c1 != c2 || e1 != e2 {
+		t.Fatalf("replay diverged: clock %d vs %d, events %d vs %d", c1, c2, e1, e2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("replay diverged at leg %d", i)
+		}
+	}
+}
+
+// TestOneSidedNames pins the CLI surface: the new algorithm names parse
+// and round-trip.
+func TestOneSidedNames(t *testing.T) {
+	for name, want := range map[string]coll.Algorithm{
+		"onesided-ring":  coll.OneSidedRing,
+		"onesided-bruck": coll.OneSidedBruck,
+	} {
+		got, err := coll.ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if got.String() != name {
+			t.Fatalf("%v.String() = %q, want %q", want, got.String(), name)
+		}
+	}
+}

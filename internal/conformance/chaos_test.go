@@ -88,10 +88,12 @@ func TestChaosAllSchemesAllPresets(t *testing.T) {
 					injectedTotal += res.FaultEvents
 				}
 			}
-			if injectedTotal == 0 && preset != "kernel-failure" {
+			if injectedTotal == 0 && preset != "kernel-failure" && preset != "rma-flaky" {
 				// kernel-failure only fires on fused launches, so schemes
-				// without fusion legitimately see zero events; every other
-				// preset must actually have exercised recovery somewhere.
+				// without fusion legitimately see zero events; rma-flaky
+				// only fires on the one-sided put path (its chaos coverage
+				// lives in internal/rma and the coll one-sided suite);
+				// every other preset must have exercised recovery somewhere.
 				t.Fatalf("preset %s never injected a fault across the sweep", preset)
 			}
 		})

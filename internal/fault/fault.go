@@ -108,6 +108,22 @@ type GPUPlan struct {
 	LaunchFailProb float64 // transient fused-launch failure
 }
 
+// RMAPlan holds one-sided (put/get) fault probabilities, rolled at the
+// issuing endpoint's site ("rma:rankN"). They model HCA-side loss on the
+// one-sided deposit path: a dropped put vanishes before the wire, a
+// corrupted one is rejected by the target's CRC without touching the
+// window, a delayed one is held back at the target, and a lost signal
+// places the payload but drops the completion flag — each recovered by
+// the endpoint's retransmission timer. The zero value injects nothing.
+type RMAPlan struct {
+	DropProb       float64 // one-sided deposit vanishes in flight
+	CorruptProb    float64 // deposit rejected by target CRC (never placed)
+	DelayProb      float64 // extra placement delay, uniform in [1, DelayMaxNs]
+	SignalLossProb float64 // payload placed but the signal update is lost
+
+	DelayMaxNs int64 // default 20µs
+}
+
 // Crash schedules the death of one simulated rank at a virtual time. Unlike
 // the probabilistic classes, crashes are planned events: the same plan kills
 // the same rank at the same instant in every run.
@@ -130,6 +146,7 @@ type Plan struct {
 	Link LinkPlan
 	NIC  NICPlan
 	GPU  GPUPlan
+	RMA  RMAPlan
 	Proc ProcPlan
 }
 
@@ -139,6 +156,7 @@ func (p *Plan) probs() []float64 {
 		p.Link.DropProb, p.Link.DupProb, p.Link.CorruptProb,
 		p.Link.DelayProb, p.Link.DegradeProb, p.Link.FlapProb,
 		p.NIC.PostErrorProb, p.GPU.LaunchFailProb,
+		p.RMA.DropProb, p.RMA.CorruptProb, p.RMA.DelayProb, p.RMA.SignalLossProb,
 	}
 }
 
@@ -153,7 +171,7 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("fault: probability %g outside [0,1]", v)
 		}
 	}
-	if p.Link.DelayMaxNs < 0 || p.Link.DegradeNs < 0 || p.Link.FlapDownNs < 0 {
+	if p.Link.DelayMaxNs < 0 || p.Link.DegradeNs < 0 || p.Link.FlapDownNs < 0 || p.RMA.DelayMaxNs < 0 {
 		return fmt.Errorf("fault: negative fault duration")
 	}
 	if p.Link.DegradeFactor < 0 || (p.Link.DegradeFactor > 0 && p.Link.DegradeFactor < 1) {
@@ -204,6 +222,9 @@ func (p *Plan) normalized() *Plan {
 	}
 	if c.Link.FlapDownNs == 0 {
 		c.Link.FlapDownNs = 100_000
+	}
+	if c.RMA.DelayMaxNs == 0 {
+		c.RMA.DelayMaxNs = 20_000
 	}
 	return &c
 }
@@ -400,7 +421,7 @@ func fnv64a(s string) uint64 {
 
 // PresetNames lists the named fault plans of the chaos test table.
 func PresetNames() []string {
-	return []string{"drop-heavy", "corrupt-heavy", "flappy-link", "kernel-failure", "mixed", "flaky-ib", "degraded-link", "rank-crash"}
+	return []string{"drop-heavy", "corrupt-heavy", "flappy-link", "kernel-failure", "mixed", "flaky-ib", "degraded-link", "rank-crash", "rma-flaky"}
 }
 
 // Preset builds one of the named chaos plans with the given seed.
@@ -442,6 +463,15 @@ func Preset(name string, seed uint64) (*Plan, error) {
 		p.Link.DegradeProb = 0.25
 		p.Link.DelayProb = 0.10
 		p.Link.FlapProb = 0.01
+	case "rma-flaky":
+		// A lossy one-sided fabric: puts vanish, arrive late, get CRC-
+		// rejected, or land without their signal — the RMA chaos-
+		// conformance profile. All recovery runs through the endpoint's
+		// retransmission timers, never the two-sided ack path.
+		p.RMA.DropProb = 0.06
+		p.RMA.CorruptProb = 0.03
+		p.RMA.DelayProb = 0.15
+		p.RMA.SignalLossProb = 0.05
 	case "rank-crash":
 		// Kill one mid-world rank at a deterministic virtual time. The
 		// victim and instant vary with the seed so a seed sweep exercises
@@ -456,9 +486,9 @@ func Preset(name string, seed uint64) (*Plan, error) {
 // ParsePlan parses a CLI fault-plan spec: either a preset name or a
 // comma-separated key=value list, with the two freely mixed — later keys
 // override. Keys: seed, drop, dup, corrupt, delay, degrade, flap, nic,
-// launchfail (probabilities), delaymax, degradens, flapdown (ns),
-// degradefactor, crash=RANK@TIMENS (repeatable; each adds one planned
-// rank death).
+// launchfail, rmadrop, rmacorrupt, rmadelay, siglost (probabilities),
+// delaymax, degradens, flapdown, rmadelaymax (ns), degradefactor,
+// crash=RANK@TIMENS (repeatable; each adds one planned rank death).
 //
 //	"drop-heavy"
 //	"drop-heavy,seed=7"
@@ -516,7 +546,7 @@ func ParsePlan(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("fault: bad crash time %q: %v", at[1], err)
 			}
 			p.Proc.Crashes = append(p.Proc.Crashes, Crash{Rank: rank, AtNs: t})
-		case "delaymax", "degradens", "flapdown":
+		case "delaymax", "degradens", "flapdown", "rmadelaymax":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("fault: bad %s %q: %v", key, val, err)
@@ -528,6 +558,8 @@ func ParsePlan(spec string) (*Plan, error) {
 				p.Link.DegradeNs = n
 			case "flapdown":
 				p.Link.FlapDownNs = n
+			case "rmadelaymax":
+				p.RMA.DelayMaxNs = n
 			}
 		default:
 			f, err := strconv.ParseFloat(val, 64)
@@ -553,6 +585,14 @@ func ParsePlan(spec string) (*Plan, error) {
 				p.NIC.PostErrorProb = f
 			case "launchfail":
 				p.GPU.LaunchFailProb = f
+			case "rmadrop":
+				p.RMA.DropProb = f
+			case "rmacorrupt":
+				p.RMA.CorruptProb = f
+			case "rmadelay":
+				p.RMA.DelayProb = f
+			case "siglost":
+				p.RMA.SignalLossProb = f
 			default:
 				return nil, fmt.Errorf("fault: unknown plan key %q", key)
 			}

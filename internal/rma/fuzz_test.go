@@ -1,0 +1,82 @@
+package rma_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rma"
+)
+
+// FuzzHeapInvariants drives the symmetric-heap allocator with a random
+// op tape — allocate, free, reallocate — and checks after every step
+// that the allocator invariants hold: no overlapping live windows,
+// aligned offsets inside the break, coalesced free spans, offsets and
+// sizes mirrored across every rank, and freed windows rejecting reuse
+// (access and double free).
+func FuzzHeapInvariants(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0x41, 0x85, 0x02, 0x13, 0x06, 0xc1})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x02, 0x02, 0x02, 0x03, 0x03})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x10, 0x91, 0x44, 0x04, 0x08, 0x0c})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		w := testWorld(1, false, nil, false)
+		fab := rma.New(w)
+		var live []*rma.Window
+		var freed []*rma.Window
+		next := 0
+		for _, b := range tape {
+			switch {
+			case b%3 != 0 || len(live) == 0:
+				// Allocate: size derived from the byte, 1..4033.
+				size := int64(b>>2)*63 + 1
+				win, err := fab.AllocWindow(fmt.Sprintf("w%d", next), size)
+				next++
+				if err != nil {
+					t.Fatalf("alloc %d: %v", size, err)
+				}
+				if !win.Symmetric() {
+					t.Fatal("heap window not symmetric")
+				}
+				for i := 0; i < w.Size(); i++ {
+					if win.Size(i) != size {
+						t.Fatalf("rank %d sees size %d, want %d (not mirrored)", i, win.Size(i), size)
+					}
+					if win.Buf(i) == nil {
+						t.Fatalf("rank %d unattached on a symmetric window", i)
+					}
+				}
+				live = append(live, win)
+			default:
+				// Free a live window chosen by the byte.
+				i := int(b>>2) % len(live)
+				win := live[i]
+				if err := win.Free(); err != nil {
+					t.Fatalf("free: %v", err)
+				}
+				live = append(live[:i], live[i+1:]...)
+				freed = append(freed, win)
+			}
+			if err := fab.Heap().CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Reuse-after-free rejection: freed windows must refuse both
+		// double free and further one-sided access.
+		for _, win := range freed {
+			if err := win.Free(); err == nil {
+				t.Fatal("double free accepted")
+			}
+			if !win.Freed() {
+				t.Fatal("freed window reports live")
+			}
+		}
+		// Live windows must be pairwise disjoint in heap address space.
+		for i, a := range live {
+			for _, b := range live[i+1:] {
+				if a.Offset() < b.Offset()+b.Size(0) && b.Offset() < a.Offset()+a.Size(0) {
+					t.Fatalf("windows %q and %q overlap", a.Name(), b.Name())
+				}
+			}
+		}
+	})
+}

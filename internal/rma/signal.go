@@ -1,0 +1,78 @@
+package rma
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+
+	"repro/internal/sim"
+)
+
+// Signal is a slotted completion flag array: one row of uint64 slots per
+// rank, remotely bumped by PutSignal/PackPut deposits. Slots let the
+// one-sided collectives distinguish arrival rounds — a count-only flag
+// would let a later round's deposit satisfy an earlier round's wait when
+// deliveries reorder under fault delays, silently forwarding stale
+// bytes. Each slot is an independent monotonic counter.
+type Signal struct {
+	f    *Fabric
+	name string
+	vals [][]uint64 // [rank][slot]
+	refs int
+}
+
+// OpenSignal is the SPMD rendezvous on a named signal with the given
+// slot count; each rank balances its open with one CloseSignal.
+func (f *Fabric) OpenSignal(name string, slots int) (*Signal, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("rma: signal %q: slot count %d must be positive", name, slots)
+	}
+	s := f.sigs[name]
+	if s == nil {
+		s = &Signal{f: f, name: name, vals: make([][]uint64, f.w.Size())}
+		for i := range s.vals {
+			s.vals[i] = make([]uint64, slots)
+		}
+		f.sigs[name] = s
+	}
+	if len(s.vals[0]) != slots {
+		return nil, fmt.Errorf("rma: signal %q: opened with %d slots, allocated %d", name, slots, len(s.vals[0]))
+	}
+	s.refs++
+	return s, nil
+}
+
+// CloseSignal balances one OpenSignal; the last close releases the name.
+func (f *Fabric) CloseSignal(s *Signal) {
+	s.refs--
+	if s.refs <= 0 {
+		delete(f.sigs, s.name)
+	}
+}
+
+// Name returns the signal's SPMD rendezvous name.
+func (s *Signal) Name() string { return s.name }
+
+// Value reads rank's slot without blocking.
+func (s *Signal) Value(rank, slot int) uint64 { return s.vals[rank][slot] }
+
+// add applies a remote signal update (scheduler context) and beats the
+// clock so pollers re-examine their predicates.
+func (s *Signal) add(rank, slot int, v uint64) {
+	s.vals[rank][slot] += v
+	s.f.env().Beat()
+}
+
+// WaitSignal blocks until this endpoint's slot reaches atLeast, charging
+// poll sleeps to Sync — the one-sided analogue of the progress-engine
+// gate, but with no sends or protocol messages behind it.
+func (ep *Endpoint) WaitSignal(p *sim.Proc, s *Signal, slot int, atLeast uint64) {
+	poll := ep.f.w.Cfg.PollIntervalNs
+	me := ep.r.ID()
+	for s.vals[me][slot] < atLeast {
+		start := p.Now()
+		p.Sleep(poll)
+		ep.charge(trace.Sync, "signal-poll", start, poll)
+		ep.Stats.Polls++
+	}
+}

@@ -42,11 +42,14 @@ const (
 	// LayerColl is the collective-communication engine: per-collective
 	// windows, schedule passes, and phase markers.
 	LayerColl
+	// LayerRMA is the one-sided backend: symmetric-heap windows, put/get
+	// doorbells, wire legs, signal waits, and quiet/fence polls.
+	LayerRMA
 
 	numLayers
 )
 
-var layerNames = [numLayers]string{"sim", "gpu", "mpi", "fusion", "fault", "failure", "coll"}
+var layerNames = [numLayers]string{"sim", "gpu", "mpi", "fusion", "fault", "failure", "coll", "rma"}
 
 func (l Layer) String() string {
 	if l >= numLayers {
