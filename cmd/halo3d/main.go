@@ -14,6 +14,7 @@
 //	halo3d -n 32 -ranks 1024 -lazy -coll   # 16x8x8 grid, lazy-bytes payloads
 //	halo3d -n 16 -faults rank-crash -recover
 //	halo3d -n 16 -lazy -faults rank-crash -recover
+//	halo3d -n 16 -rma -faults rank-crash -recover
 //
 // -rma swaps the exchange for the one-sided backend: every rank opens a
 // symmetric window (an inbound slot plus a staging slot per face) and a
@@ -38,6 +39,18 @@
 // adopted by its buddy. The process exits non-zero if any survivor misses
 // the failure, the rollback or the recovery exchange mismatches, or
 // requests leak. Works in both payload modes (-lazy included).
+//
+// With -rma the recovery demo runs over the one-sided backend instead:
+// every rank checkpoint-registers its symmetric halo window alongside its
+// grid, the fused pack-put exchange runs until the planned crash surfaces
+// as a typed failure (a reaped in-flight put, a failed signal wait, or a
+// fail-fast to the declared-dead rank), and Shrink re-rendezvouses the
+// symmetric heap onto the survivors. Reopening the window then rebinds the
+// checkpoint registration to the rebuilt heap and rolls the window
+// contents back to the checkpoint epoch; the survivors re-exchange a
+// z-chain with fused pack-puts over the new fabric epoch, and the driver
+// verifies the window restore, the grid rollback, the chain byte-exactly,
+// and that no one-sided ops were left pending.
 package main
 
 import (
@@ -221,7 +234,9 @@ func run(w io.Writer, scheme string, n, steps, ranks int, lazy, useColl, useRMA,
 					}
 				}
 				for _, f := range faceOrder {
-					c.WaitSignal(sig, slotOf[f], uint64(s+1))
+					if werr := c.WaitSignal(sig, slotOf[f], uint64(s+1)); werr != nil {
+						panic(werr)
+					}
 					pos := inOff[f]
 					c.Unpack(win.Buf(me), &pos, ghosts[me], faces[f], 1)
 				}
@@ -577,6 +592,296 @@ func runRecover(w io.Writer, scheme string, n int, faultSpec string, lazy bool) 
 	return nil
 }
 
+// runRecoverRMA is the one-sided variant of the recovery demo: the halo
+// exchange runs over fused pack-puts into symmetric windows, the planned
+// crash surfaces as typed one-sided failures (reaped in-flight puts,
+// failed signal waits, fail-fasts to the declared-dead rank), and Shrink
+// re-rendezvouses the symmetric heap onto the survivors. The halo window
+// is checkpoint-registered, so reopening it after the shrink rebinds the
+// registration to the rebuilt heap and rolls the window contents back to
+// the checkpoint epoch — the survivors then re-exchange a 1D z-chain with
+// fused pack-puts over the new fabric epoch. The driver verifies the
+// window restore and grid rollback by checksum, the recovery chain
+// byte-exactly, that no one-sided ops were left pending, and finally
+// adopts the dead rank's grid AND window snapshots onto its buddy.
+func runRecoverRMA(w io.Writer, scheme string, n int, faultSpec string, lazy bool) error {
+	plan, err := dkf.ParseFaultPlan(faultSpec)
+	if err != nil {
+		return err
+	}
+	cfg := dkf.SessionConfig{Scheme: dkf.Scheme(scheme), Faults: plan, Backend: dkf.BackendRMA}
+	if lazy {
+		cfg.Payload = dkf.PayloadLazy
+	}
+	sess, err := dkf.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	cart := sess.CartCreate([]int{2, 2, 2}, []bool{true, true, true})
+	faces := faceLayouts(n)
+	gridBytes := n * n * n * 8
+	nr := sess.NumRanks()
+	grids := make([]*dkf.Buffer, nr)
+	ghosts := make([]*dkf.Buffer, nr)
+	rghosts := make([]*dkf.Buffer, nr)
+	initSums := make([]uint64, nr)
+	winSums := make([]uint64, nr)
+	for r := 0; r < nr; r++ {
+		grids[r] = sess.Alloc(r, "grid", gridBytes)
+		ghosts[r] = sess.Alloc(r, "ghost", gridBytes)
+		rghosts[r] = sess.Alloc(r, "rghost", gridBytes)
+		grids[r].FillStream(uint64(r + 1))
+		rghosts[r].FillStream(uint64(0xdead + r))
+		initSums[r] = grids[r].Checksum()
+		sess.CheckpointRegister(r, grids[r])
+	}
+	axes := []struct {
+		axis          int
+		minusF, plusF string
+	}{{0, "x-", "x+"}, {1, "y-", "y+"}, {2, "z-", "z+"}}
+
+	ft := sess.FTEnabled()
+	stepsDone := make([]int, nr)
+	stepErrs := make([]error, nr)
+	recovered := make([]bool, nr)
+	recoverErrs := make([]error, nr)
+	var half int64
+	err = sess.Run(func(c *dkf.RankCtx) {
+		me := c.ID()
+		// Symmetric window layout as in run(): an inbound slot per ghost
+		// face in the first half, staging for outgoing packs in the second.
+		inOff := make(map[string]int64, len(faceOrder))
+		slotOf := make(map[string]int, len(faceOrder))
+		half = 0
+		for i, f := range faceOrder {
+			inOff[f] = half
+			slotOf[f] = i
+			half += c.PackSize(faces[f], 1)
+		}
+		win, werr := c.Window("halo", 2*half)
+		if werr != nil {
+			recoverErrs[me] = werr
+			return
+		}
+		sig, serr := c.OpenSignal("halo", len(faceOrder))
+		if serr != nil {
+			recoverErrs[me] = serr
+			return
+		}
+		// Seed the window with recognizable content and checkpoint it
+		// together with the grid: the restore check downstream passes only
+		// if the rebuilt heap really got this epoch's bytes back.
+		win.Buf(me).FillStream(uint64(0x51c0 + me))
+		winSums[me] = win.Buf(me).Checksum()
+		if ft {
+			if rerr := c.CheckpointRegisterWindow(win); rerr != nil {
+				recoverErrs[me] = rerr
+				return
+			}
+			c.Checkpoint()
+		}
+		// No per-step barrier (survivors leave the loop at different
+		// times); the cumulative per-face signal counts keep steps paired,
+		// and the per-step Quiet keeps the local staging half safe to
+		// re-pack.
+		const horizonNs = 600_000
+		for stepErrs[me] == nil && c.Now() < horizonNs && stepsDone[me] < 10_000 {
+			s := stepsDone[me]
+			for _, ax := range axes {
+				mPeer, pPeer := cart.Shift(me, ax.axis, 1)
+				if stepErrs[me] = c.PackPut(win, mPeer, inOff[ax.plusF], grids[me], faces[ax.minusF], 1,
+					half+inOff[ax.minusF], sig, slotOf[ax.plusF], 1, true); stepErrs[me] != nil {
+					break
+				}
+				if stepErrs[me] = c.PackPut(win, pPeer, inOff[ax.minusF], grids[me], faces[ax.plusF], 1,
+					half+inOff[ax.plusF], sig, slotOf[ax.minusF], 1, true); stepErrs[me] != nil {
+					break
+				}
+			}
+			for _, f := range faceOrder {
+				if stepErrs[me] != nil {
+					break
+				}
+				if stepErrs[me] = c.WaitSignal(sig, slotOf[f], uint64(s+1)); stepErrs[me] == nil {
+					pos := inOff[f]
+					c.Unpack(win.Buf(me), &pos, ghosts[me], faces[f], 1)
+				}
+			}
+			if stepErrs[me] == nil {
+				stepErrs[me] = c.Quiet()
+			}
+			if stepErrs[me] == nil {
+				stepsDone[me]++
+				c.Sleep(int64(n*n) * 2)
+			}
+		}
+		if !ft {
+			return
+		}
+		flag := uint64(1)
+		if stepErrs[me] != nil {
+			flag = 0
+		}
+		agreed, aerr := c.Agree(c.World(), flag)
+		if agreed == 1 && aerr == nil {
+			return // everyone finished clean and nobody died
+		}
+		// The failure tore the in-flight timestep: scribble the grid so the
+		// rollback check can only pass if Shrink really restored it. (The
+		// window's torn region dies with the old heap; its restore check is
+		// against the rebuilt region after reopen.)
+		grids[me].FillStream(uint64(0xbad0 + me))
+		sub, serr2 := c.Shrink(c.World())
+		if serr2 != nil {
+			recoverErrs[me] = serr2
+			return
+		}
+		cc := c.On(sub)
+		cr := cc.Rank()
+		// Reopen the halo window on the survivor fabric: same name, fresh
+		// heap — the checkpoint registration rebinds and restores it.
+		rwin, rerr := c.Window("halo", 2*half)
+		if rerr != nil {
+			recoverErrs[me] = rerr
+			return
+		}
+		if got := rwin.Buf(cr).Checksum(); got != winSums[me] {
+			recoverErrs[me] = fmt.Errorf("window not restored after re-rendezvous: checksum %#x, want %#x", got, winSums[me])
+			return
+		}
+		// Recovery exchange: a 1D z-chain in survivor comm-rank order over
+		// a fresh window at the new fabric epoch, fused pack-puts both ways.
+		zm := c.PackSize(faces["z-"], 1)
+		inTot := zm + c.PackSize(faces["z+"], 1)
+		cwin, cerr := c.Window("rchain", 2*inTot)
+		if cerr != nil {
+			recoverErrs[me] = cerr
+			return
+		}
+		csig, cserr := c.OpenSignal("rchain", 2)
+		if cserr != nil {
+			recoverErrs[me] = cserr
+			return
+		}
+		if cr < cc.Size()-1 {
+			if perr := c.PackPut(cwin, cr+1, 0, grids[me], faces["z-"], 1, inTot, csig, 0, 1, true); perr != nil {
+				recoverErrs[me] = perr
+				return
+			}
+		}
+		if cr > 0 {
+			if perr := c.PackPut(cwin, cr-1, zm, grids[me], faces["z+"], 1, inTot+zm, csig, 1, 1, true); perr != nil {
+				recoverErrs[me] = perr
+				return
+			}
+		}
+		if cr > 0 {
+			if werr := c.WaitSignal(csig, 0, 1); werr != nil {
+				recoverErrs[me] = werr
+				return
+			}
+			pos := int64(0)
+			c.Unpack(cwin.Buf(cr), &pos, rghosts[me], faces["z-"], 1)
+		}
+		if cr < cc.Size()-1 {
+			if werr := c.WaitSignal(csig, 1, 1); werr != nil {
+				recoverErrs[me] = werr
+				return
+			}
+			pos := zm
+			c.Unpack(cwin.Buf(cr), &pos, rghosts[me], faces["z+"], 1)
+		}
+		if qerr := c.Quiet(); qerr != nil {
+			recoverErrs[me] = qerr
+			return
+		}
+		recovered[me] = true
+	})
+	if err != nil {
+		return err
+	}
+
+	crashed := sess.CrashedRanks()
+	survivors := sess.Survivors()
+	if !ft || len(crashed) == 0 {
+		steps := 0
+		for _, s := range stepsDone {
+			if s > steps {
+				steps = s
+			}
+		}
+		fmt.Fprintf(w, "halo3d: no rank failure under plan %q; %d one-sided steps completed\n", faultSpec, steps)
+		return nil
+	}
+	steps := 0
+	for _, s := range survivors {
+		if stepsDone[s] > steps {
+			steps = stepsDone[s]
+		}
+		if stepErrs[s] != nil &&
+			!errors.Is(stepErrs[s], dkf.ErrRankFailed) && !errors.Is(stepErrs[s], dkf.ErrCommRevoked) {
+			return fmt.Errorf("halo3d: rank %d failed with an untyped error: %w", s, stepErrs[s])
+		}
+		if recoverErrs[s] != nil {
+			return fmt.Errorf("halo3d: rank %d recovery failed: %w", s, recoverErrs[s])
+		}
+		if !recovered[s] {
+			return fmt.Errorf("halo3d: rank %d never completed the recovery exchange", s)
+		}
+	}
+	fmt.Fprintf(w, "halo3d: rank(s) %v crashed at step ~%d of the one-sided exchange; survivors observed typed failures\n",
+		crashed, steps)
+	fmt.Fprintf(w, "halo3d: shrunk world %d -> %d ranks; symmetric heap re-rendezvoused at fabric epoch %d\n",
+		nr, len(survivors), sess.RMAEpoch())
+	fmt.Fprintf(w, "halo3d: window contents restored from checkpoint epoch %d on every survivor\n",
+		sess.CheckpointEpoch())
+	for _, s := range survivors {
+		if grids[s].Checksum() != initSums[s] {
+			return fmt.Errorf("halo3d: rank %d grid not rolled back to the checkpoint after Shrink", s)
+		}
+	}
+	for i := 0; i+1 < len(survivors); i++ {
+		a, b := survivors[i], survivors[i+1]
+		if verr := dkf.VerifyBlocks(faces["z-"], 1, grids[a].Materialize(), rghosts[b].Materialize()); verr != nil {
+			return fmt.Errorf("halo3d: recovery pack-put %d->%d (z-) mismatch: %w", a, b, verr)
+		}
+		if verr := dkf.VerifyBlocks(faces["z+"], 1, grids[b].Materialize(), rghosts[a].Materialize()); verr != nil {
+			return fmt.Errorf("halo3d: recovery pack-put %d->%d (z+) mismatch: %w", b, a, verr)
+		}
+	}
+	if po := sess.RMAPendingOps(); po != 0 {
+		return fmt.Errorf("halo3d: %d one-sided ops still pending after recovery", po)
+	}
+	if lk := sess.LeakedRequests(); lk != 0 {
+		return fmt.Errorf("halo3d: %d requests leaked across the recovery", lk)
+	}
+	st := sess.RMAStats()
+	fmt.Fprintf(w, "halo3d: recovery chain byte-exact across %d survivor pairs; %d in-flight ops reaped, none pending\n",
+		len(survivors)-1, st.Reaped)
+	// Buddy adoption covers the window snapshot too: the dead rank's
+	// registered state was (grid, window region), in that order.
+	for _, d := range crashed {
+		if !sess.CheckpointAvailable(d) {
+			return fmt.Errorf("halo3d: dead rank %d's snapshot unavailable despite buddy placement", d)
+		}
+		buddy := sess.CheckpointBuddy(d)
+		adoptedGrid := sess.Alloc(buddy, fmt.Sprintf("adopted-%d", d), gridBytes)
+		adoptedWin := sess.Alloc(buddy, fmt.Sprintf("adopted-win-%d", d), int(2*half))
+		if aerr := sess.CheckpointAdopt(buddy, d, adoptedGrid, adoptedWin); aerr != nil {
+			return fmt.Errorf("halo3d: buddy adoption of rank %d: %w", d, aerr)
+		}
+		if adoptedGrid.Checksum() != initSums[d] {
+			return fmt.Errorf("halo3d: adopted grid of rank %d differs from its checkpointed content", d)
+		}
+		if adoptedWin.Checksum() != winSums[d] {
+			return fmt.Errorf("halo3d: adopted window region of rank %d differs from its checkpointed content", d)
+		}
+		fmt.Fprintf(w, "halo3d: rank %d's checkpointed grid and window adopted by buddy rank %d, checksum-exact\n", d, buddy)
+	}
+	return nil
+}
+
 // compareAll runs the scheme shoot-out and reports speedups vs GPU-Sync.
 func compareAll(w io.Writer, n, steps, ranks int, lazy, useColl, useRMA bool) error {
 	var base int64
@@ -617,15 +922,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "halo3d: -faults and -recover must be used together")
 			os.Exit(2)
 		}
-		if *useRMA {
-			fmt.Fprintln(os.Stderr, "halo3d: -recover uses the two-sided ULFM path; drop -rma")
-			os.Exit(2)
-		}
 		if *ranks != 8 {
 			fmt.Fprintln(os.Stderr, "halo3d: -recover supports only the default 8-rank world (not -ranks)")
 			os.Exit(2)
 		}
-		if err := runRecover(os.Stdout, *scheme, *n, *faultSpec, *lazy); err != nil {
+		rec := runRecover
+		if *useRMA {
+			rec = runRecoverRMA
+		}
+		if err := rec(os.Stdout, *scheme, *n, *faultSpec, *lazy); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -143,6 +143,55 @@ func TestRunRecover(t *testing.T) {
 	}
 }
 
+// TestRunRecoverRMA drives the one-sided recovery demo in both payload
+// modes: the planned crash tears the fused pack-put exchange, the
+// survivors shrink (re-rendezvousing the symmetric heap), the reopened
+// window restores its checkpointed contents, and the z-chain re-exchange
+// over the new fabric epoch must verify byte-exactly with the dead rank's
+// window snapshot still adoptable from its buddy.
+func TestRunRecoverRMA(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		name := "exact"
+		if lazy {
+			name = "lazy"
+		}
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runRecoverRMA(&buf, "Proposed-Tuned", 8, "crash=2@20000", lazy); err != nil {
+				t.Fatalf("%v\n%s", err, buf.String())
+			}
+			out := buf.String()
+			for _, want := range []string{
+				"rank(s) [2] crashed",
+				"survivors observed typed failures",
+				"shrunk world 8 -> 7 ranks; symmetric heap re-rendezvoused at fabric epoch 1",
+				"window contents restored from checkpoint epoch 1",
+				"recovery chain byte-exact across 6 survivor pairs",
+				"checkpointed grid and window adopted by buddy rank 3",
+			} {
+				if !strings.Contains(out, want) {
+					t.Errorf("recovery report missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestRunRecoverRMAPresetSeeds checks the one-sided demo survives the
+// rank-crash preset across seeds (different victims and crash times).
+func TestRunRecoverRMAPresetSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full one-sided recovery cycles")
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		var buf bytes.Buffer
+		spec := fmt.Sprintf("rank-crash,seed=%d", seed)
+		if err := runRecoverRMA(&buf, "Proposed-Tuned", 8, spec, seed%2 == 0); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, buf.String())
+		}
+	}
+}
+
 // TestRunRecoverPresetSeeds checks the demo survives the rank-crash preset
 // across several seeds (different victim ranks and crash times).
 func TestRunRecoverPresetSeeds(t *testing.T) {

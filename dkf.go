@@ -504,15 +504,23 @@ func (cfg *SessionConfig) validate() error {
 
 // Session is a simulated cluster plus MPI world, ready to Run rank bodies.
 type Session struct {
-	cfg     SessionConfig
-	env     *sim.Env
-	cluster *cluster.Cluster
-	world   *mpi.World
-	coll    *coll.Engine
-	subs    map[*mpi.Comm]*coll.Engine
-	rma     *rma.Fabric // lazily built; shared with the collective engine
-	ckpt    *ckpt.Store
-	closed  bool
+	cfg      SessionConfig
+	env      *sim.Env
+	cluster  *cluster.Cluster
+	world    *mpi.World
+	coll     *coll.Engine
+	subs     map[*mpi.Comm]*coll.Engine
+	rma      *rma.Fabric // lazily built; shared with the collective engine
+	ckpt     *ckpt.Store
+	ckptWins map[ckptWinKey]*gpu.Buffer // checkpoint-registered window regions (CheckpointRegisterWindow)
+	closed   bool
+}
+
+// ckptWinKey identifies one rank's checkpoint-registered window region by
+// window name — stable across re-rendezvous, unlike the backing buffer.
+type ckptWinKey struct {
+	rank int
+	name string
 }
 
 // rmaFabric returns the session's one-sided fabric, building it (and
@@ -596,12 +604,13 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		}
 	}
 	s := &Session{
-		cfg:     cfg,
-		env:     env,
-		cluster: cl,
-		world:   world,
-		coll:    coll.New(world, ctun),
-		ckpt:    ckpt.NewStore(world.Size()),
+		cfg:      cfg,
+		env:      env,
+		cluster:  cl,
+		world:    world,
+		coll:     coll.New(world, ctun),
+		ckpt:     ckpt.NewStore(world.Size()),
+		ckptWins: make(map[ckptWinKey]*gpu.Buffer),
 	}
 	if cfg.Backend == BackendRMA {
 		s.rmaFabric() // build the fabric up front, shared with the engine
@@ -732,6 +741,63 @@ func (s *Session) CrashedRanks() []int { return s.world.CrashedRanks() }
 // byte copies in exact mode.
 func (s *Session) CheckpointRegister(r int, bufs ...*Buffer) {
 	s.ckpt.Register(r, bufs...)
+}
+
+// CheckpointRegisterWindow adds this rank's region of window w to its
+// recoverable state. Unlike CheckpointRegister, the registration tracks
+// the window by name: after a Shrink re-rendezvous invalidates the
+// window, reopening it under the same name rebinds the registration to
+// the fresh region and automatically rolls the contents back to the last
+// committed checkpoint epoch — symmetric-heap state gets the same
+// restore-on-Shrink story as plain registered buffers, in exact and lazy
+// payload modes alike.
+func (c *RankCtx) CheckpointRegisterWindow(w *Window) error {
+	s := c.sess
+	me := c.fabricSelf()
+	if me < 0 {
+		return fmt.Errorf("dkf: rank %d is not a member of the fabric epoch", c.ID())
+	}
+	b := w.Buf(me)
+	if b == nil {
+		return fmt.Errorf("dkf: window %q not attached on rank %d", w.Name(), c.ID())
+	}
+	key := ckptWinKey{rank: c.ID(), name: w.Name()}
+	switch old := s.ckptWins[key]; {
+	case old == nil:
+		s.ckpt.Register(c.ID(), b)
+	case old != b:
+		s.ckpt.Rebind(c.ID(), old, b)
+	}
+	s.ckptWins[key] = b
+	return nil
+}
+
+// maybeRestoreWindow completes the re-rendezvous recovery path: when a
+// reopened window is checkpoint-registered and its backing region
+// changed (the heap was rebuilt), rebind the registration and roll the
+// fresh region back to the last committed epoch, charging the restore
+// memcpy to the simulated clock.
+func (c *RankCtx) maybeRestoreWindow(w *Window) {
+	s := c.sess
+	key := ckptWinKey{rank: c.ID(), name: w.Name()}
+	old := s.ckptWins[key]
+	if old == nil {
+		return
+	}
+	me := c.fabricSelf()
+	if me < 0 {
+		return
+	}
+	nb := w.Buf(me)
+	if nb == nil || nb == old {
+		return
+	}
+	s.ckpt.Rebind(c.ID(), old, nb)
+	s.ckptWins[key] = nb
+	s.syncCkptDead()
+	if n, err := s.ckpt.RestoreBuffer(c.ID(), nb); err == nil {
+		c.chargeCkpt("restore-window", n)
+	}
 }
 
 // syncCkptDead mirrors crashed ranks into the checkpoint store so quorums
@@ -1111,6 +1177,10 @@ type RMAStats = rma.Stats
 // RMAOpError wraps a failed one-sided operation, surfaced by Quiet.
 type RMAOpError = rma.OpError
 
+// RMARevokedError reports a one-sided access on a revoked (or
+// reseated-away) fabric epoch; it matches errors.Is(err, ErrCommRevoked).
+type RMARevokedError = rma.RevokedError
+
 // ErrRMARetriesExhausted matches (via errors.Is) a one-sided op whose
 // bounded retransmissions all failed.
 var ErrRMARetriesExhausted = rma.ErrRetriesExhausted
@@ -1124,18 +1194,57 @@ func (s *Session) RMAStats() RMAStats {
 	return s.rma.TotalStats()
 }
 
+// RMAPendingOps sums incomplete one-sided operations across every
+// endpoint. Zero after every rank's Quiet has drained; nonzero after a
+// recovery means reaping leaked an in-flight op.
+func (s *Session) RMAPendingOps() int {
+	if s.rma == nil {
+		return 0
+	}
+	return s.rma.PendingOps()
+}
+
+// RMAEpoch is the fabric's re-rendezvous epoch: 0 until the first Shrink
+// reseats the symmetric heap onto a survivor communicator.
+func (s *Session) RMAEpoch() int {
+	if s.rma == nil {
+		return 0
+	}
+	return s.rma.Epoch()
+}
+
+// fabricSelf is this rank's member index in the fabric's current epoch —
+// identical to the world rank until a Shrink re-rendezvous densely
+// re-ranks the survivors (-1 when this rank is not a member).
+func (c *RankCtx) fabricSelf() int { return c.sess.rmaFabric().MemberOf(c.rank.ID()) }
+
 // Window opens (SPMD rendezvous) a named symmetric window of size bytes
-// on every rank; all ranks must call with the same name and size, and
-// balance it with CloseWindow.
+// on every fabric member; all members must call with the same name and
+// size, and balance it with CloseWindow. Window rank indices and verb
+// targets are fabric member indices (== world ranks until a Shrink
+// re-rendezvous). Reopening a checkpoint-registered window after a
+// re-rendezvous automatically rebinds the registration to the fresh
+// region and rolls its contents back to the last committed epoch.
 func (c *RankCtx) Window(name string, size int64) (*Window, error) {
-	return c.sess.rmaFabric().OpenWindow(c.rank.ID(), name, size)
+	w, err := c.sess.rmaFabric().OpenWindow(c.fabricSelf(), name, size)
+	if err != nil {
+		return nil, err
+	}
+	c.maybeRestoreWindow(w)
+	return w, nil
 }
 
 // WindowSized opens a dynamic window whose size differs per rank; the
 // offsets of a peer's regions must be learned out of band (e.g. through
-// a Signal exchange), as they are not symmetric.
+// a Signal exchange), as they are not symmetric. Auto-restore on reopen
+// works as for Window.
 func (c *RankCtx) WindowSized(name string, localSize int64) (*Window, error) {
-	return c.sess.rmaFabric().OpenWindowSized(c.rank.ID(), name, localSize)
+	w, err := c.sess.rmaFabric().OpenWindowSized(c.fabricSelf(), name, localSize)
+	if err != nil {
+		return nil, err
+	}
+	c.maybeRestoreWindow(w)
+	return w, nil
 }
 
 // CloseWindow balances one Window/WindowSized open; the last close
@@ -1179,9 +1288,14 @@ func (c *RankCtx) PackPut(w *Window, target int, dstOff int64, origin *Buffer, l
 	return c.sess.rmaFabric().Endpoint(c.rank.ID()).PackPut(c.proc, w, target, dstOff, origin, l, count, packOff, sig, slot, add, fused)
 }
 
-// WaitSignal blocks until sig's slot on this rank reaches atLeast.
-func (c *RankCtx) WaitSignal(sig *Signal, slot int, atLeast uint64) {
-	c.sess.rmaFabric().Endpoint(c.rank.ID()).WaitSignal(c.proc, sig, slot, atLeast)
+// WaitSignal blocks until sig's slot on this rank reaches atLeast. The
+// wait observes rank failures and epoch revocation on the virtual clock
+// — a crashed peer surfaces as a *RankFailedError and a revoked fabric
+// as a *RMARevokedError instead of a stall — and honors the session's
+// StallTimeout: a signal that can never arrive unwinds with a typed
+// *StallError on this rank rather than wedging the scheduler.
+func (c *RankCtx) WaitSignal(sig *Signal, slot int, atLeast uint64) error {
+	return c.sess.rmaFabric().Endpoint(c.rank.ID()).WaitSignal(c.proc, sig, slot, atLeast)
 }
 
 // Quiet blocks until every one-sided op this rank issued has completed,
@@ -1217,6 +1331,11 @@ func (c *RankCtx) Revoke(cm *Comm) { cm.Revoke(c.proc, c.rank) }
 // When a committed checkpoint epoch covers this rank, Shrink additionally
 // rolls the rank's registered buffers back to it (automatic
 // restore-on-Shrink), charging the restore memcpy to the simulated clock.
+// When the session has a one-sided fabric, Shrink also re-rendezvouses it
+// onto the survivor communicator (dense re-rank, fresh epoch, rebuilt
+// symmetric heap) — reopen windows afterwards; checkpoint-registered
+// windows auto-restore on reopen, extending restore-on-Shrink to
+// symmetric-heap state.
 func (c *RankCtx) Shrink(cm *Comm) (*Comm, error) {
 	sub, err := cm.Shrink(c.proc, c.rank)
 	if err != nil || sub == nil {
@@ -1227,6 +1346,11 @@ func (c *RankCtx) Shrink(cm *Comm) (*Comm, error) {
 	if st.Latest() != nil && st.Registered(c.ID()) > 0 {
 		if n, _, rerr := st.RestoreRank(c.ID()); rerr == nil {
 			c.chargeCkpt("restore", n)
+		}
+	}
+	if f := c.sess.rma; f != nil {
+		if rerr := f.Reseat(c.proc, c.rank, sub); rerr != nil {
+			return sub, rerr
 		}
 	}
 	return sub, nil

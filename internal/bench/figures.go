@@ -275,7 +275,7 @@ func Run(fig string) ([]*Table, error) {
 	case "chaos-scale":
 		return []*Table{ChaosScale(1024)}, nil
 	case "rma":
-		return []*Table{RMAFig(256)}, nil
+		return []*Table{RMAFig(256), RMAA2AFig(256)}, nil
 	default:
 		return nil, fmt.Errorf("bench: unknown figure %q (have 1, 8, 9, 10, 11, 12, 13, 14, coll, scale, chaos-scale, rma)", fig)
 	}

@@ -147,6 +147,123 @@ func rmaRow(ranks int, lazy bool, alg coll.Algorithm) []string {
 // baseline against both put-based one-sided schedules.
 var rmaAlgs = []coll.Algorithm{coll.Ring, coll.OneSidedRing, coll.OneSidedBruck}
 
+// runRMAAlltoallw runs two back-to-back identical Alltoallws over the
+// one-sided backend on a persistent engine and splits the fabric's
+// control-put and network-message counters per call: the first call
+// negotiates the symmetric-prefix deposit offsets (2(n-1) zero-byte
+// control SignalPuts per rank, one per peer per parity region), and a
+// repeat call with the same shape must reuse them and issue zero.
+func runRMAAlltoallw(ranks int, lazy bool, alg coll.Algorithm) (rmaMeasure, [2]int64, [2]int64, error) {
+	var ctrl, msgs [2]int64
+	env, w, err := scaleWorldCfg(ranks, lazy, func(c *mpi.Config) {
+		c.Timeline = &timeline.Options{Capacity: 64}
+	})
+	if err != nil {
+		return rmaMeasure{}, ctrl, msgs, err
+	}
+	l := collLayout() // 32 KiB strided legs
+	size := w.Size()
+	ops := make([][]coll.WOp, size)
+	for r := 0; r < size; r++ {
+		dev := w.Rank(r).Dev
+		ops[r] = make([]coll.WOp, size)
+		for peer := 0; peer < size; peer++ {
+			sb := dev.Alloc(fmt.Sprintf("a2a-s-%d-%d", r, peer), int(l.ExtentBytes))
+			rb := dev.Alloc(fmt.Sprintf("a2a-r-%d-%d", r, peer), int(l.ExtentBytes))
+			sb.FillStream(uint64(r*1000 + peer + 1))
+			ops[r][peer] = coll.WOp{SendBuf: sb, SendType: l, SendCount: 1, RecvBuf: rb, RecvType: l, RecvCount: 1}
+		}
+	}
+	e := coll.New(w, coll.Tuning{Alltoallw: alg})
+	f := rma.New(w)
+	e.UseRMA(f)
+	var bodyErr error
+	err = w.Run(func(r *mpi.Rank, p *sim.Proc) {
+		for k := 0; k < 2; k++ {
+			if cerr := e.Alltoallw(p, r, ops[r.ID()]); cerr != nil && bodyErr == nil {
+				bodyErr = fmt.Errorf("rank %d call %d: %w", r.ID(), k, cerr)
+			}
+			// Double barrier: every rank finishes call k, rank 0 snapshots
+			// the cumulative counters, then everyone proceeds to call k+1.
+			w.Barrier(p)
+			if r.ID() == 0 {
+				ctrl[k] = f.TotalStats().CtrlPuts
+				msgs[k] = w.Cluster.Net.TotalMessages()
+			}
+			w.Barrier(p)
+		}
+	})
+	if err == nil {
+		err = bodyErr
+	}
+	if err == nil {
+		if lk := w.LeakedRequests(); lk != 0 {
+			err = fmt.Errorf("bench: rma a2a run leaked %d requests", lk)
+		}
+	}
+	if err == nil {
+		if po := f.PendingOps(); po != 0 {
+			err = fmt.Errorf("bench: rma a2a run left %d one-sided ops pending", po)
+		}
+	}
+	m := rmaMeasure{
+		ns:   env.Now(),
+		msgs: w.Cluster.Net.TotalMessages(),
+		rma:  f.TotalStats(),
+	}
+	// Turn the cumulative snapshots into per-call deltas.
+	ctrl[1] -= ctrl[0]
+	msgs[1] -= msgs[0]
+	return m, ctrl, msgs, err
+}
+
+// rmaA2ARow runs one (ranks, mode, algorithm) Alltoallw cell and renders it.
+func rmaA2ARow(ranks int, lazy bool, alg coll.Algorithm) []string {
+	mode := "exact"
+	if lazy {
+		mode = "lazy"
+	}
+	m, ctrl, msgs, err := runRMAAlltoallw(ranks, lazy, alg)
+	if err != nil {
+		return []string{fmt.Sprint(ranks), mode, alg.String(), "ERROR: " + err.Error(), "", "", "", "", "", ""}
+	}
+	return []string{
+		fmt.Sprint(ranks), mode, alg.String(),
+		fmtUs(m.ns),
+		fmt.Sprint(ctrl[0]),
+		fmt.Sprint(ctrl[1]),
+		fmt.Sprint(msgs[0]),
+		fmt.Sprint(msgs[1]),
+		fmt.Sprint(m.rma.PackPuts + m.rma.Puts),
+		fmt.Sprint(m.rma.Doorbells),
+	}
+}
+
+// RMAA2AFig is the control-traffic table of the rma figure: two
+// back-to-back one-sided Alltoallws with the same shape, control puts and
+// network messages split per call. The first call pays the
+// symmetric-prefix offset negotiation (2(n-1) zero-byte SignalPuts per
+// rank); the second call must issue zero control puts and correspondingly
+// fewer network messages — the persistent-engine claim, stated as a
+// counter.
+func RMAA2AFig(maxRanks int) *Table {
+	t := &Table{
+		Title: "One-sided Alltoallw control traffic: offset negotiation paid once per shape, not per call",
+		Header: []string{"ranks", "mode", "algorithm", "time_us",
+			"ctrl_puts_c1", "ctrl_puts_c2", "net_msgs_c1", "net_msgs_c2", "puts", "doorbells"},
+	}
+	for _, ranks := range []int{8, 64, 256} {
+		if ranks > maxRanks {
+			continue
+		}
+		lazy := ranks > 8
+		for _, alg := range []coll.Algorithm{coll.OneSidedRing, coll.OneSidedBruck} {
+			t.Rows = append(t.Rows, rmaA2ARow(ranks, lazy, alg))
+		}
+	}
+	return t
+}
+
 // RMAFig is the one-sided-backend benchmark table (ddtbench -fig rma):
 // put-based ring and Bruck Allgatherv against the two-sided ring at
 // {8, 64, 256} ranks (capped at maxRanks). progress_ev counts

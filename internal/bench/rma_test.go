@@ -75,6 +75,61 @@ func TestRMAFigAcceptance(t *testing.T) {
 	}
 }
 
+// TestRMAA2ACtrlPuts is the CI gate on the symmetric-prefix offset
+// negotiation: on two back-to-back identical one-sided Alltoallws, the
+// first call must pay exactly 2(n-1) zero-byte control SignalPuts per
+// rank (both parity regions, every peer) and the second call must issue
+// zero — the negotiated offsets persist across calls — which also shows
+// up as strictly fewer network messages on the repeat call.
+func TestRMAA2ACtrlPuts(t *testing.T) {
+	tab := RMAA2AFig(8)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 rows at 8 ranks, got %d", len(tab.Rows))
+	}
+	const ranks = 8
+	wantCtrl := int64(ranks * 2 * (ranks - 1))
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[3], "ERROR") {
+			t.Fatalf("row %v errored", r)
+		}
+		ctrl1, _ := strconv.ParseInt(r[4], 10, 64)
+		ctrl2, _ := strconv.ParseInt(r[5], 10, 64)
+		msgs1, _ := strconv.ParseInt(r[6], 10, 64)
+		msgs2, _ := strconv.ParseInt(r[7], 10, 64)
+		puts, _ := strconv.ParseInt(r[8], 10, 64)
+		if ctrl1 != wantCtrl {
+			t.Errorf("%s: first call issued %d control puts, want %d", r[2], ctrl1, wantCtrl)
+		}
+		if ctrl2 != 0 {
+			t.Errorf("%s: repeat call issued %d control puts, want 0 (offsets must persist)", r[2], ctrl2)
+		}
+		if msgs2 >= msgs1 {
+			t.Errorf("%s: repeat call sent %d network messages, not below the first call's %d", r[2], msgs2, msgs1)
+		}
+		if puts == 0 {
+			t.Errorf("%s: no puts recorded", r[2])
+		}
+	}
+}
+
+// TestRMAA2AExactLazyAgree: the two-call Alltoallw cell must report the
+// same virtual clock, per-call message counts, and per-call control puts
+// in both payload modes.
+func TestRMAA2AExactLazyAgree(t *testing.T) {
+	ex, exCtrl, exMsgs, err := runRMAAlltoallw(8, false, coll.OneSidedBruck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz, lzCtrl, lzMsgs, err := runRMAAlltoallw(8, true, coll.OneSidedBruck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.ns != lz.ns || exCtrl != lzCtrl || exMsgs != lzMsgs {
+		t.Fatalf("exact/lazy diverged: ns %d vs %d, ctrl %v vs %v, msgs %v vs %v",
+			ex.ns, lz.ns, exCtrl, lzCtrl, exMsgs, lzMsgs)
+	}
+}
+
 // TestRMAFigExactLazyAgree: the one-sided ring cell must report the same
 // virtual completion time, message count, and kernel launches in both
 // payload modes — the bench-level echo of the lazy conformance oracle.

@@ -150,6 +150,56 @@ func (st *Store) Register(rank int, bufs ...*gpu.Buffer) {
 // Registered is the number of buffers rank has registered.
 func (st *Store) Registered(rank int) int { return len(st.regs[rank]) }
 
+// Rebind swaps rank's registration of old for replacement in place,
+// preserving registration (and therefore restore) order. Snapshots taken
+// from the old buffer stay restorable — a restore targets the
+// registration slot, which now points at the replacement. This is how
+// window-backed state survives a fabric re-rendezvous: reopening a
+// window after Shrink allocates a fresh device buffer, and the rebind
+// lets the pre-failure snapshot roll into it. Reports whether old was
+// found.
+func (st *Store) Rebind(rank int, old, replacement *gpu.Buffer) bool {
+	if rank < 0 || rank >= st.n {
+		return false
+	}
+	for i, b := range st.regs[rank] {
+		if b == old {
+			st.regs[rank][i] = replacement
+			return true
+		}
+	}
+	return false
+}
+
+// RestoreBuffer rolls a single registered buffer of rank back to the
+// latest committed epoch, returning the bytes logically copied. The
+// buffer is matched by registration slot, so it also restores snapshots
+// captured from a since-Rebind-replaced predecessor.
+func (st *Store) RestoreBuffer(rank int, b *gpu.Buffer) (int64, error) {
+	e := st.last
+	if e == nil || !e.captured[rank] {
+		return 0, fmt.Errorf("ckpt: no committed snapshot for rank %d", rank)
+	}
+	if !st.Available(rank) {
+		return 0, fmt.Errorf("ckpt: rank %d snapshot lost (rank and buddy %d both dead)",
+			rank, st.Buddy(rank))
+	}
+	for i, reg := range st.regs[rank] {
+		if reg != b {
+			continue
+		}
+		if i >= len(e.snaps[rank]) {
+			return 0, fmt.Errorf("ckpt: buffer %s registered after epoch %d was captured", b.Name, e.Seq)
+		}
+		s := e.snaps[rank][i]
+		if err := s.restoreInto(b); err != nil {
+			return 0, err
+		}
+		return s.bytes(), nil
+	}
+	return 0, fmt.Errorf("ckpt: buffer %s is not registered for rank %d", b.Name, rank)
+}
+
 // RegisteredBytes is the total logical size of rank's registered buffers —
 // what a capture or restore of the rank logically moves, in either payload
 // mode (callers charging simulated memcpy time use this so lazy and exact

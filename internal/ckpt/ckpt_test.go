@@ -201,3 +201,70 @@ func TestRestoreErrors(t *testing.T) {
 		t.Fatal("capture of unregistered rank committed an epoch")
 	}
 }
+
+// TestRebindRestoreBuffer covers the window-recovery path: a snapshot
+// captured from one buffer rolls into a replacement that took over its
+// registration slot (the fresh window buffer a post-Shrink reopen
+// allocates), in both payload modes.
+func TestRebindRestoreBuffer(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		name := map[bool]string{false: "exact", true: "lazy"}[lazy]
+		t.Run(name, func(t *testing.T) {
+			const n = 1024
+			st := NewStore(2)
+			mk := func(bname string, seed uint64) *gpu.Buffer {
+				if lazy {
+					return lazyBuf(bname, n, seed)
+				}
+				return exactBuf(bname, n, seed)
+			}
+			old := mk("win-e0", 7)
+			other := mk("grid", 8)
+			st.Register(0, old, other)
+			st.Register(1, mk("peer", 9))
+			if st.CaptureAll(100, 0) == nil {
+				t.Fatal("capture did not commit")
+			}
+			want := old.Checksum()
+
+			// The reopened window is a fresh buffer with junk content.
+			fresh := mk("win-e1", 0xbad)
+			if !st.Rebind(0, old, fresh) {
+				t.Fatal("Rebind did not find the old buffer")
+			}
+			if st.Rebind(0, old, fresh) {
+				t.Fatal("Rebind found an already-replaced buffer")
+			}
+			got, err := st.RestoreBuffer(0, fresh)
+			if err != nil {
+				t.Fatalf("RestoreBuffer: %v", err)
+			}
+			if got != n {
+				t.Fatalf("RestoreBuffer moved %d bytes, want %d", got, n)
+			}
+			if fresh.Checksum() != want {
+				t.Fatal("restored replacement does not match the captured content")
+			}
+
+			// Single-buffer restore leaves the other registration alone.
+			scribble(other)
+			junk := other.Checksum()
+			if _, err := st.RestoreBuffer(0, fresh); err != nil {
+				t.Fatalf("second RestoreBuffer: %v", err)
+			}
+			if other.Checksum() != junk {
+				t.Fatal("RestoreBuffer touched an unrelated registration")
+			}
+
+			// Unknown buffers and late registrations are typed errors.
+			if _, err := st.RestoreBuffer(0, old); err == nil {
+				t.Fatal("RestoreBuffer on the replaced buffer succeeded")
+			}
+			late := mk("late", 3)
+			st.Register(0, late)
+			if _, err := st.RestoreBuffer(0, late); err == nil {
+				t.Fatal("RestoreBuffer on a post-capture registration succeeded")
+			}
+		})
+	}
+}

@@ -186,6 +186,7 @@ type rankState struct {
 	staging int // unique staging-buffer names
 	shifted map[shiftKey]*datatype.Layout
 	contig  map[[2]int64]*datatype.Layout
+	a2a     *a2aState // persistent one-sided Alltoallw negotiation (onesided.go)
 }
 
 // New builds the engine for a world.
@@ -222,10 +223,12 @@ func (e *Engine) rmaFabric() *rma.Fabric {
 }
 
 // Sub derives an engine running over comm (typically a Shrink survivor
-// communicator), inheriting the parent's tuning. Only members may call its
-// collectives; ranks/roots/peer indices are comm ranks.
+// communicator), inheriting the parent's tuning and one-sided fabric.
+// Only members may call its collectives; ranks/roots/peer indices are
+// comm ranks. The first one-sided collective on the sub-engine reseats
+// the shared fabric onto comm (fresh epoch, rebuilt symmetric heap).
 func (e *Engine) Sub(cm *mpi.Comm) *Engine {
-	sub := &Engine{w: e.w, comm: cm, tuning: e.tuning}
+	sub := &Engine{w: e.w, comm: cm, tuning: e.tuning, rmaF: e.rmaF, osID: e.osID}
 	for i := 0; i < e.w.Size(); i++ {
 		sub.ranks = append(sub.ranks, &rankState{
 			shifted: make(map[shiftKey]*datatype.Layout),
@@ -251,11 +254,12 @@ func (e *Engine) worldScope() bool {
 }
 
 // flatten downgrades topology-bound algorithm choices on a shrunken
-// communicator: Hierarchical needs world-rank node layout, and the
-// one-sided algorithms address symmetric windows by world rank, so
-// sub-comm calls run Linear instead.
+// communicator: Hierarchical needs the world-rank node-leader layout, so
+// sub-comm calls run Linear instead. The one-sided algorithms survive
+// the downgrade since PR 10: the fabric reseats onto the survivor
+// communicator and windows/signals address densely re-ranked members.
 func (e *Engine) flatten(alg Algorithm) Algorithm {
-	if (alg == Hierarchical || oneSided(alg)) && !e.worldScope() {
+	if alg == Hierarchical && !e.worldScope() {
 		return Linear
 	}
 	return alg

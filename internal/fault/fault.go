@@ -61,6 +61,12 @@ const (
 	Shrink
 	// Agree: survivors completed a fault-tolerant agreement.
 	Agree
+	// Reap: an in-flight one-sided op involving a dead rank was completed
+	// early with a typed failure instead of being left pending.
+	Reap
+	// Reseat: the one-sided fabric re-rendezvoused onto a survivor
+	// communicator (fresh epoch, rebuilt symmetric heap).
+	Reseat
 
 	numKinds
 )
@@ -68,7 +74,7 @@ const (
 var kindNames = [numKinds]string{
 	"drop", "dup", "corrupt", "delay", "degrade", "flap",
 	"nic-error", "launch-fail", "timeout", "retransmit", "fallback", "give-up",
-	"rank-crash", "detect", "revoke", "shrink", "agree",
+	"rank-crash", "detect", "revoke", "shrink", "agree", "reap", "reseat",
 }
 
 func (k Kind) String() string {

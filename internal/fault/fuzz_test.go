@@ -2,6 +2,7 @@ package fault
 
 import (
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,10 @@ import (
 //   - it passes Validate (the parser never hands out an invalid plan),
 //   - parsing is deterministic (same spec twice ⇒ deeply equal plans),
 //   - a successfully parsed "crash=" key is reflected in HasCrashes, so a
-//     crash request can never be silently dropped.
+//     crash request can never be silently dropped,
+//   - a successfully parsed one-sided key (rmadrop, rmacorrupt, rmadelay,
+//     siglost) lands in the plan's RMA section — mixed crash + rma plans
+//     drive the ULFM chaos matrix, so neither half may vanish.
 func FuzzParseFaultPlan(f *testing.F) {
 	for _, seed := range []string{
 		"",
@@ -31,6 +35,17 @@ func FuzzParseFaultPlan(f *testing.F) {
 		"degrade=0.25,degradefactor=4,degradens=200000",
 		"flap=0.01,flapdown=1000000",
 		"nic=0.001,launchfail=0.002",
+		"rma-flaky",
+		"rma-flaky,seed=2",
+		"rma-flaky,crash=3@25000",
+		"crash=1@20000,rmadrop=0.02,siglost=0.01,seed=5",
+		"crash=2@18000,rmacorrupt=0.03,rmadelay=0.1,rmadelaymax=40000",
+		"rank-crash,siglost=0.05,seed=4",
+		"crash=1@10000,rmadrop=0.5,rmadrop=0", // later key overrides
+		"rmadrop=1.5",                         // out-of-range probability must be rejected
+		"siglost=-0.1",                        // negative probability must be rejected
+		"rmadelaymax=-5",                      // negative duration must be rejected
+		"rmadelay=0.1,rmadelaymax=notanumber",
 		"drop=1.5",      // out-of-range probability must be rejected
 		"crash=-1@5000", // negative rank must be rejected
 		"crash=2@-1",    // negative time must be rejected
@@ -62,6 +77,41 @@ func FuzzParseFaultPlan(f *testing.F) {
 		for _, part := range strings.Split(spec, ",") {
 			if strings.HasPrefix(strings.TrimSpace(part), "crash=") && !p.HasCrashes() {
 				t.Fatalf("ParsePlan(%q) accepted a crash key but HasCrashes is false", spec)
+			}
+		}
+		// Mixed crash + rma plans: the last accepted occurrence of each
+		// one-sided key must be reflected in the RMA plan section.
+		rmaKeys := map[string]func(*Plan) float64{
+			"rmadrop":    func(p *Plan) float64 { return p.RMA.DropProb },
+			"rmacorrupt": func(p *Plan) float64 { return p.RMA.CorruptProb },
+			"rmadelay":   func(p *Plan) float64 { return p.RMA.DelayProb },
+			"siglost":    func(p *Plan) float64 { return p.RMA.SignalLossProb },
+		}
+		last := map[string]string{}
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if !strings.Contains(part, "=") {
+				// A later preset token replaces the whole plan (parse
+				// succeeded, so it was valid) — earlier keys are gone.
+				last = map[string]string{}
+				continue
+			}
+			kv := strings.SplitN(part, "=", 2)
+			key := strings.TrimSpace(kv[0])
+			if _, ok := rmaKeys[key]; ok {
+				last[key] = strings.TrimSpace(kv[1])
+			}
+		}
+		for k, raw := range last {
+			v, perr := strconv.ParseFloat(raw, 64)
+			if perr != nil || v <= 0 {
+				continue // the parser rejected or zeroed it; Validate covered range errors above
+			}
+			if got := rmaKeys[k](p); got != v {
+				t.Fatalf("ParsePlan(%q) accepted %s=%s but the RMA plan holds %g", spec, k, raw, got)
 			}
 		}
 	})

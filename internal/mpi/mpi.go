@@ -185,6 +185,8 @@ type World struct {
 	worldComm      *Comm
 	comms          []*Comm
 	barrierArrived []bool
+	onRankFailed   []func(dead int) // observers notified after declareFailed
+	onCommRevoked  []func(c *Comm)  // observers notified on first revocation per comm
 }
 
 // Timeline returns the world's event timeline, or nil when tracing is off.

@@ -252,6 +252,36 @@ func (w *World) declareFailed(f int) {
 		c.maybeFinishShrink()
 		c.maybeFinishAgree()
 	}
+	for _, fn := range w.onRankFailed {
+		fn(f)
+	}
+}
+
+// OnRankFailed registers an observer invoked (scheduler context) each time
+// the detector declares a rank dead, after the runtime's own pending
+// operations have been failed. The one-sided fabric uses it to reap
+// in-flight deposits targeting the dead rank.
+func (w *World) OnRankFailed(fn func(dead int)) {
+	w.onRankFailed = append(w.onRankFailed, fn)
+}
+
+// OnCommRevoked registers an observer invoked exactly once per
+// communicator, when the first rank's view of it becomes revoked (whether
+// by an explicit Revoke, the self-healing auto-revocation, or an in-band
+// flood arrival). The one-sided fabric uses it to invalidate the windows
+// of the matching epoch, so waiters observing the fabric unblock with
+// ErrCommRevoked instead of stalling out the watchdog.
+func (w *World) OnCommRevoked(fn func(c *Comm)) {
+	w.onCommRevoked = append(w.onCommRevoked, fn)
+}
+
+// FailedAt returns the virtual time at which rank i was declared dead, or
+// -1 when it has not been declared.
+func (w *World) FailedAt(i int) int64 {
+	if !w.ftOn || i < 0 || i >= len(w.rankFailed) || !w.rankFailed[i] {
+		return -1
+	}
+	return w.failedAt[i]
 }
 
 // dropPosted removes q from the posted-receive queue (it is about to fail,
@@ -313,6 +343,7 @@ type Comm struct {
 	index []int // world rank -> comm rank (-1 non-member)
 
 	revokedAt []bool // per world rank: local view of revocation
+	notified  bool   // world-level OnCommRevoked observers fired
 	shr       *shrinkState
 	agr       *agreeState
 	agreeSeq  int
@@ -463,6 +494,12 @@ func (c *Comm) maybeAutoRevoke(r *Rank, err error) {
 // (errSent suppresses notifyPeer).
 func (c *Comm) markRevoked(r *Rank) {
 	c.revokedAt[r.id] = true
+	if !c.notified {
+		c.notified = true
+		for _, fn := range c.w.onCommRevoked {
+			fn(c)
+		}
+	}
 	snapshot := append([]*Request(nil), r.active...)
 	for _, q := range snapshot {
 		if q.settled() || q.comm != c {

@@ -4,15 +4,89 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/mpi"
 	"repro/internal/rma"
+	"repro/internal/sim"
 )
 
-// FuzzHeapInvariants drives the symmetric-heap allocator with a random
-// op tape — allocate, free, reallocate — and checks after every step
-// that the allocator invariants hold: no overlapping live windows,
-// aligned offsets inside the break, coalesced free spans, offsets and
-// sizes mirrored across every rank, and freed windows rejecting reuse
-// (access and double free).
+// replayHeapTape drives one symmetric-heap allocator with the fuzz op
+// tape — allocate, free, reallocate — checking after every step that the
+// allocator invariants hold: no overlapping live windows, aligned offsets
+// inside the break, coalesced free spans, offsets and sizes mirrored
+// across every rank, and freed windows rejecting reuse (double free and
+// liveness). It returns the heap offset of every allocation in tape
+// order, so two replays can be compared for layout determinism.
+func replayHeapTape(t *testing.T, fab *rma.Fabric, tape []byte) []int64 {
+	t.Helper()
+	var live []*rma.Window
+	var freed []*rma.Window
+	var offs []int64
+	next := 0
+	for _, b := range tape {
+		switch {
+		case b%3 != 0 || len(live) == 0:
+			// Allocate: size derived from the byte, 1..4033.
+			size := int64(b>>2)*63 + 1
+			win, err := fab.AllocWindow(fmt.Sprintf("w%d", next), size)
+			next++
+			if err != nil {
+				t.Fatalf("alloc %d: %v", size, err)
+			}
+			if !win.Symmetric() {
+				t.Fatal("heap window not symmetric")
+			}
+			for i := 0; i < fab.Size(); i++ {
+				if win.Size(i) != size {
+					t.Fatalf("member %d sees size %d, want %d (not mirrored)", i, win.Size(i), size)
+				}
+				if win.Buf(i) == nil {
+					t.Fatalf("member %d unattached on a symmetric window", i)
+				}
+			}
+			live = append(live, win)
+			offs = append(offs, win.Offset())
+		default:
+			// Free a live window chosen by the byte.
+			i := int(b>>2) % len(live)
+			win := live[i]
+			if err := win.Free(); err != nil {
+				t.Fatalf("free: %v", err)
+			}
+			live = append(live[:i], live[i+1:]...)
+			freed = append(freed, win)
+		}
+		if err := fab.Heap().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reuse-after-free rejection: freed windows must refuse both
+	// double free and further one-sided access.
+	for _, win := range freed {
+		if err := win.Free(); err == nil {
+			t.Fatal("double free accepted")
+		}
+		if !win.Freed() {
+			t.Fatal("freed window reports live")
+		}
+	}
+	// Live windows must be pairwise disjoint in heap address space.
+	for i, a := range live {
+		for _, b := range live[i+1:] {
+			if a.Offset() < b.Offset()+b.Size(0) && b.Offset() < a.Offset()+a.Size(0) {
+				t.Fatalf("windows %q and %q overlap", a.Name(), b.Name())
+			}
+		}
+	}
+	return offs
+}
+
+// FuzzHeapInvariants replays a random op tape on the symmetric-heap
+// allocator twice: once on a fresh epoch-0 fabric, and once on a fabric
+// whose heap was rebuilt by a crash → shrink → Reseat re-rendezvous. Both
+// replays must uphold every allocator invariant, and the rebuilt heap
+// must reproduce the exact same offsets — the heap layout is a pure
+// function of the op sequence, so survivor re-rendezvous cannot perturb
+// symmetric addressing.
 func FuzzHeapInvariants(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x05, 0x41, 0x85, 0x02, 0x13, 0x06, 0xc1})
@@ -21,61 +95,48 @@ func FuzzHeapInvariants(f *testing.F) {
 	f.Fuzz(func(t *testing.T, tape []byte) {
 		w := testWorld(1, false, nil, false)
 		fab := rma.New(w)
-		var live []*rma.Window
-		var freed []*rma.Window
-		next := 0
-		for _, b := range tape {
-			switch {
-			case b%3 != 0 || len(live) == 0:
-				// Allocate: size derived from the byte, 1..4033.
-				size := int64(b>>2)*63 + 1
-				win, err := fab.AllocWindow(fmt.Sprintf("w%d", next), size)
-				next++
-				if err != nil {
-					t.Fatalf("alloc %d: %v", size, err)
-				}
-				if !win.Symmetric() {
-					t.Fatal("heap window not symmetric")
-				}
-				for i := 0; i < w.Size(); i++ {
-					if win.Size(i) != size {
-						t.Fatalf("rank %d sees size %d, want %d (not mirrored)", i, win.Size(i), size)
-					}
-					if win.Buf(i) == nil {
-						t.Fatalf("rank %d unattached on a symmetric window", i)
-					}
-				}
-				live = append(live, win)
-			default:
-				// Free a live window chosen by the byte.
-				i := int(b>>2) % len(live)
-				win := live[i]
-				if err := win.Free(); err != nil {
-					t.Fatalf("free: %v", err)
-				}
-				live = append(live[:i], live[i+1:]...)
-				freed = append(freed, win)
+		offs0 := replayHeapTape(t, fab, tape)
+
+		// Re-rendezvous invariant: crash a rank, run the survivor
+		// shrink + Reseat dance, and replay the same tape on the rebuilt
+		// heap — fresh epoch, dense members, identical layout.
+		const victim = 1
+		w1 := testWorld(1, false, crashPlan(victim, 20_000), false)
+		fab1 := rma.New(w1)
+		err := w1.Run(func(r *mpi.Rank, p *sim.Proc) {
+			if r.ID() == victim {
+				p.Sleep(10_000_000)
+				return
 			}
-			if err := fab.Heap().CheckInvariants(); err != nil {
-				t.Fatal(err)
+			for !w1.RankFailed(victim) {
+				p.Sleep(5_000)
 			}
+			wc := w1.WorldComm()
+			if !wc.Revoked(r) {
+				wc.Revoke(p, r)
+			}
+			sub, serr := wc.Shrink(p, r)
+			if serr != nil {
+				t.Errorf("rank %d: shrink: %v", r.ID(), serr)
+				return
+			}
+			if rerr := fab1.Reseat(p, r, sub); rerr != nil {
+				t.Errorf("rank %d: reseat: %v", r.ID(), rerr)
+			}
+		})
+		if err != nil {
+			t.Fatalf("re-rendezvous world: %v", err)
 		}
-		// Reuse-after-free rejection: freed windows must refuse both
-		// double free and further one-sided access.
-		for _, win := range freed {
-			if err := win.Free(); err == nil {
-				t.Fatal("double free accepted")
-			}
-			if !win.Freed() {
-				t.Fatal("freed window reports live")
-			}
+		if fab1.Epoch() != 1 {
+			t.Fatalf("rebuilt fabric at epoch %d, want 1", fab1.Epoch())
 		}
-		// Live windows must be pairwise disjoint in heap address space.
-		for i, a := range live {
-			for _, b := range live[i+1:] {
-				if a.Offset() < b.Offset()+b.Size(0) && b.Offset() < a.Offset()+a.Size(0) {
-					t.Fatalf("windows %q and %q overlap", a.Name(), b.Name())
-				}
+		offs1 := replayHeapTape(t, fab1, tape)
+		if len(offs0) != len(offs1) {
+			t.Fatalf("replay alloc counts differ: %d vs %d", len(offs0), len(offs1))
+		}
+		for i := range offs0 {
+			if offs0[i] != offs1[i] {
+				t.Fatalf("alloc %d: offset %d on the fresh heap, %d after re-rendezvous", i, offs0[i], offs1[i])
 			}
 		}
 	})

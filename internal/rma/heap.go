@@ -142,10 +142,16 @@ func (h *Heap) removeLive(w *Window) {
 // the same offset. Dynamic windows (off == -1) are MPI_Win_create-style:
 // each rank attaches its own locally sized region, and peers must learn
 // sizes/offsets out of band before putting.
+//
+// Windows are stamped with the fabric epoch they were allocated under;
+// rank indices into a window are member indices of that epoch. A Revoke
+// or Reseat invalidates the stamp and every access through check()
+// returns a typed *RevokedError.
 type Window struct {
 	f        *Fabric
 	id       int
 	name     string
+	epoch    int   // fabric epoch at allocation
 	off      int64 // symmetric heap offset, or -1 for dynamic windows
 	reserved int64 // aligned heap footprint (symmetric only)
 	sizes    []int64
@@ -176,8 +182,14 @@ func (w *Window) Size(rank int) int64 {
 // Buf exposes rank's backing buffer (local packing, unpack jobs, tests).
 func (w *Window) Buf(rank int) *gpu.Buffer { return w.bufs[rank] }
 
+// Epoch returns the fabric epoch the window was allocated under.
+func (w *Window) Epoch() int { return w.epoch }
+
 // check validates a one-sided access to rank's region of the window.
 func (w *Window) check(rank int, off, n int64) error {
+	if err := w.f.checkEpoch(w.epoch); err != nil {
+		return fmt.Errorf("rma: window %q: %w", w.name, err)
+	}
 	if w.freed {
 		return fmt.Errorf("rma: access to freed window %q", w.name)
 	}
@@ -215,11 +227,14 @@ func (f *Fabric) AllocWindow(name string, size int64) (*Window, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("rma: window %q: size %d must be positive", name, size)
 	}
-	w := &Window{f: f, id: f.heap.nextID, name: name}
+	if err := f.checkEpoch(f.epoch); err != nil {
+		return nil, fmt.Errorf("rma: window %q: %w", name, err)
+	}
+	w := &Window{f: f, id: f.heap.nextID, name: name, epoch: f.epoch}
 	f.heap.nextID++
 	w.off, w.reserved = f.heap.reserve(size)
-	for i := 0; i < f.w.Size(); i++ {
-		b, err := f.w.Rank(i).Dev.AllocE(fmt.Sprintf("rma:%s#%d:r%d", name, w.id, i), int(size))
+	for _, wr := range f.members {
+		b, err := f.w.Rank(wr).Dev.AllocE(f.bufName(name, w.id, wr), int(size))
 		if err != nil {
 			f.heap.release(w.off, w.reserved)
 			return nil, fmt.Errorf("rma: window %q: %w", name, err)
@@ -231,6 +246,17 @@ func (f *Fabric) AllocWindow(name string, size int64) (*Window, error) {
 	return w, nil
 }
 
+// bufName names a window's per-rank backing buffer. Epoch 0 keeps the
+// historical format (golden traces stay byte-identical); later epochs
+// are qualified so re-rendezvoused windows never collide with their
+// pre-failure namesakes on the same device.
+func (f *Fabric) bufName(name string, id, worldRank int) string {
+	if f.epoch != 0 {
+		return fmt.Sprintf("rma:e%d:%s#%d:r%d", f.epoch, name, id, worldRank)
+	}
+	return fmt.Sprintf("rma:%s#%d:r%d", name, id, worldRank)
+}
+
 type winRef struct {
 	win   *Window
 	opens int
@@ -240,6 +266,12 @@ type winRef struct {
 // caller allocates, later callers join, and sizes must agree. Each rank
 // balances its open with one CloseWindow.
 func (f *Fabric) OpenWindow(rank int, name string, size int64) (*Window, error) {
+	if rank < 0 || rank >= len(f.members) {
+		return nil, fmt.Errorf("rma: window %q: rank %d out of member range", name, rank)
+	}
+	if err := f.checkEpoch(f.epoch); err != nil {
+		return nil, fmt.Errorf("rma: window %q: %w", name, err)
+	}
 	ref := f.named[name]
 	if ref == nil {
 		win, err := f.AllocWindow(name, size)
@@ -268,12 +300,18 @@ func (f *Fabric) OpenWindowSized(rank int, name string, localSize int64) (*Windo
 	if localSize < 0 {
 		return nil, fmt.Errorf("rma: window %q: negative size %d", name, localSize)
 	}
+	if rank < 0 || rank >= len(f.members) {
+		return nil, fmt.Errorf("rma: window %q: rank %d out of member range", name, rank)
+	}
+	if err := f.checkEpoch(f.epoch); err != nil {
+		return nil, fmt.Errorf("rma: window %q: %w", name, err)
+	}
 	ref := f.named[name]
 	if ref == nil {
 		w := &Window{
-			f: f, id: f.heap.nextID, name: name, off: -1,
-			sizes: make([]int64, f.w.Size()),
-			bufs:  make([]*gpu.Buffer, f.w.Size()),
+			f: f, id: f.heap.nextID, name: name, epoch: f.epoch, off: -1,
+			sizes: make([]int64, len(f.members)),
+			bufs:  make([]*gpu.Buffer, len(f.members)),
 		}
 		f.heap.nextID++
 		ref = &winRef{win: w}
@@ -286,7 +324,7 @@ func (f *Fabric) OpenWindowSized(rank int, name string, localSize int64) (*Windo
 	if w.bufs[rank] != nil {
 		return nil, fmt.Errorf("rma: window %q: rank %d attached twice", name, rank)
 	}
-	b, err := f.w.Rank(rank).Dev.AllocE(fmt.Sprintf("rma:%s#%d:r%d", name, w.id, rank), int(localSize))
+	b, err := f.w.Rank(f.members[rank]).Dev.AllocE(f.bufName(name, w.id, f.members[rank]), int(localSize))
 	if err != nil {
 		return nil, fmt.Errorf("rma: window %q: %w", name, err)
 	}

@@ -468,4 +468,3 @@ func TestHeapReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-

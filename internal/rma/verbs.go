@@ -32,7 +32,8 @@ type op struct {
 	id     int64
 	verb   string // "put" or "get"
 	win    *Window
-	target int // target rank
+	target int // target member index (== world rank until a reseat)
+	twr    int // target world rank at issue time (epoch-proof, for node lookup and reaping)
 
 	from    *gpu.Buffer // read side (put: source; get: target window)
 	fromOff int64
@@ -55,11 +56,24 @@ func (ep *Endpoint) newOp(verb string, w *Window, target int, from *gpu.Buffer, 
 	to *gpu.Buffer, toOff, n int64, sig *Signal, slot int, add uint64) *op {
 	ep.f.nextOp++
 	ep.pending++
-	return &op{
-		ep: ep, id: ep.f.nextOp, verb: verb, win: w, target: target,
+	twr := -1
+	if target >= 0 && target < len(ep.f.members) {
+		twr = ep.f.members[target]
+	}
+	o := &op{
+		ep: ep, id: ep.f.nextOp, verb: verb, win: w, target: target, twr: twr,
 		from: from, fromOff: fromOff, to: to, toOff: toOff, n: n,
 		sig: sig, slot: slot, add: add, issueT: -1,
 	}
+	if ep.f.ft {
+		// Registry for the reaper: only maintained under failure
+		// tolerance so fault-free fast paths never touch the map.
+		if ep.inflight == nil {
+			ep.inflight = make(map[int64]*op)
+		}
+		ep.inflight[o.id] = o
+	}
+	return o
 }
 
 // doorbell posts the verb descriptor to the NIC, charging Comm for the
@@ -95,6 +109,9 @@ func (ep *Endpoint) PutSignal(p *sim.Proc, w *Window, target int, dstOff int64,
 	if err := w.check(target, dstOff, n); err != nil {
 		return err
 	}
+	if err := ep.f.checkTarget("put", target); err != nil {
+		return err
+	}
 	if src != nil && (srcOff < 0 || srcOff+n > int64(src.Len())) {
 		return fmt.Errorf("rma: put source range [%d,%d) outside %q[0,%d)", srcOff, srcOff+n, src.Name, src.Len())
 	}
@@ -117,8 +134,14 @@ func (ep *Endpoint) PutSignal(p *sim.Proc, w *Window, target int, dstOff int64,
 // doorbell + wire-leg costs as any put and recovers through the same
 // retransmission timer.
 func (ep *Endpoint) SignalPut(p *sim.Proc, sig *Signal, target, slot int, add uint64) error {
-	if target < 0 || target >= ep.f.w.Size() {
+	if target < 0 || target >= len(ep.f.members) {
 		return fmt.Errorf("rma: signal-put target rank %d out of range", target)
+	}
+	if err := ep.f.checkEpoch(sig.epoch); err != nil {
+		return err
+	}
+	if err := ep.f.checkTarget("signal", target); err != nil {
+		return err
 	}
 	o := ep.newOp("signal", nil, target, nil, 0, nil, 0, 0, sig, slot, add)
 	if err := ep.doorbell(p); err != nil {
@@ -126,6 +149,7 @@ func (ep *Endpoint) SignalPut(p *sim.Proc, sig *Signal, target, slot int, add ui
 		return err
 	}
 	ep.Stats.Puts++
+	ep.Stats.CtrlPuts++
 	ep.issue(o)
 	return nil
 }
@@ -135,6 +159,9 @@ func (ep *Endpoint) SignalPut(p *sim.Proc, sig *Signal, target, slot int, add ui
 // and the payload leg back, no target CPU involvement.
 func (ep *Endpoint) Get(p *sim.Proc, w *Window, target int, srcOff int64, dst *gpu.Buffer, dstOff, n int64) error {
 	if err := w.check(target, srcOff, n); err != nil {
+		return err
+	}
+	if err := ep.f.checkTarget("get", target); err != nil {
 		return err
 	}
 	if dst == nil || dstOff < 0 || dstOff+n > int64(dst.Len()) {
@@ -155,6 +182,9 @@ func (ep *Endpoint) Get(p *sim.Proc, w *Window, target int, srcOff int64, dst *g
 // first issue, scheduler context on retransmits and fused PackPuts.
 func (ep *Endpoint) issue(o *op) {
 	env := ep.f.env()
+	if o.done {
+		return // reaped before the wire leg started (e.g. fused pack of a dead target)
+	}
 	if o.issueT < 0 {
 		o.issueT = env.Now()
 	}
@@ -193,7 +223,7 @@ func (ep *Endpoint) issue(o *op) {
 		apply()
 	}
 	me := ep.r.Node()
-	tgt := ep.f.w.Rank(o.target).Node()
+	tgt := ep.f.w.Rank(o.twr).Node()
 	if o.verb == "get" {
 		ep.f.net().RDMAReadF(me, tgt, o.n, deliver)
 	} else {
@@ -242,6 +272,7 @@ func (ep *Endpoint) complete(o *op, err error) {
 	}
 	o.done = true
 	ep.pending--
+	delete(ep.inflight, o.id)
 	if err != nil && ep.firstErr == nil {
 		ep.firstErr = err
 	}
@@ -294,11 +325,17 @@ func (ep *Endpoint) PackPut(p *sim.Proc, w *Window, target int, dstOff int64,
 	origin *gpu.Buffer, l *datatype.Layout, count int, packOff int64,
 	sig *Signal, slot int, add uint64, fused bool) error {
 	entry := ep.r.LayoutEntry(l, count)
-	self := ep.r.ID()
+	self := ep.f.MemberOf(ep.r.ID())
+	if self < 0 {
+		return fmt.Errorf("rma: pack-put from rank %d, not a member of fabric epoch %d", ep.r.ID(), ep.f.epoch)
+	}
 	if err := w.check(self, packOff, entry.Bytes); err != nil {
 		return err
 	}
 	if err := w.check(target, dstOff, entry.Bytes); err != nil {
+		return err
+	}
+	if err := ep.f.checkTarget("put", target); err != nil {
 		return err
 	}
 	job := pack.NewJob(pack.OpPack, origin, w.bufs[self], entry.Blocks)
@@ -351,10 +388,23 @@ func (ep *Endpoint) launch(p *sim.Proc, spec gpu.KernelSpec) *gpu.Completion {
 
 // Quiet blocks until every op this endpoint issued has completed, then
 // surfaces (and clears) the first failure, if any. Poll sleeps are
-// charged to Sync.
+// charged to Sync. Crashed peers cannot wedge Quiet: the reaper
+// completes every op involving a declared-dead rank, so the drain
+// terminates and the typed failure surfaces here. As a last resort the
+// loop honors the sim watchdog bound and unwinds with a *StallError one
+// poll before the scheduler-side watchdog would abort the run.
 func (ep *Endpoint) Quiet(p *sim.Proc) error {
 	poll := ep.f.w.Cfg.PollIntervalNs
+	stall := ep.f.stallBound()
+	env := ep.f.env()
 	for ep.pending > 0 {
+		if stall >= 0 && p.Now()+poll-env.LastBeat() > stall {
+			return &sim.StallError{
+				At: p.Now(), LastBeat: env.LastBeat(), TimeoutNs: stall,
+				Stuck: []string{fmt.Sprintf("rank%d", ep.r.ID())},
+				Diag:  fmt.Sprintf("rma: Quiet on rank %d stuck with %d op(s) pending", ep.r.ID(), ep.pending),
+			}
+		}
 		start := p.Now()
 		p.Sleep(poll)
 		ep.charge(trace.Sync, "quiet-poll", start, poll)

@@ -162,6 +162,13 @@ func (e *Env) SetWatchdog(timeoutNs int64, diag func() string) {
 // happened). Cheap and safe to call with the watchdog disarmed.
 func (e *Env) Beat() { e.wdLast = e.now }
 
+// LastBeat reports the virtual time of the most recent Beat — the floor
+// the watchdog measures stalls against. Blocking primitives that poll a
+// shared flag (rma.WaitSignal) use it to unwind gracefully with a
+// *StallError one poll before the scheduler-side watchdog would abort
+// the whole run.
+func (e *Env) LastBeat() int64 { return e.wdLast }
+
 // stuckNames lists started-but-unfinished Procs, sorted for determinism.
 func (e *Env) stuckNames() []string {
 	var stuck []string
